@@ -1,0 +1,421 @@
+package sspubsub
+
+// Benchmark harness: one benchmark per experiment (per paper artifact;
+// see DESIGN.md's experiment index and EXPERIMENTS.md for recorded
+// results). Custom metrics carry the quantities the paper's claims are
+// stated in (rounds, messages per round, hops), so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every series. Micro-benchmarks for the hot data structures
+// (label algebra, Patricia trie, scheduler) follow at the end.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sspubsub/internal/baseline"
+	"sspubsub/internal/cluster"
+	"sspubsub/internal/core"
+	"sspubsub/internal/experiments"
+	"sspubsub/internal/label"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/topology"
+	"sspubsub/internal/trie"
+)
+
+const benchTopic sim.Topic = 1
+
+// BenchmarkE1_Figure1Topology constructs SR(16) and verifies its edge
+// census against Figure 1 on every iteration.
+func BenchmarkE1_Figure1Topology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E1Figure1()
+		if res.ByLevel[4] != 16 || res.ByLevel[1] != 1 {
+			b.Fatal("Figure 1 mismatch")
+		}
+	}
+}
+
+// BenchmarkE2_DegreeStats builds SR(n) and reports Lemma 3's quantities.
+func BenchmarkE2_DegreeStats(b *testing.B) {
+	for _, n := range []int{16, 256, 4096, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var st topology.DegreeStats
+			for i := 0; i < b.N; i++ {
+				st = topology.New(n).Stats()
+			}
+			b.ReportMetric(float64(st.MaxDegree), "maxdeg")
+			b.ReportMetric(st.AvgDegree, "avgdeg")
+			b.ReportMetric(float64(st.Directed), "edges")
+		})
+	}
+}
+
+// BenchmarkE3_ConfigRequestRate measures Theorem 5's request rate in a
+// legitimate steady state.
+func BenchmarkE3_ConfigRequestRate(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			c := benchConverge(b, n, 100+int64(n))
+			c.Sched.ResetCounters()
+			b.ResetTimer()
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				c.Sched.RunRounds(1)
+				rounds++
+			}
+			b.ReportMetric(float64(c.Sched.CountByType("proto.GetConfiguration"))/float64(rounds), "requests/round")
+		})
+	}
+}
+
+// BenchmarkE4_SubscribeOverhead measures one join through full
+// re-convergence (Theorem 7's constant supervisor work per operation).
+func BenchmarkE4_SubscribeOverhead(b *testing.B) {
+	c := benchConverge(b, 16, 11)
+	n := 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := c.AddClient()
+		c.Join(id, benchTopic)
+		n++
+		if _, ok := c.RunUntilConverged(benchTopic, n, 2000); !ok {
+			b.Fatalf("join %d did not converge", i)
+		}
+	}
+	b.ReportMetric(float64(c.Sched.SentBy(cluster.SupervisorID))/float64(b.N), "sup-msgs/join(total)")
+}
+
+// BenchmarkE5_Convergence measures rounds-to-legitimacy per initial-state
+// scenario (Theorem 8).
+func BenchmarkE5_Convergence(b *testing.B) {
+	for _, sc := range experiments.AllScenarios {
+		for _, n := range []int{16, 64} {
+			b.Run(fmt.Sprintf("%s/n=%d", sc, n), func(b *testing.B) {
+				totalRounds := 0
+				for i := 0; i < b.N; i++ {
+					rounds, ok := benchScenario(sc, n, int64(i)*17+3)
+					if !ok {
+						b.Fatalf("scenario %s n=%d seed=%d did not converge", sc, n, i)
+					}
+					totalRounds += rounds
+				}
+				b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+			})
+		}
+	}
+}
+
+func benchScenario(sc experiments.E5Scenario, n int, seed int64) (int, bool) {
+	if sc == experiments.ScenarioFresh {
+		c := cluster.New(cluster.Options{Seed: seed})
+		c.AddClients(n)
+		c.JoinAll(benchTopic)
+		return c.RunUntilConverged(benchTopic, n, 5000)
+	}
+	c := cluster.New(cluster.Options{Seed: seed})
+	c.AddClients(n)
+	c.JoinAll(benchTopic)
+	if _, ok := c.RunUntilConverged(benchTopic, n, 5000); !ok {
+		return 0, false
+	}
+	switch sc {
+	case experiments.ScenarioCorrupt:
+		c.CorruptSubscriberStates(benchTopic)
+	case experiments.ScenarioPartition:
+		c.PartitionStates(benchTopic, 3)
+	case experiments.ScenarioBadDB:
+		c.CorruptSupervisorDB(benchTopic)
+	case experiments.ScenarioGarbageMsg:
+		c.InjectGarbageMessages(benchTopic, 5*n)
+	}
+	return c.RunUntilConverged(benchTopic, n, 20000)
+}
+
+// BenchmarkE6_Closure runs a converged system and reports the steady-state
+// maintenance message rate (Theorem 13's quiet state).
+func BenchmarkE6_Closure(b *testing.B) {
+	c := benchConverge(b, 64, 13)
+	c.Sched.ResetCounters()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sched.RunRounds(1)
+	}
+	if !c.ConvergedWith(benchTopic, 64) {
+		b.Fatal("legitimacy lost during closure run")
+	}
+	b.ReportMetric(float64(c.Sched.Delivered())/float64(b.N)/64, "msgs/node/round")
+}
+
+// BenchmarkE7_PublicationConvergence measures anti-entropy-only
+// reconciliation (Theorem 17).
+func BenchmarkE7_PublicationConvergence(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			totalRounds := 0
+			for i := 0; i < b.N; i++ {
+				c := cluster.New(cluster.Options{
+					Seed:       int64(i)*7 + int64(n),
+					ClientOpts: core.Options{DisableFlooding: true},
+				})
+				c.AddClients(n)
+				c.JoinAll(benchTopic)
+				if _, ok := c.RunUntilConverged(benchTopic, n, 2000); !ok {
+					b.Fatal("setup failed")
+				}
+				members := c.Members(benchTopic)
+				for p := 0; p < 10; p++ {
+					c.Publish(members[p%len(members)], benchTopic, fmt.Sprintf("p%d", p))
+				}
+				rounds, ok := c.Sched.RunRoundsUntil(20000, func() bool {
+					return c.AllHavePubs(benchTopic, 10) && c.TriesEqual(benchTopic)
+				})
+				if !ok {
+					b.Fatal("anti-entropy did not converge")
+				}
+				totalRounds += rounds
+			}
+			b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+		})
+	}
+}
+
+// BenchmarkE8_FloodingVsRing reports broadcast depth on SR(n) versus the
+// plain ring (Section 4.3 vs the PSVR-style baselines).
+func BenchmarkE8_FloodingVsRing(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var skip, ring int
+			for i := 0; i < b.N; i++ {
+				skip = len(baseline.FloodHops(baseline.NewSkipRing(n), 0)) - 1
+				ring = len(baseline.FloodHops(baseline.NewRing(n), 0)) - 1
+			}
+			b.ReportMetric(float64(skip), "skipring-hops")
+			b.ReportMetric(float64(ring), "ring-hops")
+		})
+	}
+}
+
+// BenchmarkE9_Figure2TrieSync replays the Figure 2 reconciliation.
+func BenchmarkE9_Figure2TrieSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E9Figure2()
+		if !res.P4Delivered {
+			b.Fatal("P4 not delivered")
+		}
+	}
+}
+
+// BenchmarkE10_Congestion reports the balance comparison of Section 1.3.
+func BenchmarkE10_Congestion(b *testing.B) {
+	const n, keys = 512, 100000
+	b.Run("position-balance", func(b *testing.B) {
+		var srb, chb baseline.PositionBalance
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(int64(i)))
+			srb = baseline.KeyLoad("skip-ring", baseline.NewSkipRing(n).Positions(), keys, rng)
+			chb = baseline.KeyLoad("chord", baseline.NewChord(n, rng).Positions(), keys, rng)
+		}
+		b.ReportMetric(srb.MaxOverAvg, "skipring-max/avg")
+		b.ReportMetric(chb.MaxOverAvg, "chord-max/avg")
+	})
+}
+
+// BenchmarkE11_JoinLocality measures configuration changes per pre-existing
+// node while n doubles (Section 4.1).
+func BenchmarkE11_JoinLocality(b *testing.B) {
+	var res experiments.E11Result
+	for i := 0; i < b.N; i++ {
+		res, _ = experiments.E11JoinLocality(16, int64(i)+5)
+	}
+	b.ReportMetric(res.AvgConfigChanges, "cfg-changes/node")
+}
+
+// BenchmarkE12_CrashRecovery measures re-convergence after crashing a
+// quarter of the ring (Section 3.3).
+func BenchmarkE12_CrashRecovery(b *testing.B) {
+	totalRounds := 0
+	for i := 0; i < b.N; i++ {
+		c := benchConverge(b, 32, int64(i)*13+29)
+		members := c.Members(benchTopic)
+		for j := 0; j < 8; j++ {
+			c.Crash(members[j*len(members)/8])
+		}
+		rounds, ok := c.RunUntilConverged(benchTopic, 24, 20000)
+		if !ok {
+			b.Fatal("no recovery")
+		}
+		totalRounds += rounds
+	}
+	b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+}
+
+// BenchmarkE13_SupervisorVsBroker compares central-component load.
+func BenchmarkE13_SupervisorVsBroker(b *testing.B) {
+	var res experiments.E13Result
+	for i := 0; i < b.N; i++ {
+		res, _ = experiments.E13SupervisorVsBroker(32, 20, int64(i)+37)
+	}
+	b.ReportMetric(res.SupPerPublish, "sup-msgs/pub")
+	b.ReportMetric(res.BrokerPerPublish, "broker-msgs/pub")
+}
+
+// ---- ablation benches (design choices called out in DESIGN.md) ----
+
+// BenchmarkAblationActionIV compares partitioned-state recovery with the
+// locally-minimal probe on and off.
+func BenchmarkAblationActionIV(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "enabled"
+		if disable {
+			name = "disabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			totalRounds := 0
+			for i := 0; i < b.N; i++ {
+				c := cluster.New(cluster.Options{
+					Seed:       int64(i)*3 + 41,
+					ClientOpts: core.Options{DisableActionIV: disable},
+				})
+				c.AddClients(16)
+				c.JoinAll(benchTopic)
+				if _, ok := c.RunUntilConverged(benchTopic, 16, 2000); !ok {
+					b.Fatal("setup failed")
+				}
+				c.PartitionStates(benchTopic, 2)
+				rounds, ok := c.RunUntilConverged(benchTopic, 16, 100000)
+				if !ok {
+					rounds = 100000 // cap: report the cap rather than failing
+				}
+				totalRounds += rounds
+			}
+			b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+		})
+	}
+}
+
+// BenchmarkAblationFlooding compares delivery latency with and without the
+// PublishNew layer.
+func BenchmarkAblationFlooding(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "flooding"
+		if disable {
+			name = "anti-entropy-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			totalRounds := 0
+			for i := 0; i < b.N; i++ {
+				c := cluster.New(cluster.Options{
+					Seed:       int64(i)*5 + 43,
+					ClientOpts: core.Options{DisableFlooding: disable},
+				})
+				c.AddClients(64)
+				c.JoinAll(benchTopic)
+				if _, ok := c.RunUntilConverged(benchTopic, 64, 2000); !ok {
+					b.Fatal("setup failed")
+				}
+				c.Publish(c.Members(benchTopic)[0], benchTopic, "x")
+				rounds, ok := c.Sched.RunRoundsUntil(20000, func() bool {
+					return c.AllHavePubs(benchTopic, 1)
+				})
+				if !ok {
+					b.Fatal("never delivered")
+				}
+				totalRounds += rounds
+			}
+			b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds")
+		})
+	}
+}
+
+// ---- micro-benchmarks ----
+
+// BenchmarkLabelFromIndex exercises the label codec.
+func BenchmarkLabelFromIndex(b *testing.B) {
+	var l label.Label
+	for i := 0; i < b.N; i++ {
+		l = label.FromIndex(uint64(i))
+	}
+	_ = l
+}
+
+// BenchmarkLabelShortcuts exercises the shortcut derivation (the per-round
+// local computation of every subscriber).
+func BenchmarkLabelShortcuts(b *testing.B) {
+	r := topology.New(1024)
+	for i := 0; i < b.N; i++ {
+		x := i % 1024
+		pred, succ := r.RingNeighbors(x)
+		label.Shortcuts(r.Label(x), r.Label(pred), r.Label(succ))
+	}
+}
+
+// BenchmarkTrieInsert measures hashed Patricia insertion.
+func BenchmarkTrieInsert(b *testing.B) {
+	t := trie.New(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(trie.NewPublication(64, 1, fmt.Sprintf("payload-%d", i)))
+	}
+}
+
+// BenchmarkTrieSyncRound measures one full CheckTrie reconciliation round
+// between two tries differing in one publication.
+func BenchmarkTrieSyncRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E9Figure2()
+		if !res.TriesEqual {
+			b.Fatal("sync failed")
+		}
+	}
+}
+
+// BenchmarkSchedulerThroughput measures raw event throughput of the
+// deterministic kernel with the full protocol running.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	c := benchConverge(b, 128, 99)
+	b.ResetTimer()
+	start := c.Sched.Delivered()
+	for i := 0; i < b.N; i++ {
+		c.Sched.Step()
+	}
+	b.ReportMetric(float64(c.Sched.Delivered()-start)/float64(b.N), "deliveries/op")
+}
+
+// BenchmarkLiveSystemPublish measures end-to-end publish latency on the
+// goroutine runtime (8 subscribers).
+func BenchmarkLiveSystemPublish(b *testing.B) {
+	sys := NewSystem(Options{Seed: 7})
+	defer sys.Close()
+	pubber := sys.MustClient("pub")
+	sub := pubber.Subscribe("t")
+	recv := sys.MustClient("recv")
+	rsub := recv.Subscribe("t")
+	if !sys.WaitStable("t", 2, 10*time.Second) {
+		b.Fatal("no stability")
+	}
+	_ = sub
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pubber.Publish("t", fmt.Sprintf("m%d", i)); err != nil {
+			b.Fatal(err)
+		}
+		<-rsub.Events()
+	}
+}
+
+// ---- helpers ----
+
+func benchConverge(b *testing.B, n int, seed int64) *cluster.Cluster {
+	b.Helper()
+	c := cluster.New(cluster.Options{Seed: seed})
+	c.AddClients(n)
+	c.JoinAll(benchTopic)
+	if _, ok := c.RunUntilConverged(benchTopic, n, 5000); !ok {
+		b.Fatalf("bench setup: n=%d did not converge: %s", n, c.Explain(benchTopic))
+	}
+	return c
+}

@@ -1,0 +1,100 @@
+// Command ringviz prints the structure of the legitimate skip ring SR(n):
+// the label triples of Figure 1, the per-level edge sets, degree statistics
+// (Lemma 3) and the graph diameter. It is the textual reproduction of the
+// paper's Figure 1 for arbitrary n.
+//
+// Usage:
+//
+//	ringviz [-n 16] [-edges]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"sspubsub/internal/metrics"
+	"sspubsub/internal/topology"
+)
+
+func main() {
+	n := flag.Int("n", 16, "number of subscribers")
+	showEdges := flag.Bool("edges", false, "list every edge")
+	flag.Parse()
+
+	r := topology.New(*n)
+	fmt.Printf("supervised skip ring SR(%d)\n\n", *n)
+
+	tb := metrics.NewTable("x", "l(x)", "r(l(x))", "ring pos", "left", "right", "ring", "shortcut slots")
+	type row struct {
+		pos int
+		x   int
+	}
+	rows := make([]row, *n)
+	for x := 0; x < *n; x++ {
+		rows[x] = row{posOf(r, x), x}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pos < rows[j].pos })
+	for _, rw := range rows {
+		x := rw.x
+		exp := r.Expected(x)
+		slots := make([]string, 0, len(exp.Shortcuts))
+		for s := range exp.Shortcuts {
+			slots = append(slots, s.String())
+		}
+		sort.Strings(slots)
+		tb.AddRow(x, r.Label(x).String(), fmt.Sprintf("%.4f", r.Label(x).Real()), rw.pos,
+			exp.Left.String(), exp.Right.String(), exp.Ring.String(), fmt.Sprint(slots))
+	}
+	fmt.Println(tb)
+
+	st := r.Stats()
+	fmt.Printf("degrees: max %d, avg %.2f (Lemma 3: ≤ 2⌈log n⌉, avg ≤ 4)\n", st.MaxDegree, st.AvgDegree)
+	fmt.Printf("edges: %d undirected / %d directed (paper closed form 4n−4 = %d)\n",
+		st.Undirected, st.Directed, st.PaperDirected)
+	fmt.Printf("diameter: %d (⌈log n⌉ = %d)\n", r.Diameter(), ceilLog(*n))
+
+	if *showEdges {
+		fmt.Println("\nedges by level:")
+		type edge struct {
+			a, b int
+			lvl  uint8
+		}
+		var edges []edge
+		for e, lvl := range r.Edges() {
+			edges = append(edges, edge{e[0], e[1], lvl})
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].lvl != edges[j].lvl {
+				return edges[i].lvl > edges[j].lvl
+			}
+			if edges[i].a != edges[j].a {
+				return edges[i].a < edges[j].a
+			}
+			return edges[i].b < edges[j].b
+		})
+		for _, e := range edges {
+			fmt.Printf("  level %d: %s (%d) — %s (%d)\n", e.lvl, r.Label(e.a), e.a, r.Label(e.b), e.b)
+		}
+	}
+}
+
+func posOf(r *topology.SkipRing, x int) int {
+	// rank = number of labels with smaller r value
+	pos := 0
+	for y := 0; y < r.N(); y++ {
+		if r.Label(y).Frac() < r.Label(x).Frac() {
+			pos++
+		}
+	}
+	return pos
+}
+
+func ceilLog(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	return k
+}

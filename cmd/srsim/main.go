@@ -1,0 +1,124 @@
+// Command srsim runs deterministic simulations of the self-stabilizing
+// supervised publish-subscribe system: pick an initial-state scenario, a
+// size and a seed, and watch the system converge (or trace every message
+// with -trace).
+//
+// Usage:
+//
+//	srsim -n 32 -scenario corrupted-states [-seed 7] [-rounds 20000] [-trace]
+//	srsim -scenarios                     # list scenarios
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sspubsub/internal/cluster"
+	"sspubsub/internal/experiments"
+	"sspubsub/internal/sim"
+)
+
+const topic sim.Topic = 1
+
+func main() {
+	n := flag.Int("n", 32, "number of subscribers")
+	seed := flag.Int64("seed", 1, "random seed (runs are reproducible)")
+	scenario := flag.String("scenario", "fresh-join-burst", "initial state scenario")
+	rounds := flag.Int("rounds", 20000, "max rounds before giving up")
+	trace := flag.Bool("trace", false, "print every delivered message and timeout")
+	list := flag.Bool("scenarios", false, "list scenarios and exit")
+	pubs := flag.Int("pubs", 0, "publish this many items after convergence and wait for full dissemination")
+	crash := flag.Float64("crash", 0, "crash this fraction of nodes after convergence")
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.AllScenarios {
+			fmt.Println(string(s))
+		}
+		return
+	}
+
+	opts := cluster.Options{Seed: *seed}
+	if *trace {
+		opts.Sched.Trace = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	c := cluster.New(opts)
+	c.AddClients(*n)
+	c.JoinAll(topic)
+
+	sc := experiments.E5Scenario(*scenario)
+	if sc != experiments.ScenarioFresh {
+		if _, ok := c.RunUntilConverged(topic, *n, 5000); !ok {
+			log.Fatalf("setup convergence failed: %s", c.Explain(topic))
+		}
+		fmt.Printf("setup: legitimate SR(%d) built; injecting %s\n", *n, sc)
+		switch sc {
+		case experiments.ScenarioCorrupt:
+			c.CorruptSubscriberStates(topic)
+		case experiments.ScenarioPartition:
+			c.PartitionStates(topic, 3)
+		case experiments.ScenarioBadDB:
+			c.CorruptSupervisorDB(topic)
+		case experiments.ScenarioGarbageMsg:
+			c.InjectGarbageMessages(topic, 5**n)
+		default:
+			log.Fatalf("unknown scenario %q (use -scenarios)", *scenario)
+		}
+	}
+
+	start := c.Sched.Now()
+	r, ok := c.RunUntilConverged(topic, *n, *rounds)
+	if !ok {
+		log.Fatalf("NOT converged after %d rounds: %s", r, c.Explain(topic))
+	}
+	fmt.Printf("converged to legitimate SR(%d) in %d rounds (%.0f messages, %.1f per node per round)\n",
+		*n, r, float64(c.Sched.Delivered()),
+		float64(c.Sched.Delivered())/float64(*n)/(c.Sched.Now()-start+1))
+
+	if *crash > 0 {
+		members := c.Members(topic)
+		k := int(*crash * float64(*n))
+		for i := 0; i < k; i++ {
+			c.Crash(members[i*len(members)/k])
+		}
+		fmt.Printf("crashed %d nodes; waiting for recovery…\n", k)
+		r, ok := c.RunUntilConverged(topic, *n-k, *rounds)
+		if !ok {
+			log.Fatalf("no recovery: %s", c.Explain(topic))
+		}
+		fmt.Printf("recovered to legitimate SR(%d) in %d rounds\n", *n-k, r)
+	}
+
+	if *pubs > 0 {
+		members := c.Members(topic)
+		for i := 0; i < *pubs; i++ {
+			c.Publish(members[i%len(members)], topic, fmt.Sprintf("pub-%d", i))
+		}
+		r, ok := c.Sched.RunRoundsUntil(*rounds, func() bool {
+			return c.AllHavePubs(topic, *pubs) && c.TriesEqual(topic)
+		})
+		if !ok {
+			log.Fatal("publications never converged")
+		}
+		fmt.Printf("%d publications disseminated to all %d subscribers in %d rounds\n",
+			*pubs, len(members), r)
+	}
+
+	// Print a compact state listing.
+	fmt.Println("\nfinal state:")
+	fmt.Print(statesSummary(c))
+}
+
+func statesSummary(c *cluster.Cluster) string {
+	out := ""
+	for _, id := range c.Members(topic) {
+		st, _ := c.Clients[id].StateOf(topic)
+		out += fmt.Sprintf("  node %-4d label %-8s left %-12s right %-12s ring %-12s shortcuts %d\n",
+			id, st.Label, st.Left, st.Right, st.Ring, len(st.Shortcuts))
+	}
+	return out
+}

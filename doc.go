@@ -1,0 +1,36 @@
+// Package sspubsub is a self-stabilizing supervised publish-subscribe
+// system: a Go implementation of Feldmann, Kolb, Scheideler and Strothmann,
+// "Self-Stabilizing Supervised Publish-Subscribe Systems" (IPDPS Workshops
+// 2018, arXiv:1710.08128).
+//
+// Subscribers of a topic organize themselves into a supervised skip ring —
+// a sorted ring over supervisor-assigned labels plus shortcuts that give
+// the overlay logarithmic diameter — with the help of a lightweight,
+// always-known supervisor that only stores the (label, subscriber)
+// database and answers subscribe/unsubscribe/configuration requests with a
+// constant number of messages. The protocol is self-stabilizing: from any
+// initial state (corrupted labels, corrupted supervisor database, garbage
+// in channels, partitioned components, crashed nodes) the overlay
+// converges to the unique legitimate topology and stays there.
+// Publications are stored in hashed Patricia tries and reconciled by a
+// Merkle-style anti-entropy protocol, so every subscriber of a topic
+// eventually holds every publication ever issued for it; a flooding layer
+// delivers fresh publications along ring and shortcut edges in O(log n)
+// hops.
+//
+// Two entry points are provided:
+//
+//   - System runs the protocol live, one goroutine per node, for
+//     applications: create clients, subscribe to topics, publish payloads
+//     and receive deliveries on channels.
+//   - Simulation runs the identical protocol code on a deterministic
+//     discrete-event scheduler, for research: inject corrupted states,
+//     crash nodes, measure convergence rounds and message counts
+//     reproducibly from a seed.
+//
+// The packages under internal/ hold the building blocks (label algebra,
+// the BuildSR subscriber and supervisor protocols, the Patricia trie, the
+// static topology oracle and the baseline overlays used by the
+// experiments); see DESIGN.md for the inventory and EXPERIMENTS.md for the
+// reproduction of every quantitative claim in the paper.
+package sspubsub

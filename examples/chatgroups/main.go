@@ -1,0 +1,117 @@
+// Chatgroups: a group-communication service built on topics (the paper
+// cites group communication as a key application of topic-based
+// publish-subscribe). Each room is a topic; members chat; a member who was
+// offline during part of the conversation reconstructs the complete,
+// identical history from the Patricia tries — and members of a room never
+// learn about other rooms.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"sspubsub"
+)
+
+func main() {
+	sys := sspubsub.NewSystem(sspubsub.Options{Interval: 5 * time.Millisecond, Seed: 3})
+	defer sys.Close()
+
+	// Two rooms with overlapping membership.
+	users := map[string]*sspubsub.Client{}
+	for _, u := range []string{"ann", "ben", "cyn", "dan", "eva"} {
+		users[u] = sys.MustClient(u)
+	}
+	rooms := map[string][]string{
+		"room-go":    {"ann", "ben", "cyn"},
+		"room-chess": {"cyn", "dan", "eva"},
+	}
+	for room, members := range rooms {
+		for _, u := range members {
+			users[u].Subscribe(room)
+		}
+		if !sys.WaitStable(room, len(members), 10*time.Second) {
+			log.Fatalf("%s did not stabilize", room)
+		}
+	}
+
+	say := func(u, room, msg string) {
+		if err := users[u].Publish(room, u+": "+msg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	say("ann", "room-go", "anyone tried the new iterator proposal?")
+	say("ben", "room-go", "yes — range over funcs feels natural")
+	say("dan", "room-chess", "Nf3 or d4?")
+	say("cyn", "room-go", "agreed")
+	say("eva", "room-chess", "d4, always")
+
+	// Wait until the room histories settle (flooding is O(log n) hops, so
+	// this is quick), then print each member's view.
+	deadline := time.Now().Add(10 * time.Second)
+	for room, members := range rooms {
+		want := countFor(room)
+		for {
+			done := true
+			for _, u := range members {
+				if len(users[u].History(room)) < want {
+					done = false
+				}
+			}
+			if done || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	for room, members := range rooms {
+		fmt.Printf("\n%s:\n", room)
+		var reference string
+		for _, u := range members {
+			hist := users[u].History(room)
+			lines := make([]string, len(hist))
+			for i, p := range hist {
+				lines[i] = p.Payload
+			}
+			view := strings.Join(lines, " | ")
+			if reference == "" {
+				reference = view
+				fmt.Printf("  history (%d messages): %s\n", len(hist), view)
+			} else if view != reference {
+				log.Fatalf("member %s sees a different history: %s", u, view)
+			}
+		}
+		fmt.Printf("  all %d members share an identical history\n", len(members))
+	}
+
+	// Late joiner: frank joins room-go after the conversation and gets the
+	// full transcript via anti-entropy.
+	frank := sys.MustClient("frank")
+	frank.Subscribe("room-go")
+	for time.Now().Before(deadline) {
+		if len(frank.History("room-go")) == countFor("room-go") {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := len(frank.History("room-go")); got != countFor("room-go") {
+		log.Fatalf("frank reconstructed %d/%d messages", got, countFor("room-go"))
+	}
+	fmt.Printf("\nfrank joined late and reconstructed all %d room-go messages\n", countFor("room-go"))
+
+	// Isolation: dan is not in room-go and must know nothing about it.
+	if len(users["dan"].History("room-go")) != 0 {
+		log.Fatal("room isolation violated")
+	}
+	fmt.Println("room isolation holds: non-members know nothing")
+}
+
+func countFor(room string) int {
+	if room == "room-go" {
+		return 3
+	}
+	return 2
+}

@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"sspubsub/internal/sim"
+)
+
+// Broker is the traditional client-server publish-subscribe architecture
+// of the paper's introduction: a single server stores the subscriber lists
+// and disseminates every publication itself. Its per-publication message
+// cost is Θ(subscribers) — the load the supervised approach removes from
+// the central component (the supervisor never touches publications).
+type Broker struct {
+	subs map[sim.Topic]map[sim.NodeID]bool
+}
+
+// Broker protocol messages.
+type (
+	// BSubscribe registers the sender for the envelope topic.
+	BSubscribe struct{}
+	// BUnsubscribe removes the sender's registration.
+	BUnsubscribe struct{}
+	// BPublish asks the broker to disseminate a payload.
+	BPublish struct{ Payload string }
+	// BDeliver carries a payload to a subscriber.
+	BDeliver struct{ Payload string }
+)
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{subs: make(map[sim.Topic]map[sim.NodeID]bool)}
+}
+
+// OnMessage implements sim.Handler.
+func (b *Broker) OnMessage(ctx sim.Context, m sim.Message) {
+	switch body := m.Body.(type) {
+	case BSubscribe:
+		set, ok := b.subs[m.Topic]
+		if !ok {
+			set = make(map[sim.NodeID]bool)
+			b.subs[m.Topic] = set
+		}
+		set[m.From] = true
+	case BUnsubscribe:
+		delete(b.subs[m.Topic], m.From)
+	case BPublish:
+		for id := range b.subs[m.Topic] {
+			if id != m.From {
+				ctx.Send(id, m.Topic, BDeliver{Payload: body.Payload})
+			}
+		}
+	}
+}
+
+// OnTimeout implements sim.Handler (the broker has no periodic action).
+func (b *Broker) OnTimeout(ctx sim.Context) {}
+
+// Subscribers returns the number of registrations for a topic.
+func (b *Broker) Subscribers(t sim.Topic) int { return len(b.subs[t]) }
+
+var _ sim.Handler = (*Broker)(nil)
+
+// BrokerClient is a minimal subscriber for the broker baseline: it counts
+// deliveries.
+type BrokerClient struct {
+	Received int
+}
+
+// OnMessage implements sim.Handler.
+func (c *BrokerClient) OnMessage(ctx sim.Context, m sim.Message) {
+	if _, ok := m.Body.(BDeliver); ok {
+		c.Received++
+	}
+}
+
+// OnTimeout implements sim.Handler.
+func (c *BrokerClient) OnTimeout(ctx sim.Context) {}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sspubsub/internal/core"
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/topology"
+)
+
+// CheckLegitimacy compares a supervisor database snapshot and the explicit
+// states of all live members against the unique legitimate SR(n) of
+// Definition 2. It returns "" when the state is legitimate, otherwise a
+// description of the first violation. It is the shared oracle behind the
+// deterministic Cluster and the live System.
+func CheckLegitimacy(db map[label.Label]sim.NodeID, states map[sim.NodeID]core.State) string {
+	if len(db) != len(states) {
+		return fmt.Sprintf("database has %d entries, %d live members", len(db), len(states))
+	}
+	n := len(db)
+	if n == 0 {
+		return ""
+	}
+	ring := topology.New(n)
+	nodeAt := make(map[label.Label]sim.NodeID, n)
+	for l, v := range db {
+		nodeAt[l] = v
+	}
+	for id, st := range states {
+		if st.Departed {
+			return fmt.Sprintf("member %d has departed", id)
+		}
+		lab := st.Label
+		if lab.IsBottom() {
+			return fmt.Sprintf("member %d has no label", id)
+		}
+		if nodeAt[lab] != id {
+			return fmt.Sprintf("member %d holds label %s not assigned to it", id, lab)
+		}
+		x := ring.IndexOf(lab)
+		if x < 0 {
+			return fmt.Sprintf("member %d holds out-of-range label %s", id, lab)
+		}
+		exp := ring.Expected(x)
+		if msg := matchSlot("left", st.Left, exp.Left, nodeAt); msg != "" {
+			return fmt.Sprintf("member %d (%s): %s", id, lab, msg)
+		}
+		if msg := matchSlot("right", st.Right, exp.Right, nodeAt); msg != "" {
+			return fmt.Sprintf("member %d (%s): %s", id, lab, msg)
+		}
+		if msg := matchSlot("ring", st.Ring, exp.Ring, nodeAt); msg != "" {
+			return fmt.Sprintf("member %d (%s): %s", id, lab, msg)
+		}
+		if len(st.Shortcuts) != len(exp.Shortcuts) {
+			return fmt.Sprintf("member %d (%s): %d shortcut slots, want %d (%v vs %v)",
+				id, lab, len(st.Shortcuts), len(exp.Shortcuts), st.Shortcuts, exp.Shortcuts)
+		}
+		for slot, ref := range st.Shortcuts {
+			want, ok := exp.Shortcuts[slot]
+			if !ok {
+				return fmt.Sprintf("member %d (%s): unexpected shortcut slot %s", id, lab, slot)
+			}
+			if ref == sim.None || ref != nodeAt[want] {
+				return fmt.Sprintf("member %d (%s): shortcut %s resolves to %d, want %d",
+					id, lab, slot, ref, nodeAt[want])
+			}
+		}
+	}
+	return ""
+}
+
+func matchSlot(name string, got proto.Tuple, wantLabel label.Label, nodeAt map[label.Label]sim.NodeID) string {
+	if wantLabel.IsBottom() {
+		if !got.IsBottom() {
+			return fmt.Sprintf("%s = %s, want ⊥", name, got)
+		}
+		return ""
+	}
+	want := nodeAt[wantLabel]
+	if got.Ref != want || got.L != wantLabel {
+		return fmt.Sprintf("%s = %s, want %s@%d", name, got, wantLabel, want)
+	}
+	return ""
+}

@@ -1,0 +1,328 @@
+// Package cluster assembles a complete supervised publish-subscribe system
+// on the deterministic scheduler: one supervisor plus any number of client
+// nodes. It provides the legitimacy predicate used by every convergence
+// experiment (comparing live protocol state against the unique legitimate
+// SR(n) computed by package topology), corruption injectors for arbitrary
+// initial states, and workload helpers.
+//
+// Tests, benchmarks and the experiment CLI all drive this harness.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"sspubsub/internal/core"
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/supervisor"
+)
+
+// SupervisorID is the well-known node ID of the supervisor.
+const SupervisorID sim.NodeID = 1
+
+// Options configure a cluster.
+type Options struct {
+	Seed       int64
+	ClientOpts core.Options
+	Sched      sim.SchedulerOptions // Seed is overridden by Options.Seed
+}
+
+// Cluster is a deterministic simulation of the full system.
+type Cluster struct {
+	Sched   *sim.Scheduler
+	Sup     *supervisor.Supervisor
+	Clients map[sim.NodeID]*core.Client
+	opts    Options
+	nextID  sim.NodeID
+}
+
+// New creates a cluster with a supervisor and no clients.
+func New(opts Options) *Cluster {
+	so := opts.Sched
+	so.Seed = opts.Seed
+	s := sim.NewScheduler(so)
+	sup := supervisor.New(SupervisorID, s)
+	s.AddNode(SupervisorID, sup)
+	return &Cluster{
+		Sched:   s,
+		Sup:     sup,
+		Clients: make(map[sim.NodeID]*core.Client),
+		opts:    opts,
+		nextID:  SupervisorID + 1,
+	}
+}
+
+// AddClient creates and registers one client node, returning its ID.
+func (c *Cluster) AddClient() sim.NodeID {
+	id := c.nextID
+	c.nextID++
+	cl := core.NewClient(id, SupervisorID, c.opts.ClientOpts)
+	c.Clients[id] = cl
+	c.Sched.AddNode(id, cl)
+	return id
+}
+
+// AddClients creates n clients and returns their IDs in creation order.
+func (c *Cluster) AddClients(n int) []sim.NodeID {
+	out := make([]sim.NodeID, n)
+	for i := range out {
+		out[i] = c.AddClient()
+	}
+	return out
+}
+
+// Join subscribes a client to a topic (via its control channel).
+func (c *Cluster) Join(id sim.NodeID, t sim.Topic) {
+	c.Sched.Send(sim.Message{To: id, From: id, Topic: t, Body: core.JoinTopic{}})
+}
+
+// JoinAll subscribes every client to the topic.
+func (c *Cluster) JoinAll(t sim.Topic) {
+	for id := range c.Clients {
+		c.Join(id, t)
+	}
+}
+
+// Leave starts the unsubscribe handshake for one client.
+func (c *Cluster) Leave(id sim.NodeID, t sim.Topic) {
+	c.Sched.Send(sim.Message{To: id, From: id, Topic: t, Body: core.LeaveTopic{}})
+}
+
+// Publish makes a client publish a payload on a topic.
+func (c *Cluster) Publish(id sim.NodeID, t sim.Topic, payload string) {
+	c.Sched.Send(sim.Message{To: id, From: id, Topic: t, Body: core.PublishCmd{Payload: payload}})
+}
+
+// Crash fails a client without warning.
+func (c *Cluster) Crash(id sim.NodeID) {
+	c.Sched.Crash(id)
+	delete(c.Clients, id)
+}
+
+// Members returns the clients currently holding a live instance for t.
+func (c *Cluster) Members(t sim.Topic) []sim.NodeID {
+	var out []sim.NodeID
+	for id, cl := range c.Clients {
+		if cl.Joined(t) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ---- legitimacy predicate ----
+
+// Converged reports whether topic t is in a legitimate state: the
+// supervisor's database is non-corrupted and records exactly the live
+// members, and every member's explicit state (label, left, right, ring,
+// shortcut slots with resolved owners) equals the unique legitimate SR(n).
+func (c *Cluster) Converged(t sim.Topic) bool { return c.explain(t, false) == "" }
+
+// Explain returns a human-readable description of the first legitimacy
+// violation, or "" when converged. Used by failing tests.
+func (c *Cluster) Explain(t sim.Topic) string { return c.explain(t, true) }
+
+func (c *Cluster) explain(t sim.Topic, verbose bool) string {
+	if c.Sup.Corrupted(t) {
+		return "supervisor database corrupted"
+	}
+	states := make(map[sim.NodeID]core.State)
+	for _, id := range c.Members(t) {
+		st, ok := c.Clients[id].StateOf(t)
+		if !ok {
+			return fmt.Sprintf("member %d has no instance", id)
+		}
+		states[id] = st
+	}
+	return CheckLegitimacy(c.Sup.Snapshot(t), states)
+}
+
+// ConvergedWith reports legitimacy with exactly n recorded members (guards
+// against the vacuous empty-state legitimacy before joins are processed).
+func (c *Cluster) ConvergedWith(t sim.Topic, n int) bool {
+	return c.Sup.N(t) == n && len(c.Members(t)) == n && c.Converged(t)
+}
+
+// RunUntilConverged advances rounds until the topic is legitimate with
+// exactly n members; it returns the rounds taken and whether convergence
+// was reached.
+func (c *Cluster) RunUntilConverged(t sim.Topic, n, maxRounds int) (int, bool) {
+	return c.Sched.RunRoundsUntil(maxRounds, func() bool { return c.ConvergedWith(t, n) })
+}
+
+// ---- publication predicates ----
+
+// TriesEqual reports whether all live members hold hash-identical tries.
+func (c *Cluster) TriesEqual(t sim.Topic) bool {
+	members := c.Members(t)
+	if len(members) == 0 {
+		return true
+	}
+	first := c.Clients[members[0]].TrieRootHash(t)
+	for _, id := range members[1:] {
+		if c.Clients[id].TrieRootHash(t) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// AllHavePubs reports whether every live member knows at least k
+// publications for t.
+func (c *Cluster) AllHavePubs(t sim.Topic, k int) bool {
+	for _, id := range c.Members(t) {
+		if len(c.Clients[id].Publications(t)) < k {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- corruption injectors (arbitrary initial states, Theorem 8) ----
+
+// CorruptSubscriberStates overwrites every member's explicit state with
+// pseudo-random garbage: random labels (possibly duplicated, possibly
+// malformed), neighbour pointers to random members (or self), and random
+// shortcut slots. The result is still a weakly connected graph because
+// every node keeps its read-only edge to the supervisor.
+func (c *Cluster) CorruptSubscriberStates(t sim.Topic) {
+	rng := c.Sched.Rand()
+	members := c.Members(t)
+	randTuple := func() proto.Tuple {
+		if rng.Intn(4) == 0 || len(members) == 0 {
+			return proto.Tuple{}
+		}
+		id := members[rng.Intn(len(members))]
+		return proto.Tuple{L: label.FromIndex(uint64(rng.Intn(4 * len(members)))), Ref: id}
+	}
+	for _, id := range members {
+		in, ok := c.Clients[id].Instance(t)
+		if !ok {
+			continue
+		}
+		var lab label.Label
+		switch rng.Intn(4) {
+		case 0:
+			lab = label.Bottom
+		case 1:
+			lab = label.FromIndex(uint64(rng.Intn(len(members))))
+		case 2:
+			lab = label.FromIndex(uint64(rng.Intn(8 * len(members))))
+		default:
+			lab = label.Label{Bits: rng.Uint64() & 3, Len: 2} // possibly malformed
+		}
+		sc := map[label.Label]sim.NodeID{}
+		for i := rng.Intn(3); i > 0; i-- {
+			tp := randTuple()
+			if !tp.IsBottom() {
+				sc[tp.L] = tp.Ref
+			}
+		}
+		in.Sub.ForceState(lab, randTuple(), randTuple(), randTuple(), sc)
+	}
+}
+
+// CorruptSupervisorDB injects all four database corruption cases of
+// Section 3.1: a ⊥ tuple, a duplicated subscriber, a deleted label and an
+// out-of-range label.
+func (c *Cluster) CorruptSupervisorDB(t sim.Topic) {
+	n := c.Sup.N(t)
+	if n == 0 {
+		return
+	}
+	rng := c.Sched.Rand()
+	snap := c.Sup.Snapshot(t)
+	var someNode sim.NodeID
+	for _, v := range snap {
+		someNode = v
+		break
+	}
+	c.Sup.InjectRaw(t, label.FromIndex(uint64(n+1+rng.Intn(8))), sim.None)  // (i) ⊥ subscriber
+	c.Sup.InjectRaw(t, label.FromIndex(uint64(n+10+rng.Intn(8))), someNode) // (ii)+(iv) duplicate, out of range
+	c.Sup.DeleteLabel(t, label.FromIndex(uint64(rng.Intn(n))))              // (iii) missing label
+}
+
+// InjectGarbageMessages places corrupted messages into random members'
+// channels at time ~0: stale tuples, wrong labels, nonexistent topics and
+// truncated publication traffic.
+func (c *Cluster) InjectGarbageMessages(t sim.Topic, count int) {
+	rng := c.Sched.Rand()
+	members := c.Members(t)
+	if len(members) == 0 {
+		return
+	}
+	pick := func() sim.NodeID { return members[rng.Intn(len(members))] }
+	for i := 0; i < count; i++ {
+		to := pick()
+		var body any
+		switch rng.Intn(6) {
+		case 0:
+			body = proto.Introduce{C: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}, Flag: proto.Flag(rng.Intn(2))}
+		case 1:
+			body = proto.Linearize{V: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
+		case 2:
+			body = proto.SetData{Pred: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()},
+				Label: label.FromIndex(rng.Uint64() % 64),
+				Succ:  proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
+		case 3:
+			body = proto.Check{Sender: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()},
+				YourLabel: label.FromIndex(rng.Uint64() % 64), Flag: proto.CYC}
+		case 4:
+			body = proto.IntroduceShortcut{T: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
+		default:
+			body = proto.CheckTrie{Sender: pick(), Nodes: []proto.NodeSummary{{Label: proto.Key{Bits: rng.Uint64(), Len: 7}}}}
+		}
+		c.Sched.InjectAt(rng.Float64()*0.5, sim.Message{To: to, From: pick(), Topic: t, Body: body})
+	}
+}
+
+// PartitionStates forces the members into k disjoint sorted chains with
+// self-consistent but unrecorded labels — the "connected component with
+// negligible probe probability" scenario of Section 3.2.1. The supervisor
+// database is wiped for the topic.
+func (c *Cluster) PartitionStates(t sim.Topic, k int) {
+	members := c.Members(t)
+	snap := c.Sup.Snapshot(t)
+	for l := range snap {
+		c.Sup.DeleteLabel(t, l)
+	}
+	if len(members) == 0 || k < 1 {
+		return
+	}
+	for part := 0; part < k; part++ {
+		var chain []sim.NodeID
+		for i, id := range members {
+			if i%k == part {
+				chain = append(chain, id)
+			}
+		}
+		for i, id := range chain {
+			in, _ := c.Clients[id].Instance(t)
+			// Self-consistent labels with long lengths → tiny probe
+			// probability via action (ii).
+			lab := label.FromIndex(uint64(1024 + part*4096 + i))
+			var left, right proto.Tuple
+			if i > 0 {
+				left = proto.Tuple{L: label.FromIndex(uint64(1024 + part*4096 + i - 1)), Ref: chain[i-1]}
+			}
+			if i < len(chain)-1 {
+				right = proto.Tuple{L: label.FromIndex(uint64(1024 + part*4096 + i + 1)), Ref: chain[i+1]}
+			}
+			in.Sub.ForceState(lab, left, right, proto.Tuple{}, nil)
+		}
+	}
+}
+
+// DumpStates renders every member's state (debugging aid).
+func (c *Cluster) DumpStates(t sim.Topic) string {
+	var sb strings.Builder
+	for _, id := range c.Members(t) {
+		st, _ := c.Clients[id].StateOf(t)
+		fmt.Fprintf(&sb, "node %d: label=%s left=%s right=%s ring=%s sc=%v\n",
+			id, st.Label, st.Left, st.Right, st.Ring, st.Shortcuts)
+	}
+	fmt.Fprintf(&sb, "db: %v\n", c.Sup.Snapshot(t))
+	return sb.String()
+}

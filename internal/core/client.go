@@ -1,0 +1,280 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/pubsub"
+	"sspubsub/internal/sim"
+)
+
+// Control messages a client sends to itself (through the ordinary message
+// channel, so application commands work identically under the deterministic
+// scheduler and the live runtime).
+
+// JoinTopic starts a BuildSR instance for the envelope's topic.
+type JoinTopic struct{}
+
+// LeaveTopic begins the unsubscribe handshake for the envelope's topic.
+type LeaveTopic struct{}
+
+// PublishCmd publishes a payload on the envelope's topic.
+type PublishCmd struct{ Payload string }
+
+// Options configure a client's per-topic instances.
+type Options struct {
+	// KeyLen is the publication key width m (default 64).
+	KeyLen uint8
+	// OnDeliver is invoked once per publication that becomes known for a
+	// topic the client subscribes to. It runs inside the protocol handler:
+	// it must not call back into the Client.
+	OnDeliver func(sim.Topic, proto.Publication)
+
+	// SupervisorFor, if non-nil, routes each topic to its responsible
+	// supervisor (the multi-supervisor extension of Section 1.3); the
+	// default supervisor is used otherwise.
+	SupervisorFor func(sim.Topic) sim.NodeID
+
+	// Ablation switches (see DESIGN.md).
+	DisableFlooding    bool
+	DisableAntiEntropy bool
+	DisableActionIV    bool
+	ProbeProb          func(k int) float64
+}
+
+// Client is the sim.Handler for one physical subscriber node: it routes
+// messages to per-topic Subscriber instances and their publication engines
+// (Section 4: "by assigning the topic number to each message that is sent
+// out, we can identify the appropriate protocol at the receiver").
+type Client struct {
+	mu   sync.Mutex
+	id   sim.NodeID
+	sup  sim.NodeID
+	opts Options
+	inst map[sim.Topic]*Instance
+}
+
+// Instance pairs one topic's overlay protocol with its publication engine.
+type Instance struct {
+	Sub *Subscriber
+	Eng *pubsub.Engine
+}
+
+// NewClient creates a client with no subscriptions.
+func NewClient(id, supervisor sim.NodeID, opts Options) *Client {
+	if opts.KeyLen == 0 {
+		opts.KeyLen = 64
+	}
+	return &Client{id: id, sup: supervisor, opts: opts, inst: make(map[sim.Topic]*Instance)}
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() sim.NodeID { return c.id }
+
+func (c *Client) ensure(t sim.Topic) *Instance {
+	if in, ok := c.inst[t]; ok {
+		return in
+	}
+	sup := c.sup
+	if c.opts.SupervisorFor != nil {
+		if alt := c.opts.SupervisorFor(t); alt != sim.None {
+			sup = alt
+		}
+	}
+	sub := NewSubscriber(c.id, sup, t)
+	sub.DisableActionIV = c.opts.DisableActionIV
+	sub.ProbeProb = c.opts.ProbeProb
+	cfg := pubsub.Config{
+		Self:               c.id,
+		Topic:              t,
+		KeyLen:             c.opts.KeyLen,
+		RingNeighbors:      sub.RingNeighbors,
+		FloodTargets:       sub.FloodTargets,
+		DisableFlooding:    c.opts.DisableFlooding,
+		DisableAntiEntropy: c.opts.DisableAntiEntropy,
+	}
+	if c.opts.OnDeliver != nil {
+		topic := t
+		cfg.OnDeliver = func(p proto.Publication) { c.opts.OnDeliver(topic, p) }
+	}
+	in := &Instance{Sub: sub, Eng: pubsub.NewEngine(cfg)}
+	c.inst[t] = in
+	return in
+}
+
+// OnTimeout drives every live instance's periodic actions.
+func (c *Client) OnTimeout(ctx sim.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	topics := make([]sim.Topic, 0, len(c.inst))
+	for t := range c.inst {
+		topics = append(topics, t)
+	}
+	sort.Slice(topics, func(i, j int) bool { return topics[i] < topics[j] })
+	for _, t := range topics {
+		in := c.inst[t]
+		in.Sub.OnTimeout(ctx)
+		if !in.Sub.Departed() {
+			in.Eng.OnTimeout(ctx)
+		}
+	}
+}
+
+// OnMessage routes a message to the right per-topic instance, handling the
+// client's own control commands first.
+func (c *Client) OnMessage(ctx sim.Context, m sim.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch b := m.Body.(type) {
+	case JoinTopic:
+		in := c.ensure(m.Topic)
+		if in.Sub.Departed() {
+			// Re-join after a completed unsubscribe: start a fresh instance
+			// (the departed one only existed to answer residual
+			// introductions with RemoveConnections).
+			delete(c.inst, m.Topic)
+			in = c.ensure(m.Topic)
+		}
+		if in.Sub.Label().IsBottom() {
+			ctx.Send(in.Sub.Supervisor(), m.Topic, proto.Subscribe{V: c.id})
+		}
+		return
+	case LeaveTopic:
+		if in, ok := c.inst[m.Topic]; ok {
+			in.Sub.Leave(ctx)
+		}
+		return
+	case PublishCmd:
+		if in, ok := c.inst[m.Topic]; ok && !in.Sub.Departed() {
+			in.Eng.Publish(ctx, b.Payload)
+		}
+		return
+	}
+	in, ok := c.inst[m.Topic]
+	if !ok {
+		// Topology traffic for a topic we never joined (corrupted initial
+		// channels): behave like a ⊥-labelled node and ask the sender to
+		// drop its edges to us. RemoveConnections never triggers replies,
+		// so this cannot loop.
+		switch m.Body.(type) {
+		case proto.Check, proto.Introduce, proto.Linearize, proto.IntroduceShortcut, proto.SetData:
+			if m.From != sim.None && m.From != c.id {
+				ctx.Send(m.From, m.Topic, proto.RemoveConnections{V: c.id})
+			}
+		}
+		return
+	}
+	if in.Eng.OnMessage(ctx, m) {
+		return
+	}
+	in.Sub.OnMessage(ctx, m)
+}
+
+// ---- thread-safe introspection ----
+
+// Topics returns the topics with an instance, sorted.
+func (c *Client) Topics() []sim.Topic {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]sim.Topic, 0, len(c.inst))
+	for t := range c.inst {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Joined reports whether the client has a live (non-departed) instance.
+func (c *Client) Joined(t sim.Topic) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	return ok && !in.Sub.Departed()
+}
+
+// Departed reports whether an unsubscribe completed for the topic.
+func (c *Client) Departed(t sim.Topic) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	return ok && in.Sub.Departed()
+}
+
+// State is a read-only snapshot of one instance's explicit protocol state.
+type State struct {
+	Label     label.Label
+	Left      proto.Tuple
+	Right     proto.Tuple
+	Ring      proto.Tuple
+	Shortcuts map[label.Label]sim.NodeID
+	Version   uint64
+	Departed  bool
+}
+
+// StateOf snapshots the instance for topic t; ok is false if none exists.
+func (c *Client) StateOf(t sim.Topic) (State, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	if !ok {
+		return State{}, false
+	}
+	return State{
+		Label:     in.Sub.Label(),
+		Left:      in.Sub.Left(),
+		Right:     in.Sub.Right(),
+		Ring:      in.Sub.Ring(),
+		Shortcuts: in.Sub.Shortcuts(),
+		Version:   in.Sub.Version(),
+		Departed:  in.Sub.Departed(),
+	}, true
+}
+
+// Publications returns the known publications for a topic, in key order.
+func (c *Client) Publications(t sim.Topic) []proto.Publication {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	if !ok {
+		return nil
+	}
+	return in.Eng.Publications()
+}
+
+// TrieRootHash returns the root hash of the topic's trie (zero for empty).
+func (c *Client) TrieRootHash(t sim.Topic) [16]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	if !ok {
+		return [16]byte{}
+	}
+	if root, ok := in.Eng.Trie().RootSummary(); ok {
+		return root.Hash
+	}
+	return [16]byte{}
+}
+
+// Degree returns the number of distinct known overlay neighbours.
+func (c *Client) Degree(t sim.Topic) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	if !ok {
+		return 0
+	}
+	return in.Sub.Degree()
+}
+
+// Instance exposes the raw per-topic instance for deterministic tests; it
+// must not be used concurrently with a live runtime.
+func (c *Client) Instance(t sim.Topic) (*Instance, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	return in, ok
+}
+
+var _ sim.Handler = (*Client)(nil)

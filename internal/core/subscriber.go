@@ -1,0 +1,844 @@
+// Package core implements the subscriber side of the BuildSR protocol —
+// the paper's primary contribution (Sections 2.2, 3.2 and 4.1 of Feldmann
+// et al.; Algorithms 1, 2 and 4).
+//
+// Each Subscriber is one per-topic protocol instance. It maintains
+//
+//   - its label (assigned by the supervisor, ⊥ until then),
+//   - its sorted-ring neighbourhood left/right/ring via the extended
+//     BuildRing protocol (linearization with label correction),
+//   - its shortcut set, derived locally from the ring neighbours' labels
+//     and populated bottom-up through IntroduceShortcut messages,
+//
+// and talks to the supervisor through the four label-acquisition actions
+// (i)–(iv) of Section 3.2.1.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+)
+
+// Subscriber is one per-topic BuildSR instance. It is driven through
+// OnTimeout and OnMessage by the owning node handler (Client).
+type Subscriber struct {
+	self       sim.NodeID
+	supervisor sim.NodeID
+	topic      sim.Topic
+
+	lab   label.Label
+	left  proto.Tuple
+	right proto.Tuple
+	ring  proto.Tuple
+	// shortcuts maps a shortcut slot label to the node reference believed to
+	// carry it; sim.None marks a derived slot whose owner is still unknown
+	// (the paper's (label, ⊥) entries).
+	shortcuts map[label.Label]sim.NodeID
+
+	// leaving is set after the client requested Unsubscribe and cleared once
+	// the supervisor grants permission (all-⊥ SetData).
+	leaving bool
+	// departed is set once permission arrived; the instance stays only to
+	// answer residual introductions with RemoveConnections (Lemma 6).
+	departed bool
+
+	// version counts every mutation of (label, left, right, ring,
+	// shortcuts); the closure experiment asserts it stays constant.
+	version uint64
+
+	// DisableActionIV switches off the locally-minimal probe (ablation).
+	DisableActionIV bool
+	// ProbeProb overrides the action (ii) probability schedule 1/(2^k·k²);
+	// nil selects the paper's schedule (ablation hook).
+	ProbeProb func(k int) float64
+}
+
+// NewSubscriber creates a fresh, label-less instance for one topic.
+func NewSubscriber(self, supervisor sim.NodeID, topic sim.Topic) *Subscriber {
+	return &Subscriber{
+		self:       self,
+		supervisor: supervisor,
+		topic:      topic,
+		shortcuts:  make(map[label.Label]sim.NodeID),
+	}
+}
+
+// ---- ordering ----
+
+// pos is the total order used by linearization: primarily the label's ring
+// position, with the node ID breaking ties so that duplicate labels (which
+// occur in corrupted initial states) still sort consistently.
+type pos struct {
+	frac uint64
+	id   sim.NodeID
+}
+
+func tuplePos(t proto.Tuple) pos { return pos{t.L.Frac(), t.Ref} }
+
+func (p pos) less(q pos) bool {
+	if p.frac != q.frac {
+		return p.frac < q.frac
+	}
+	return p.id < q.id
+}
+
+func (s *Subscriber) selfPos() pos { return pos{s.lab.Frac(), s.self} }
+
+func (s *Subscriber) selfTuple() proto.Tuple { return proto.Tuple{L: s.lab, Ref: s.self} }
+
+// ---- accessors ----
+
+// Label returns the current label (⊥ if none).
+func (s *Subscriber) Label() label.Label { return s.lab }
+
+// Left, Right, Ring return the stored neighbour tuples (⊥ tuples if unset).
+func (s *Subscriber) Left() proto.Tuple  { return s.left }
+func (s *Subscriber) Right() proto.Tuple { return s.right }
+func (s *Subscriber) Ring() proto.Tuple  { return s.ring }
+
+// Topic returns the topic this instance belongs to.
+func (s *Subscriber) Topic() sim.Topic { return s.topic }
+
+// Supervisor returns the supervisor this instance reports to.
+func (s *Subscriber) Supervisor() sim.NodeID { return s.supervisor }
+
+// Departed reports whether the supervisor granted an unsubscribe.
+func (s *Subscriber) Departed() bool { return s.departed }
+
+// Version returns the mutation counter over the instance's explicit state.
+func (s *Subscriber) Version() uint64 { return s.version }
+
+// Shortcuts returns a copy of the shortcut slots.
+func (s *Subscriber) Shortcuts() map[label.Label]sim.NodeID {
+	out := make(map[label.Label]sim.NodeID, len(s.shortcuts))
+	for l, v := range s.shortcuts {
+		out[l] = v
+	}
+	return out
+}
+
+// RingNeighbors returns the non-⊥ direct ring neighbours (left, right,
+// ring), the peers the publication protocol gossips with.
+func (s *Subscriber) RingNeighbors() []proto.Tuple {
+	var out []proto.Tuple
+	for _, t := range []proto.Tuple{s.left, s.right, s.ring} {
+		if !t.IsBottom() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FloodTargets returns every known neighbour reference (ring plus resolved
+// shortcuts), deduplicated — the edge set ER ∪ ES used by PublishNew
+// flooding (Section 4.3).
+func (s *Subscriber) FloodTargets() []sim.NodeID {
+	seen := map[sim.NodeID]bool{s.self: true}
+	var out []sim.NodeID
+	add := func(id sim.NodeID) {
+		if id != sim.None && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	add(s.left.Ref)
+	add(s.right.Ref)
+	add(s.ring.Ref)
+	// Deterministic order over the map.
+	slots := make([]label.Label, 0, len(s.shortcuts))
+	for l := range s.shortcuts {
+		slots = append(slots, l)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].Frac() < slots[j].Frac() })
+	for _, l := range slots {
+		add(s.shortcuts[l])
+	}
+	return out
+}
+
+// Degree returns the number of distinct known neighbours.
+func (s *Subscriber) Degree() int { return len(s.FloodTargets()) }
+
+// ---- state mutation helpers (all explicit-state changes counted) ----
+
+func (s *Subscriber) setLabel(l label.Label) {
+	if s.lab != l {
+		s.lab = l
+		s.version++
+	}
+}
+
+func (s *Subscriber) setSlot(slot *proto.Tuple, t proto.Tuple) {
+	if *slot != t {
+		*slot = t
+		s.version++
+	}
+}
+
+// ---- Timeout (Algorithm 4 lines 1–14, Algorithm 2, Algorithm 1) ----
+
+// OnTimeout runs the periodic subscriber action.
+func (s *Subscriber) OnTimeout(ctx sim.Context) {
+	if s.departed {
+		return
+	}
+	if s.leaving {
+		// Re-request until the supervisor grants permission (the initial
+		// Unsubscribe may have raced with database repair).
+		ctx.Send(s.supervisor, s.topic, proto.Unsubscribe{V: s.self})
+		return
+	}
+	if s.lab.IsBottom() {
+		// Action (i): ask the supervisor to integrate us.
+		ctx.Send(s.supervisor, s.topic, proto.Subscribe{V: s.self})
+		return
+	}
+
+	s.buildRingTimeout(ctx)
+	s.maintainShortcuts(ctx)
+	s.superviseProbe(ctx)
+}
+
+// buildRingTimeout is the extended BuildRing periodic action (Algorithm 2
+// calling Algorithm 1): re-side mis-sorted neighbours, introduce ourselves
+// to both list neighbours (with the labels we believe they have), and
+// maintain the cyclic closure edge.
+func (s *Subscriber) buildRingTimeout(ctx sim.Context) {
+	me := s.selfPos()
+
+	// Self-references are stale garbage from corrupted states.
+	if s.left.Ref == s.self {
+		s.setSlot(&s.left, proto.Tuple{})
+	}
+	if s.right.Ref == s.self {
+		s.setSlot(&s.right, proto.Tuple{})
+	}
+	if s.ring.Ref == s.self {
+		s.setSlot(&s.ring, proto.Tuple{})
+	}
+
+	// Algorithm 1: a neighbour stored on the wrong side is re-linearized.
+	if !s.left.IsBottom() && !tuplePos(s.left).less(me) {
+		c := s.left
+		s.setSlot(&s.left, proto.Tuple{})
+		s.linearize(ctx, c)
+	}
+	if !s.right.IsBottom() && !me.less(tuplePos(s.right)) {
+		c := s.right
+		s.setSlot(&s.right, proto.Tuple{})
+		s.linearize(ctx, c)
+	}
+
+	// Introduce ourselves to the list neighbours, telling each the label we
+	// think it has so it can correct us (Section 2.2 extension).
+	if !s.left.IsBottom() {
+		ctx.Send(s.left.Ref, s.topic, proto.Check{Sender: s.selfTuple(), YourLabel: s.left.L, Flag: proto.LIN})
+	}
+	if !s.right.IsBottom() {
+		ctx.Send(s.right.Ref, s.topic, proto.Check{Sender: s.selfTuple(), YourLabel: s.right.L, Flag: proto.LIN})
+	}
+
+	// Algorithm 2: cyclic closure maintenance.
+	if s.ring.IsBottom() {
+		// An extreme without a closure edge announces itself around the
+		// ring so the opposite extreme can adopt it.
+		if s.left.IsBottom() && !s.right.IsBottom() {
+			ctx.Send(s.right.Ref, s.topic, proto.Introduce{C: s.selfTuple(), Flag: proto.CYC})
+		} else if s.right.IsBottom() && !s.left.IsBottom() {
+			ctx.Send(s.left.Ref, s.topic, proto.Introduce{C: s.selfTuple(), Flag: proto.CYC})
+		}
+		return
+	}
+	rp := tuplePos(s.ring)
+	switch {
+	case s.left.IsBottom() && me.less(rp):
+		// We look like the minimum: the ring edge points to the maximum.
+		ctx.Send(s.ring.Ref, s.topic, proto.Check{Sender: s.selfTuple(), YourLabel: s.ring.L, Flag: proto.CYC})
+	case s.right.IsBottom() && rp.less(me):
+		// We look like the maximum: the ring edge points to the minimum.
+		ctx.Send(s.ring.Ref, s.topic, proto.Check{Sender: s.selfTuple(), YourLabel: s.ring.L, Flag: proto.CYC})
+	case !s.left.IsBottom() && me.less(rp):
+		// Not an extreme: pass the closure candidate toward the minimum.
+		c := s.ring
+		s.setSlot(&s.ring, proto.Tuple{})
+		ctx.Send(s.left.Ref, s.topic, proto.Introduce{C: c, Flag: proto.CYC})
+	case !s.right.IsBottom() && rp.less(me):
+		c := s.ring
+		s.setSlot(&s.ring, proto.Tuple{})
+		ctx.Send(s.right.Ref, s.topic, proto.Introduce{C: c, Flag: proto.CYC})
+	default:
+		// Isolated node holding only a ring edge: treat as list candidate.
+		c := s.ring
+		s.setSlot(&s.ring, proto.Tuple{})
+		s.linearize(ctx, c)
+	}
+}
+
+// circularNeighbors returns the effective left and right neighbours on the
+// circle: the list neighbours where present, with the closure edge standing
+// in for the missing side at the extremes ("we use v.left and v.right to
+// indicate v's neighbor in the ring even if stored in v.ring", Section 3.2).
+func (s *Subscriber) circularNeighbors() (left, right proto.Tuple) {
+	left, right = s.left, s.right
+	if !s.ring.IsBottom() {
+		me := s.selfPos()
+		if left.IsBottom() && me.less(tuplePos(s.ring)) {
+			left = s.ring // we are the minimum: circular left is the maximum
+		}
+		if right.IsBottom() && tuplePos(s.ring).less(me) {
+			right = s.ring // we are the maximum: circular right is the minimum
+		}
+	}
+	return left, right
+}
+
+// maintainShortcuts recomputes the desired shortcut slot set from the
+// current circular neighbours (Section 3.2.2) and performs the periodic
+// level-k introduction that builds rings bottom-up (Algorithm 4 lines
+// 12–14; Lemma 12).
+func (s *Subscriber) maintainShortcuts(ctx sim.Context) {
+	effLeft, effRight := s.circularNeighbors()
+	var leftL, rightL label.Label
+	if !effLeft.IsBottom() {
+		leftL = effLeft.L
+	}
+	if !effRight.IsBottom() {
+		rightL = effRight.L
+	}
+	want, levelLeft, levelRight := label.Shortcuts(s.lab, leftL, rightL)
+	desired := make(map[label.Label]bool, len(want))
+	for _, l := range want {
+		desired[l] = true
+	}
+	// Drop slots we should no longer have; their occupants are delegated
+	// back into the sorted list so the references are not lost.
+	for l, ref := range s.shortcuts {
+		if !desired[l] {
+			delete(s.shortcuts, l)
+			s.version++
+			if ref != sim.None && ref != s.self {
+				s.linearize(ctx, proto.Tuple{L: l, Ref: ref})
+			}
+		}
+	}
+	for l := range desired {
+		if _, ok := s.shortcuts[l]; !ok {
+			s.shortcuts[l] = sim.None
+			s.version++
+		}
+	}
+
+	// Level-k introduction: our two level-|label| neighbours are adjacent in
+	// R_{|label|−1}; introduce them to each other. When we are a
+	// deepest-level node the pair is simply (left, right) — levelLeft and
+	// levelRight equal the ring neighbour labels then.
+	lt := s.resolve(levelLeft)
+	rt := s.resolve(levelRight)
+	if lt.IsBottom() || rt.IsBottom() || lt.Ref == rt.Ref {
+		return
+	}
+	ctx.Send(lt.Ref, s.topic, proto.IntroduceShortcut{T: rt})
+	ctx.Send(rt.Ref, s.topic, proto.IntroduceShortcut{T: lt})
+}
+
+// resolve maps a derived shortcut label to the tuple we currently hold for
+// it: a direct ring neighbour (including the closure edge) when the label
+// matches one, otherwise the shortcut slot occupant.
+func (s *Subscriber) resolve(l label.Label) proto.Tuple {
+	if l.IsBottom() {
+		return proto.Tuple{}
+	}
+	for _, t := range []proto.Tuple{s.left, s.right, s.ring} {
+		if !t.IsBottom() && t.L == l {
+			return t
+		}
+	}
+	if ref, ok := s.shortcuts[l]; ok && ref != sim.None {
+		return proto.Tuple{L: l, Ref: ref}
+	}
+	return proto.Tuple{}
+}
+
+// superviseProbe implements actions (ii) and (iv) of Section 3.2.1
+// (Algorithm 4 lines 7–11).
+func (s *Subscriber) superviseProbe(ctx sim.Context) {
+	if !s.DisableActionIV && s.left.IsBottom() && s.lab != label.FromIndex(0) {
+		// Action (iv): we look locally minimal (no smaller neighbour known)
+		// yet do not hold the minimal label l(0) — in a legitimate state the
+		// locally minimal node is exactly the label-0 node, so this is a
+		// sure sign of an unrecorded component (isolated nodes, partitioned
+		// mini-rings). The label-0 node itself never triggers, which keeps
+		// Theorem 5's accounting intact.
+		if ctx.Rand().Float64() < 0.5 {
+			ctx.Send(s.supervisor, s.topic, proto.GetConfiguration{V: s.self})
+		}
+		return
+	}
+	// Action (ii): probe with probability 1/(2^k · k²), k = |label|.
+	k := int(s.lab.Len)
+	var p float64
+	if s.ProbeProb != nil {
+		p = s.ProbeProb(k)
+	} else {
+		p = 1.0 / (float64(uint64(1)<<uint(k)) * float64(k) * float64(k))
+	}
+	if ctx.Rand().Float64() < p {
+		ctx.Send(s.supervisor, s.topic, proto.GetConfiguration{V: s.self})
+	}
+}
+
+// Leave starts an unsubscribe (Section 4.1). The instance keeps running
+// until the supervisor grants permission.
+func (s *Subscriber) Leave(ctx sim.Context) {
+	s.leaving = true
+	ctx.Send(s.supervisor, s.topic, proto.Unsubscribe{V: s.self})
+}
+
+// ---- message handling ----
+
+// OnMessage dispatches one protocol message to this instance.
+func (s *Subscriber) OnMessage(ctx sim.Context, m sim.Message) {
+	switch b := m.Body.(type) {
+	case proto.SetData:
+		s.onSetData(ctx, b)
+	case proto.Check:
+		s.onCheck(ctx, b)
+	case proto.Introduce:
+		s.handleIntroduce(ctx, b.C, b.Flag)
+	case proto.Linearize:
+		s.onLinearizeMsg(ctx, b.V)
+	case proto.RemoveConnections:
+		s.removeConnections(b.V)
+	case proto.IntroduceShortcut:
+		s.onIntroduceShortcut(ctx, b.T)
+	}
+}
+
+// onSetData processes a configuration from the supervisor (Algorithm 4
+// SetData), including action (iii) of Section 3.2.1.
+func (s *Subscriber) onSetData(ctx sim.Context, d proto.SetData) {
+	if s.leaving {
+		if d.Label.IsBottom() {
+			// Permission granted: drop the label and ask every neighbour to
+			// delete its edges to us (Lemma 6).
+			s.grantDeparture(ctx)
+		}
+		// Otherwise our Unsubscribe raced; OnTimeout re-sends it.
+		return
+	}
+	if d.Label.IsBottom() {
+		// Not recorded: clear the label; action (i) on the next timeout
+		// re-subscribes us. Stored neighbour references are kept — they are
+		// re-linearized once the new label arrives.
+		s.setLabel(label.Bottom)
+		return
+	}
+
+	// Action (iii): if a stored direct ring neighbour is circularly closer
+	// than the one the database proposes, that neighbour is unknown to the
+	// supervisor — request its configuration on its behalf.
+	s.requestCloserNeighbors(ctx, d)
+
+	s.setLabel(d.Label)
+	me := s.selfPos()
+
+	// Overwrite the slots with the authoritative configuration ("Update
+	// u.left, u.right, u.ring w.r.t. pred, succ and label", Algorithm 4).
+	// Displaced occupants are NOT re-circulated: a displaced live node is
+	// re-served by the round-robin refresh (and action (iii) above already
+	// requested configurations for the closer ones), while a displaced
+	// reference to a crashed node must die here — re-linearizing it would
+	// let it win placement contests forever. A pred on the "wrong" side
+	// means we are the minimum and pred is the cyclic closure edge
+	// (likewise succ/maximum).
+	var newLeft, newRight, newRing proto.Tuple
+	if !d.Pred.IsBottom() && d.Pred.Ref != s.self {
+		if tuplePos(d.Pred).less(me) {
+			newLeft = d.Pred
+		} else {
+			newRing = d.Pred
+		}
+	}
+	if !d.Succ.IsBottom() && d.Succ.Ref != s.self {
+		if me.less(tuplePos(d.Succ)) {
+			newRight = d.Succ
+		} else {
+			newRing = d.Succ // n = 2: pred = succ; keep one closure edge
+		}
+	}
+	s.setSlot(&s.left, newLeft)
+	s.setSlot(&s.right, newRight)
+	s.setSlot(&s.ring, newRing)
+}
+
+// requestCloserNeighbors implements action (iii): compare the stored
+// direct ring neighbours against the configuration and ask the supervisor
+// to refresh any stored neighbour that is circularly closer than the
+// database's proposal.
+func (s *Subscriber) requestCloserNeighbors(ctx sim.Context, d proto.SetData) {
+	lab := d.Label
+	closer := func(stored proto.Tuple, proposed proto.Tuple) bool {
+		if stored.IsBottom() || stored.Ref == s.self {
+			return false
+		}
+		if proposed.IsBottom() {
+			return true
+		}
+		if stored.Ref == proposed.Ref {
+			return false
+		}
+		return label.CircularDistance(stored.L, lab) <= label.CircularDistance(proposed.L, lab)
+	}
+	if closer(s.left, d.Pred) {
+		ctx.Send(s.supervisor, s.topic, proto.GetConfiguration{V: s.left.Ref})
+	}
+	if closer(s.right, d.Succ) {
+		ctx.Send(s.supervisor, s.topic, proto.GetConfiguration{V: s.right.Ref})
+	}
+	if !s.ring.IsBottom() && s.ring.Ref != s.self {
+		// The ring edge corresponds to whichever side of the configuration
+		// wraps around: pred for the minimum, succ for the maximum.
+		var against proto.Tuple
+		if tuplePos(s.ring).less(pos{lab.Frac(), s.self}) {
+			against = d.Succ
+		} else {
+			against = d.Pred
+		}
+		if closer(s.ring, against) {
+			ctx.Send(s.supervisor, s.topic, proto.GetConfiguration{V: s.ring.Ref})
+		}
+	}
+}
+
+// grantDeparture finalizes an unsubscribe: label ⊥, all edges dropped, and
+// RemoveConnections sent to every known neighbour.
+func (s *Subscriber) grantDeparture(ctx sim.Context) {
+	for _, id := range s.FloodTargets() {
+		ctx.Send(id, s.topic, proto.RemoveConnections{V: s.self})
+	}
+	s.setLabel(label.Bottom)
+	s.setSlot(&s.left, proto.Tuple{})
+	s.setSlot(&s.right, proto.Tuple{})
+	s.setSlot(&s.ring, proto.Tuple{})
+	if len(s.shortcuts) > 0 {
+		s.shortcuts = make(map[label.Label]sim.NodeID)
+		s.version++
+	}
+	s.departed = true
+	s.leaving = false
+}
+
+// onCheck answers the periodic self-introduction: correct the sender's
+// stale view of our label, or accept the introduction (Algorithm 1 Check).
+func (s *Subscriber) onCheck(ctx sim.Context, c proto.Check) {
+	if s.lab.IsBottom() {
+		ctx.Send(c.Sender.Ref, s.topic, proto.RemoveConnections{V: s.self})
+		return
+	}
+	if c.YourLabel != s.lab {
+		ctx.Send(c.Sender.Ref, s.topic, proto.Introduce{C: s.selfTuple(), Flag: c.Flag})
+		return
+	}
+	s.handleIntroduce(ctx, c.Sender, c.Flag)
+}
+
+func (s *Subscriber) onLinearizeMsg(ctx sim.Context, v proto.Tuple) {
+	if s.lab.IsBottom() {
+		if v.Ref != s.self && v.Ref != sim.None {
+			ctx.Send(v.Ref, s.topic, proto.RemoveConnections{V: s.self})
+		}
+		return
+	}
+	s.correctStoredLabel(v)
+	s.linearize(ctx, v)
+}
+
+// handleIntroduce processes an Introduce (Algorithm 2): ⊥-labelled nodes
+// refuse with RemoveConnections; otherwise the candidate's label corrects
+// stale stored tuples, and it is processed as cycle-closure (CYC) or list
+// (LIN) traffic.
+func (s *Subscriber) handleIntroduce(ctx sim.Context, c proto.Tuple, flag proto.Flag) {
+	if s.lab.IsBottom() {
+		if c.Ref != s.self && c.Ref != sim.None {
+			ctx.Send(c.Ref, s.topic, proto.RemoveConnections{V: s.self})
+		}
+		return
+	}
+	if c.Ref == s.self || c.Ref == sim.None || c.L.IsBottom() {
+		return
+	}
+	s.correctStoredLabel(c)
+	if flag == proto.CYC {
+		s.handleCYC(ctx, c)
+		return
+	}
+	s.linearize(ctx, c)
+}
+
+// correctStoredLabel updates stored tuples whose reference matches c but
+// whose label is stale (Algorithm 1 lines 16–22 and Algorithm 2 lines
+// 18–23): if the tuple stays on the same side it is relabelled in place,
+// otherwise the slot is cleared (the candidate is then re-placed by the
+// caller's linearization).
+func (s *Subscriber) correctStoredLabel(c proto.Tuple) {
+	me := s.selfPos()
+	fix := func(slot *proto.Tuple, wantLess bool) {
+		if slot.IsBottom() || slot.Ref != c.Ref || slot.L == c.L {
+			return
+		}
+		if tuplePos(c).less(me) == wantLess && tuplePos(c) != me {
+			s.setSlot(slot, c)
+		} else {
+			s.setSlot(slot, proto.Tuple{})
+		}
+	}
+	fix(&s.left, true)
+	fix(&s.right, false)
+	if !s.ring.IsBottom() && s.ring.Ref == c.Ref && s.ring.L != c.L {
+		// The closure edge keeps pointing at the opposite extreme only if
+		// the corrected label stays on the same side.
+		sameSide := tuplePos(c).less(me) == tuplePos(s.ring).less(me)
+		if sameSide {
+			s.setSlot(&s.ring, c)
+		} else {
+			s.setSlot(&s.ring, proto.Tuple{})
+		}
+	}
+	// Shortcut slots are keyed by label: a slot holding c's reference under
+	// a different label is stale (c has exactly one label). Clear it — the
+	// level-pair introductions refill it with a verified owner. Without
+	// this, stale (label, ref) pairs survive in shortcut slots and keep
+	// re-infecting neighbours through IntroduceShortcut.
+	for slot, ref := range s.shortcuts {
+		if ref == c.Ref && slot != c.L {
+			s.shortcuts[slot] = sim.None
+			s.version++
+		}
+	}
+}
+
+// handleCYC routes or adopts a cyclic-closure candidate (Algorithm 2
+// Introduce with flag CYC).
+func (s *Subscriber) handleCYC(ctx sim.Context, c proto.Tuple) {
+	me := s.selfPos()
+	cp := tuplePos(c)
+	if cp == me {
+		return
+	}
+	if s.ring.IsBottom() {
+		if cp.less(me) {
+			if s.right.IsBottom() {
+				s.setSlot(&s.ring, c) // we are the maximum: adopt the minimum
+			} else {
+				ctx.Send(s.right.Ref, s.topic, proto.Introduce{C: c, Flag: proto.CYC})
+			}
+		} else {
+			if s.left.IsBottom() {
+				s.setSlot(&s.ring, c) // we are the minimum: adopt the maximum
+			} else {
+				ctx.Send(s.left.Ref, s.topic, proto.Introduce{C: c, Flag: proto.CYC})
+			}
+		}
+		return
+	}
+	rp := tuplePos(s.ring)
+	if cp.less(me) == rp.less(me) {
+		// Same side: keep the farther node as the closure edge, linearize
+		// the closer one (Algorithm 2 lines 30–34).
+		if c.Ref == s.ring.Ref {
+			return
+		}
+		var far, near proto.Tuple
+		if distance(me, cp) > distance(me, rp) {
+			far, near = c, s.ring
+		} else {
+			far, near = s.ring, c
+		}
+		s.setSlot(&s.ring, far)
+		s.linearize(ctx, near)
+		return
+	}
+	// Opposite sides: we cannot be the extreme both ways; re-linearize both
+	// (Algorithm 2 lines 35–38).
+	old := s.ring
+	s.setSlot(&s.ring, proto.Tuple{})
+	s.linearize(ctx, old)
+	s.linearize(ctx, c)
+}
+
+// distance is the linear distance between two positions, used only to pick
+// the farther of two same-side closure candidates.
+func distance(a, b pos) uint64 {
+	if a.frac > b.frac {
+		return a.frac - b.frac
+	}
+	return b.frac - a.frac
+}
+
+// linearize places candidate c in the sorted list (the BuildList protocol,
+// Algorithm 1 Linearize): adopt it if it is closer than the current
+// neighbour on its side, delegating the displaced node toward c; otherwise
+// delegate c toward its position.
+func (s *Subscriber) linearize(ctx sim.Context, c proto.Tuple) {
+	if c.Ref == s.self || c.Ref == sim.None || c.L.IsBottom() {
+		return
+	}
+	s.correctStoredLabel(c)
+	me := s.selfPos()
+	cp := tuplePos(c)
+	if cp.frac == me.frac {
+		// A node claiming our own label: a duplicate that only the
+		// supervisor can resolve (or a stale reference to a node that used
+		// to hold it). Never adopt; refer it to the supervisor.
+		if c.Ref != s.self {
+			ctx.Send(s.supervisor, s.topic, proto.GetConfiguration{V: c.Ref})
+		}
+		return
+	}
+	switch {
+	case cp == me:
+		return
+	case cp.less(me):
+		switch {
+		case s.left.IsBottom():
+			s.setSlot(&s.left, c)
+		case c == s.left:
+			return
+		case c.Ref != s.left.Ref && cp.frac == s.left.L.Frac():
+			// A candidate at the occupant's exact position is a duplicate
+			// label — possibly a stale reference to a crashed node. Swapping
+			// on an ID tie-break would let dead references displace live
+			// ones forever; keep the occupant (our own SetData refresh is
+			// authoritative for this slot) and refer the claimant to the
+			// supervisor, where a live duplicate is corrected and a dead one
+			// evaporates.
+			ctx.Send(s.supervisor, s.topic, proto.GetConfiguration{V: c.Ref})
+		case tuplePos(s.left).less(cp):
+			// c lies strictly between left and us: adopt, delegate old left.
+			old := s.left
+			s.setSlot(&s.left, c)
+			ctx.Send(c.Ref, s.topic, proto.Linearize{V: old})
+		case c.Ref == s.left.Ref:
+			return // same node, label already corrected
+		default:
+			ctx.Send(s.left.Ref, s.topic, proto.Linearize{V: c})
+		}
+	default:
+		switch {
+		case s.right.IsBottom():
+			s.setSlot(&s.right, c)
+		case c == s.right:
+			return
+		case c.Ref != s.right.Ref && cp.frac == s.right.L.Frac():
+			ctx.Send(s.supervisor, s.topic, proto.GetConfiguration{V: c.Ref})
+		case cp.less(tuplePos(s.right)):
+			old := s.right
+			s.setSlot(&s.right, c)
+			ctx.Send(c.Ref, s.topic, proto.Linearize{V: old})
+		case c.Ref == s.right.Ref:
+			return
+		default:
+			ctx.Send(s.right.Ref, s.topic, proto.Linearize{V: c})
+		}
+	}
+}
+
+// removeConnections deletes every edge to v (sent by departing or
+// ⊥-labelled nodes, Lemma 6).
+func (s *Subscriber) removeConnections(v sim.NodeID) {
+	if v == sim.None {
+		return
+	}
+	if s.left.Ref == v {
+		s.setSlot(&s.left, proto.Tuple{})
+	}
+	if s.right.Ref == v {
+		s.setSlot(&s.right, proto.Tuple{})
+	}
+	if s.ring.Ref == v {
+		s.setSlot(&s.ring, proto.Tuple{})
+	}
+	for l, ref := range s.shortcuts {
+		if ref == v {
+			s.shortcuts[l] = sim.None
+			s.version++
+		}
+	}
+}
+
+// onIntroduceShortcut adopts a shortcut introduction (Algorithm 4
+// IntroduceShortcut): if we maintain a slot for T's label, occupy it and
+// re-linearize any displaced occupant; otherwise treat T as a list
+// candidate.
+func (s *Subscriber) onIntroduceShortcut(ctx sim.Context, t proto.Tuple) {
+	if s.lab.IsBottom() {
+		if t.Ref != s.self && t.Ref != sim.None {
+			ctx.Send(t.Ref, s.topic, proto.RemoveConnections{V: s.self})
+		}
+		return
+	}
+	if t.Ref == s.self || t.Ref == sim.None || t.L.IsBottom() {
+		return
+	}
+	if old, ok := s.shortcuts[t.L]; ok {
+		if old != t.Ref {
+			s.shortcuts[t.L] = t.Ref
+			s.version++
+			if old != sim.None && old != s.self {
+				s.linearize(ctx, proto.Tuple{L: t.L, Ref: old})
+			}
+			// Verify the adoption: if T's real label differs, it replies
+			// with an Introduce carrying the truth, and correctStoredLabel
+			// clears this slot again. Adoptions only happen when the slot
+			// changes, so a legitimate state stays silent.
+			ctx.Send(t.Ref, s.topic, proto.Check{Sender: s.selfTuple(), YourLabel: t.L, Flag: proto.LIN})
+		}
+		return
+	}
+	s.linearize(ctx, t)
+}
+
+// ApplyToken installs the positional configuration carried by a
+// deterministic token pass (the token-passing supervisor variant of the
+// paper's conclusion): the label derived from the receiver's ring position
+// and the predecessor tuple. Right/ring slots are left to linearization
+// and the cycle-closure introductions; a matching state mutates nothing,
+// so steady-state passes preserve closure.
+func (s *Subscriber) ApplyToken(lab label.Label, pred proto.Tuple) {
+	if s.departed || s.leaving || lab.IsBottom() {
+		return
+	}
+	s.setLabel(lab)
+	if pred.IsBottom() {
+		// Position 0: the minimum has no list predecessor.
+		s.setSlot(&s.left, proto.Tuple{})
+		return
+	}
+	if pred.Ref != s.self && tuplePos(pred).less(s.selfPos()) {
+		s.setSlot(&s.left, pred)
+	}
+}
+
+// DebugString renders the instance state compactly.
+func (s *Subscriber) DebugString() string {
+	return fmt.Sprintf("sub %d t%d label=%s left=%s right=%s ring=%s |sc|=%d",
+		s.self, s.topic, s.lab, s.left, s.right, s.ring, len(s.shortcuts))
+}
+
+// ---- test hooks: corrupted initial states ----
+
+// ForceState overwrites the instance's explicit state (arbitrary initial
+// states of the self-stabilization experiments).
+func (s *Subscriber) ForceState(lab label.Label, left, right, ring proto.Tuple, shortcuts map[label.Label]sim.NodeID) {
+	s.lab = lab
+	s.left, s.right, s.ring = left, right, ring
+	s.shortcuts = make(map[label.Label]sim.NodeID)
+	for l, v := range shortcuts {
+		s.shortcuts[l] = v
+	}
+	s.version++
+}

@@ -1,0 +1,175 @@
+// Package hashdht implements the scalability extension sketched in
+// Section 1.3 of the paper: "better scalability can be achieved … by having
+// different supervisors for each topic. For the latter scenario, one could
+// make use of a … distributed hash table (with consistent hashing) for all
+// supervisors, in which a sub-interval of [0,1) is assigned to each
+// supervisor. By hashing IDs of topics in the same manner, each supervisor
+// is then only responsible for the topics in its sub-interval."
+//
+// Ring holds the supervisor set under consistent hashing with virtual
+// points; Directory routes topic names to their responsible supervisor and
+// rebalances when supervisors join or leave. The self-stabilizing DHT the
+// paper defers to the literature ([11]) is out of scope; this is the static
+// consistent-hashing layer the sketch requires.
+package hashdht
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sspubsub/internal/sim"
+)
+
+// hashPoint maps a string to a point in [0, 2^64) ≅ [0, 1).
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Ring is a consistent-hashing ring of supervisors. The zero value is
+// unusable; use NewRing. All methods are safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []point // sorted by position
+	members  map[sim.NodeID]bool
+}
+
+type point struct {
+	pos uint64
+	id  sim.NodeID
+}
+
+// NewRing creates a ring with the given number of virtual points per
+// supervisor (more points → smoother intervals; 64 is a good default).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &Ring{replicas: replicas, members: make(map[sim.NodeID]bool)}
+}
+
+// Add inserts a supervisor. Adding an existing member is a no-op.
+func (r *Ring) Add(id sim.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[id] {
+		return
+	}
+	r.members[id] = true
+	for v := 0; v < r.replicas; v++ {
+		r.points = append(r.points, point{hashPoint(fmt.Sprintf("sup-%d-%d", id, v)), id})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+}
+
+// Remove deletes a supervisor (e.g. decommissioned); topics it owned move
+// to the circular successors of its points.
+func (r *Ring) Remove(id sim.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[id] {
+		return
+	}
+	delete(r.members, id)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.id != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the supervisor set, sorted.
+func (r *Ring) Members() []sim.NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]sim.NodeID, 0, len(r.members))
+	for id := range r.members {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Owner returns the supervisor responsible for a topic name: the circular
+// successor of the topic's hash point. ok is false for an empty ring.
+func (r *Ring) Owner(topic string) (sim.NodeID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return sim.None, false
+	}
+	h := hashPoint("topic-" + topic)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	return r.points[i%len(r.points)].id, true
+}
+
+// Spread reports how many of the given topics each supervisor owns — the
+// balance measurement for the extension experiment.
+func (r *Ring) Spread(topics []string) map[sim.NodeID]int {
+	out := make(map[sim.NodeID]int)
+	for _, t := range topics {
+		if id, ok := r.Owner(t); ok {
+			out[id]++
+		}
+	}
+	return out
+}
+
+// Directory maps topic names to supervisors and tracks reassignments as
+// the supervisor set changes (topics whose owner changed must be re-joined
+// by their subscribers — the price of elasticity).
+type Directory struct {
+	mu    sync.Mutex
+	ring  *Ring
+	known map[string]sim.NodeID
+}
+
+// NewDirectory creates a directory over a ring.
+func NewDirectory(ring *Ring) *Directory {
+	return &Directory{ring: ring, known: make(map[string]sim.NodeID)}
+}
+
+// Lookup resolves (and caches) the owner for a topic.
+func (d *Directory) Lookup(topic string) (sim.NodeID, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, ok := d.ring.Owner(topic)
+	if ok {
+		d.known[topic] = id
+	}
+	return id, ok
+}
+
+// Rebalance recomputes every cached topic's owner and returns the topics
+// whose responsible supervisor changed since the last lookup.
+func (d *Directory) Rebalance() map[string]sim.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	moved := make(map[string]sim.NodeID)
+	for t, old := range d.known {
+		now, ok := d.ring.Owner(t)
+		if ok && now != old {
+			moved[t] = now
+			d.known[t] = now
+		}
+	}
+	return moved
+}
+
+// Topics returns the cached topic set, sorted.
+func (d *Directory) Topics() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.known))
+	for t := range d.known {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

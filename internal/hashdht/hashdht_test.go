@@ -1,0 +1,153 @@
+package hashdht
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"sspubsub/internal/sim"
+)
+
+func topics(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("topic-%04d", i)
+	}
+	return out
+}
+
+func TestOwnerDeterministic(t *testing.T) {
+	r := NewRing(64)
+	r.Add(1)
+	r.Add(2)
+	r.Add(3)
+	for _, tp := range topics(50) {
+		a, ok1 := r.Owner(tp)
+		b, ok2 := r.Owner(tp)
+		if !ok1 || !ok2 || a != b {
+			t.Fatalf("owner not deterministic for %s: %d vs %d", tp, a, b)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("x"); ok {
+		t.Error("empty ring must own nothing")
+	}
+	r.Add(5)
+	if id, ok := r.Owner("x"); !ok || id != 5 {
+		t.Error("single supervisor must own everything")
+	}
+}
+
+func TestAddIdempotentRemoveUnknown(t *testing.T) {
+	r := NewRing(8)
+	r.Add(1)
+	r.Add(1)
+	if got := len(r.Members()); got != 1 {
+		t.Errorf("members = %d", got)
+	}
+	r.Remove(99) // no-op
+	r.Remove(1)
+	if got := len(r.Members()); got != 0 {
+		t.Errorf("members after remove = %d", got)
+	}
+}
+
+// Load balance: with enough virtual points, topic ownership spreads within
+// a small factor of uniform.
+func TestSpreadBalanced(t *testing.T) {
+	r := NewRing(128)
+	for i := sim.NodeID(1); i <= 8; i++ {
+		r.Add(i)
+	}
+	spread := r.Spread(topics(4000))
+	want := 4000 / 8
+	for id, c := range spread {
+		if c < want/2 || c > want*2 {
+			t.Errorf("supervisor %d owns %d topics, want ≈ %d", id, c, want)
+		}
+	}
+}
+
+// Consistency: removing one supervisor only moves the topics it owned.
+func TestRemovalMovesOnlyOwnedTopics(t *testing.T) {
+	r := NewRing(64)
+	for i := sim.NodeID(1); i <= 5; i++ {
+		r.Add(i)
+	}
+	tps := topics(1000)
+	before := map[string]sim.NodeID{}
+	for _, tp := range tps {
+		before[tp], _ = r.Owner(tp)
+	}
+	r.Remove(3)
+	for _, tp := range tps {
+		now, _ := r.Owner(tp)
+		if before[tp] == 3 {
+			if now == 3 {
+				t.Fatalf("topic %s still owned by removed supervisor", tp)
+			}
+		} else if now != before[tp] {
+			t.Errorf("topic %s moved from %d to %d although its owner stayed", tp, before[tp], now)
+		}
+	}
+}
+
+// Property: ownership is always a live member.
+func TestPropertyOwnerIsMember(t *testing.T) {
+	f := func(ids []uint8, topic string) bool {
+		r := NewRing(16)
+		live := map[sim.NodeID]bool{}
+		for _, raw := range ids {
+			id := sim.NodeID(raw%16 + 1)
+			if live[id] {
+				r.Remove(id)
+				delete(live, id)
+			} else {
+				r.Add(id)
+				live[id] = true
+			}
+		}
+		owner, ok := r.Owner(topic)
+		if len(live) == 0 {
+			return !ok
+		}
+		return ok && live[owner]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryRebalance(t *testing.T) {
+	r := NewRing(64)
+	r.Add(1)
+	r.Add(2)
+	d := NewDirectory(r)
+	tps := topics(300)
+	for _, tp := range tps {
+		if _, ok := d.Lookup(tp); !ok {
+			t.Fatal("lookup failed")
+		}
+	}
+	if len(d.Topics()) != 300 {
+		t.Fatalf("directory caches %d topics", len(d.Topics()))
+	}
+	// No change → no moves.
+	if moved := d.Rebalance(); len(moved) != 0 {
+		t.Fatalf("spurious rebalance: %d topics moved", len(moved))
+	}
+	// New supervisor takes over roughly a third of the topics.
+	r.Add(3)
+	moved := d.Rebalance()
+	if len(moved) == 0 || len(moved) > 250 {
+		t.Fatalf("rebalance moved %d topics, want ≈ 100", len(moved))
+	}
+	for tp, id := range moved {
+		if id != 3 {
+			t.Errorf("topic %s moved to %d, but only supervisor 3 is new", tp, id)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package label
+
+// Positional label arithmetic for the token-passing supervisor variant
+// (the deterministic future-work scheme of the paper's conclusion, where
+// the supervisor stores only n and labels are derived from ring positions).
+//
+// The n labels l(0 … n−1) occupy a fixed sorted order on [0,1). With
+// m = ⌈log₂ n⌉ and half = 2^{m−1}, the population is: all 2^{m−1} labels
+// of length ≤ m−1 (a full power-of-two ring at fracs j/half) plus the
+// first k = n − half labels of length m, which sit at fracs
+// j/half + 1/2^m for j = 0 … k−1 — i.e. the new labels fill the leftmost
+// gaps in generation order. The sorted sequence is therefore: pairs
+// (old_j, new_j) for j < k, then the remaining old labels.
+
+import "math/bits"
+
+// ceilLog2 returns ⌈log₂ n⌉ for n ≥ 1.
+func ceilLog2(n uint64) uint {
+	if n <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(n - 1))
+}
+
+// NthInOrder returns the i-th label (0-based) in the r-ordering of the
+// label population {l(0) … l(n−1)}. It panics if i ≥ n or n == 0.
+func NthInOrder(n, i uint64) Label {
+	if n == 0 || i >= n {
+		panic("label: NthInOrder out of range")
+	}
+	if n == 1 {
+		return FromIndex(0)
+	}
+	m := ceilLog2(n)
+	half := uint64(1) << (m - 1)
+	k := n - half // number of length-m labels present
+	oldShift := 64 - (m - 1)
+	if i < 2*k {
+		j := i / 2
+		oldFrac := j << oldShift
+		if i%2 == 0 {
+			return FromFrac(oldFrac)
+		}
+		return FromFrac(oldFrac | 1<<(64-m))
+	}
+	j := k + (i - 2*k)
+	return FromFrac(j << oldShift)
+}
+
+// RankOf returns the position of lab in the r-ordering of {l(0) … l(n−1)},
+// the inverse of NthInOrder. ok is false if lab is not in the population.
+func RankOf(n uint64, lab Label) (uint64, bool) {
+	if n == 0 || lab.IsBottom() || !lab.Valid() {
+		return 0, false
+	}
+	x := lab.Index()
+	if x >= n {
+		return 0, false
+	}
+	if n == 1 {
+		return 0, true
+	}
+	m := ceilLog2(n)
+	half := uint64(1) << (m - 1)
+	k := n - half
+	oldShift := 64 - (m - 1)
+	f := lab.Frac()
+	if uint(lab.Len) == m && f&(1<<(64-m)) != 0 {
+		// A new (length-m) label at frac j/half + 1/2^m → position 2j+1.
+		// (The bit test also disambiguates n = 2, where both labels have
+		// length m = 1 but only "1" carries the 2^{−m} offset.)
+		j := (f &^ (1 << (64 - m))) >> oldShift
+		return 2*j + 1, true
+	}
+	// An old label at frac j/half.
+	j := f >> oldShift
+	if j < k {
+		return 2 * j, true
+	}
+	return 2*k + (j - k), true
+}

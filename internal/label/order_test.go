@@ -1,0 +1,65 @@
+package label
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// brute-force reference: sort l(0…n−1) by frac.
+func sortedLabels(n uint64) []Label {
+	out := make([]Label, n)
+	for x := uint64(0); x < n; x++ {
+		out[x] = FromIndex(x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Frac() < out[j].Frac() })
+	return out
+}
+
+func TestNthInOrderMatchesBruteForce(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 255, 256, 257} {
+		want := sortedLabels(n)
+		for i := uint64(0); i < n; i++ {
+			if got := NthInOrder(n, i); got != want[i] {
+				t.Fatalf("NthInOrder(%d, %d) = %v, want %v", n, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestRankOfInvertsNthInOrder(t *testing.T) {
+	f := func(nRaw uint16, iRaw uint16) bool {
+		n := uint64(nRaw%2000) + 1
+		i := uint64(iRaw) % n
+		lab := NthInOrder(n, i)
+		rank, ok := RankOf(n, lab)
+		return ok && rank == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankOfRejectsForeignLabels(t *testing.T) {
+	if _, ok := RankOf(8, FromIndex(8)); ok {
+		t.Error("l(8) is not in a population of 8")
+	}
+	if _, ok := RankOf(8, Bottom); ok {
+		t.Error("⊥ has no rank")
+	}
+	if _, ok := RankOf(8, Label{Bits: 2, Len: 2}); ok {
+		t.Error("malformed label has no rank")
+	}
+	if _, ok := RankOf(0, FromIndex(0)); ok {
+		t.Error("empty population has no ranks")
+	}
+}
+
+func TestNthInOrderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NthInOrder(4, 4)
+}

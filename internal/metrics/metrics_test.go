@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("n", "rounds", "note")
+	tb.AddRow(16, 7, "ok")
+	tb.AddRow(1024, 12, "also ok")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "n ") || !strings.Contains(lines[0], "rounds") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "16") || !strings.Contains(lines[3], "1024") {
+		t.Errorf("rows: %q", out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(3.14159)
+	if !strings.Contains(tb.String(), "3.142") {
+		t.Errorf("float not formatted: %q", tb.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.Count != 10 || s.Min != 1 || s.Max != 10 {
+		t.Errorf("bounds: %+v", s)
+	}
+	if s.Mean != 5.5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.P50 < 5 || s.P50 > 6 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.Std < 2.8 || s.Std > 3.0 {
+		t.Errorf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Max != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints([]int{1, 2, 3})
+	if len(got) != 3 || got[2] != 3.0 {
+		t.Errorf("Ints = %v", got)
+	}
+}

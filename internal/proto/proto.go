@@ -1,0 +1,215 @@
+// Package proto defines the wire messages of the BuildSR protocol and the
+// publication protocol, shared by the supervisor (Algorithm 3), the
+// subscribers (Algorithms 1, 2, 4) and the publication engine (Algorithm 5).
+//
+// Every message is carried inside a sim.Message envelope that also records
+// the topic, so one physical node can run many per-topic protocol instances
+// (Section 4).
+package proto
+
+import (
+	"fmt"
+
+	"sspubsub/internal/label"
+	"sspubsub/internal/sim"
+)
+
+// Tuple pairs a node reference with the label the holder believes that node
+// has ("If node v ∈ V has an edge to w ∈ V, then v locally stores the tuple
+// (label_w, w)", Section 2.2). The stored label can be stale; the Check
+// action repairs it.
+type Tuple struct {
+	L   label.Label
+	Ref sim.NodeID
+}
+
+// IsBottom reports whether the tuple is ⊥ (no node).
+func (t Tuple) IsBottom() bool { return t.Ref == sim.None }
+
+// String renders "label@id" or "⊥".
+func (t Tuple) String() string {
+	if t.IsBottom() {
+		return "⊥"
+	}
+	return fmt.Sprintf("%s@%d", t.L, t.Ref)
+}
+
+// Flag distinguishes introductions along the sorted list from introductions
+// for the cyclic closure edge (Algorithms 1–2 use flags LIN and CYC).
+type Flag uint8
+
+const (
+	// LIN marks list (linearization) traffic.
+	LIN Flag = iota
+	// CYC marks cycle-closure traffic.
+	CYC
+)
+
+func (f Flag) String() string {
+	if f == CYC {
+		return "CYC"
+	}
+	return "LIN"
+}
+
+// ---- Supervisor-bound messages (Algorithm 3) ----
+
+// Subscribe asks the supervisor to integrate the sender into the topic's
+// database and send back a configuration. Sent by new subscribers and by
+// label-less nodes (action (i) of Section 3.2.1).
+type Subscribe struct {
+	V sim.NodeID
+}
+
+// Unsubscribe asks the supervisor to remove V from the topic's database
+// (Section 4.1).
+type Unsubscribe struct {
+	V sim.NodeID
+}
+
+// GetConfiguration asks the supervisor to send node V its current
+// configuration (pred, label, succ). V is usually the sender (actions (ii)
+// and (iv)) but can be a third node (action (iii) requests a configuration
+// on behalf of a ring neighbour).
+type GetConfiguration struct {
+	V sim.NodeID
+}
+
+// ---- Subscriber-bound messages from the supervisor ----
+
+// SetData delivers a configuration (pred_v, label_v, succ_v) from the
+// supervisor's database. All-⊥ means "you are not in the database": the
+// receiver clears its label and will re-subscribe (or stay out, if it asked
+// to leave).
+type SetData struct {
+	Pred  Tuple
+	Label label.Label
+	Succ  Tuple
+}
+
+// ---- Subscriber-to-subscriber ring maintenance (Algorithms 1, 2, 4) ----
+
+// Check is the periodic self-introduction of the extended BuildRing
+// protocol: the sender introduces itself (Sender, with its current label)
+// and tells the receiver which label it has stored for the receiver
+// (YourLabel). If YourLabel is stale the receiver replies with its correct
+// label; otherwise it processes the introduction.
+type Check struct {
+	Sender    Tuple
+	YourLabel label.Label
+	Flag      Flag
+}
+
+// Introduce carries a node reference C to the receiver (possibly the sender
+// itself, possibly a delegated third node) with the list/cycle flag.
+type Introduce struct {
+	C    Tuple
+	Flag Flag
+}
+
+// Linearize delegates a node reference along the sorted list (the
+// BuildList protocol of Onus et al., extended with label correction).
+type Linearize struct {
+	V Tuple
+}
+
+// RemoveConnections asks the receiver to delete every edge it stores to
+// node V (sent by unsubscribed/label-less nodes, Lemma 6).
+type RemoveConnections struct {
+	V sim.NodeID
+}
+
+// IntroduceShortcut introduces node T as a shortcut (Section 3.2.2): the
+// receiver adopts T for the shortcut slot labelled T.L if it maintains that
+// slot, and re-linearizes any node it replaces.
+type IntroduceShortcut struct {
+	T Tuple
+}
+
+// ---- Publication protocol (Algorithm 5) ----
+
+// Key is the fixed-width publication key h̄_m(origin, payload), stored as a
+// bit string (Section 4.2). Width is configured system-wide; see pubsub.
+type Key struct {
+	Bits uint64
+	Len  uint8
+}
+
+// Publication is one published item. Key = h̄_m(Origin, Payload) is its
+// Patricia-trie key.
+type Publication struct {
+	Key     Key
+	Origin  sim.NodeID
+	Payload string
+}
+
+// NodeSummary identifies one Patricia-trie node by its label (a key prefix)
+// and its Merkle-style hash; CheckTrie messages carry summaries only,
+// "ignoring the node's outgoing edges".
+type NodeSummary struct {
+	Label Key
+	Hash  [16]byte
+}
+
+// CheckTrie asks the receiver to compare the listed trie nodes against its
+// own trie and respond per the three cases of Section 4.2.
+type CheckTrie struct {
+	Sender sim.NodeID
+	Nodes  []NodeSummary
+}
+
+// CheckAndPublish combines a CheckTrie for Nodes with the request to send
+// every publication whose key has prefix Prefix back to Sender.
+type CheckAndPublish struct {
+	Sender sim.NodeID
+	Nodes  []NodeSummary
+	Prefix Key
+}
+
+// PublishBatch delivers a set of publications (the paper's Publish(P)).
+type PublishBatch struct {
+	Pubs []Publication
+}
+
+// PublishNew floods a fresh publication over ring and shortcut edges
+// (Section 4.3).
+type PublishNew struct {
+	Pub Publication
+}
+
+// ---- deterministic token-passing variant (paper's conclusion) ----
+
+// Token is the circulating refresh of the token-passing supervisor
+// variant: instead of a (label, subscriber) database and randomized
+// probes, a token walks the ring in r-order and deterministically
+// re-derives every subscriber's label from its position. Pos is the
+// receiver's position; Prev the previous position's tuple; First the
+// position-0 tuple (filled in by the first receiver, used for the ring
+// closure); Pending carries not-yet-spliced joiners with their assigned
+// labels; NextHop tells a freshly spliced joiner where to forward.
+type Token struct {
+	Epoch   uint64
+	N       uint64
+	Pos     uint64
+	Prev    Tuple
+	First   Tuple
+	Pending []Tuple
+	NextHop Tuple
+}
+
+// TokenReturn reports a completed (or broken) token pass back to the
+// supervisor.
+type TokenReturn struct {
+	Epoch    uint64
+	Complete bool
+	First    Tuple
+	Last     Tuple
+}
+
+// Register is the token-mode staleness report: a subscriber that has not
+// seen a token for a while reports itself (with its current label) so the
+// supervisor can rebuild from live members after token loss.
+type Register struct {
+	V     sim.NodeID
+	Label label.Label
+}

@@ -1,0 +1,184 @@
+// Package pubsub implements the self-stabilizing publication protocol of
+// Sections 4.2 and 4.3 (Algorithm 5 of Feldmann et al.).
+//
+// Every subscriber stores its topic's publications in a hashed Patricia
+// trie. A periodic anti-entropy exchange (CheckTrie / CheckAndPublish /
+// Publish) reconciles neighbouring tries along ring edges, guaranteeing
+// that all subscribers eventually store all publications (Theorem 17);
+// a flooding layer (PublishNew) over ring and shortcut edges delivers
+// fresh publications in O(log n) hops (Section 4.3).
+package pubsub
+
+import (
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/trie"
+)
+
+// Config wires an Engine to its host subscriber.
+type Config struct {
+	// Self is the hosting node; Topic the topic this engine serves.
+	Self  sim.NodeID
+	Topic sim.Topic
+	// KeyLen is the system-wide publication key width m (Section 4.2).
+	KeyLen uint8
+	// RingNeighbors returns the current direct ring neighbours (left,
+	// right, ring) — the anti-entropy gossip partners.
+	RingNeighbors func() []proto.Tuple
+	// FloodTargets returns all neighbours in ER ∪ ES for PublishNew.
+	FloodTargets func() []sim.NodeID
+	// OnDeliver, if non-nil, is invoked exactly once per publication that
+	// becomes locally known.
+	OnDeliver func(proto.Publication)
+
+	// DisableFlooding turns off the PublishNew layer (ablation: anti-entropy
+	// only, as in the convergence proof of Theorem 17).
+	DisableFlooding bool
+	// DisableAntiEntropy turns off the periodic CheckTrie exchange
+	// (ablation: flooding only, which cannot serve late joiners).
+	DisableAntiEntropy bool
+}
+
+// Engine is the per-topic publication state machine of one subscriber.
+type Engine struct {
+	cfg Config
+	t   *trie.Trie
+}
+
+// NewEngine creates an engine with an empty trie.
+func NewEngine(cfg Config) *Engine {
+	if cfg.KeyLen == 0 {
+		cfg.KeyLen = 64
+	}
+	return &Engine{cfg: cfg, t: trie.New(cfg.KeyLen)}
+}
+
+// Trie exposes the underlying Patricia trie (read-only use).
+func (e *Engine) Trie() *trie.Trie { return e.t }
+
+// Publications returns all locally known publications in key order.
+func (e *Engine) Publications() []proto.Publication { return e.t.All() }
+
+// Publish creates, stores and floods a new publication authored by the
+// host ("whenever a subscriber u generates a new publication p, u inserts
+// p into u.T and broadcasts p over the ring").
+func (e *Engine) Publish(ctx sim.Context, payload string) proto.Publication {
+	p := trie.NewPublication(e.cfg.KeyLen, e.cfg.Self, payload)
+	e.insert(p)
+	if !e.cfg.DisableFlooding {
+		for _, id := range e.cfg.FloodTargets() {
+			ctx.Send(id, e.cfg.Topic, proto.PublishNew{Pub: p})
+		}
+	}
+	return p
+}
+
+func (e *Engine) insert(p proto.Publication) bool {
+	if p.Key.Len != e.t.KeyLen() {
+		return false // corrupted message with a foreign key width
+	}
+	if !e.t.Insert(p) {
+		return false
+	}
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(p)
+	}
+	return true
+}
+
+// OnTimeout is the PublishTimeout action (Algorithm 5 lines 1–4): send our
+// root summary to one random direct ring neighbour.
+func (e *Engine) OnTimeout(ctx sim.Context) {
+	if e.cfg.DisableAntiEntropy {
+		return
+	}
+	nbs := e.cfg.RingNeighbors()
+	if len(nbs) == 0 {
+		return
+	}
+	root, ok := e.t.RootSummary()
+	if !ok {
+		return // empty trie: our neighbour's probe toward us will find the gap
+	}
+	nb := nbs[ctx.Rand().Intn(len(nbs))]
+	ctx.Send(nb.Ref, e.cfg.Topic, proto.CheckTrie{Sender: e.cfg.Self, Nodes: []proto.NodeSummary{root}})
+}
+
+// OnMessage handles publication-protocol messages; it reports false for
+// bodies that belong to other protocols.
+func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) bool {
+	switch b := m.Body.(type) {
+	case proto.CheckTrie:
+		e.checkTrie(ctx, b.Sender, b.Nodes)
+	case proto.CheckAndPublish:
+		e.checkTrie(ctx, b.Sender, b.Nodes)
+		if pubs := e.t.CollectPrefix(b.Prefix); len(pubs) > 0 {
+			ctx.Send(b.Sender, e.cfg.Topic, proto.PublishBatch{Pubs: pubs})
+		}
+	case proto.PublishBatch:
+		for _, p := range b.Pubs {
+			e.insert(p)
+		}
+	case proto.PublishNew:
+		if e.insert(b.Pub) && !e.cfg.DisableFlooding {
+			for _, id := range e.cfg.FloodTargets() {
+				if id != m.From {
+					ctx.Send(id, e.cfg.Topic, proto.PublishNew{Pub: b.Pub})
+				}
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// checkTrie implements the three cases of the CheckTrie action
+// (Section 4.2): for each received (label, hash) summary,
+//
+//  1. equal node hashes — subtries match, no reply;
+//  2. differing hashes on an inner node — descend by replying with the two
+//     child summaries;
+//  3. label unknown here — the sender's subtrie is missing locally: reply
+//     CheckAndPublish naming the node below the divergence (to continue the
+//     walk) and the prefix of the publications we lack.
+func (e *Engine) checkTrie(ctx sim.Context, sender sim.NodeID, nodes []proto.NodeSummary) {
+	if sender == e.cfg.Self || sender == sim.None {
+		return
+	}
+	for _, ns := range nodes {
+		v := e.t.Find(ns.Label)
+		if v != nil {
+			if v.Hash == ns.Hash {
+				continue // subtries equal
+			}
+			if !v.IsLeaf() {
+				ctx.Send(sender, e.cfg.Topic, proto.CheckTrie{
+					Sender: e.cfg.Self,
+					Nodes:  []proto.NodeSummary{v.Child[0].Summary(), v.Child[1].Summary()},
+				})
+			}
+			// Leaf with differing hash cannot happen under a
+			// collision-resistant h; nothing sensible to do.
+			continue
+		}
+		// Case (iii): no node labelled ns.Label. Find c, the shallowest node
+		// whose label properly extends it.
+		c := e.t.FindAtOrBelow(ns.Label)
+		if c != nil {
+			b1 := trie.KeyBit(c.Label, ns.Label.Len)
+			missing := trie.AppendBit(ns.Label, 1-b1)
+			ctx.Send(sender, e.cfg.Topic, proto.CheckAndPublish{
+				Sender: e.cfg.Self,
+				Nodes:  []proto.NodeSummary{c.Summary()},
+				Prefix: missing,
+			})
+		} else {
+			// Nothing under this prefix at all: ask for everything below it.
+			ctx.Send(sender, e.cfg.Topic, proto.CheckAndPublish{
+				Sender: e.cfg.Self,
+				Prefix: ns.Label,
+			})
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package pubsub
+
+import (
+	"fmt"
+	"testing"
+
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/simtest"
+	"sspubsub/internal/trie"
+)
+
+const tp sim.Topic = 1
+
+// pair builds two engines u (id 10) and v (id 11) that are mutual ring
+// neighbours with 3-bit keys (the Figure 2 setting).
+func pair(keyLen uint8) (u, v *Engine, uc, vc *simtest.Ctx) {
+	mk := func(self, peer sim.NodeID) Config {
+		return Config{
+			Self:   self,
+			Topic:  tp,
+			KeyLen: keyLen,
+			RingNeighbors: func() []proto.Tuple {
+				return []proto.Tuple{{Ref: peer}}
+			},
+			FloodTargets: func() []sim.NodeID { return []sim.NodeID{peer} },
+		}
+	}
+	return NewEngine(mk(10, 11)), NewEngine(mk(11, 10)), simtest.NewCtx(10), simtest.NewCtx(11)
+}
+
+func fixedPub(key string) proto.Publication {
+	return proto.Publication{Key: trie.ParseKey(key), Origin: 1, Payload: "P" + key}
+}
+
+// seed inserts publications with fixed keys directly (bypassing hashing, so
+// tests can reproduce the paper's example keys).
+func seed(e *Engine, keys ...string) {
+	for _, k := range keys {
+		e.insert(fixedPub(k))
+	}
+}
+
+// deliver routes all captured messages to the right engine until quiet,
+// returning a trace of "sender→receiver type" strings.
+func deliver(u, v *Engine, uc, vc *simtest.Ctx) []string {
+	var trace []string
+	for {
+		msgs := append(uc.Take(), vc.Take()...)
+		if len(msgs) == 0 {
+			return trace
+		}
+		for _, m := range msgs {
+			trace = append(trace, fmt.Sprintf("%d→%d %T", m.From, m.To, m.Body))
+			switch m.To {
+			case 10:
+				u.OnMessage(uc, m)
+			case 11:
+				v.OnMessage(vc, m)
+			}
+		}
+	}
+}
+
+// Figure 2, first direction: u (P1..P4) probes v (P1..P3). v's reply names
+// its nodes 0 and 100, both of which u already matches — the chain ends
+// with no publication transfer.
+func TestFigure2ProbeFromU(t *testing.T) {
+	u, v, uc, vc := pair(3)
+	seed(u, "000", "010", "100", "101")
+	seed(v, "000", "010", "100")
+
+	root, _ := u.Trie().RootSummary()
+	v.OnMessage(vc, sim.Message{From: 10, To: 11, Topic: tp, Body: proto.CheckTrie{Sender: 10, Nodes: []proto.NodeSummary{root}}})
+	trace := deliver(u, v, uc, vc)
+	// v must answer with exactly one CheckTrie (children 0, 100), and u
+	// must stay silent afterwards.
+	if len(trace) != 1 || trace[0] != "11→10 proto.CheckTrie" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if u.Trie().Len() != 4 || v.Trie().Len() != 3 {
+		t.Fatal("no publications may move in this direction")
+	}
+}
+
+// Figure 2, second direction: v probes u; u answers with children (0, 10);
+// v lacks node 10 and sends CheckAndPublish(v, (100,h(P3)), p=101); u
+// delivers P4. After insertion both tries are hash-equal.
+func TestFigure2ProbeFromV(t *testing.T) {
+	u, v, uc, vc := pair(3)
+	seed(u, "000", "010", "100", "101")
+	seed(v, "000", "010", "100")
+
+	root, _ := v.Trie().RootSummary()
+	u.OnMessage(uc, sim.Message{From: 11, To: 10, Topic: tp, Body: proto.CheckTrie{Sender: 11, Nodes: []proto.NodeSummary{root}}})
+	trace := deliver(u, v, uc, vc)
+	want := []string{
+		"10→11 proto.CheckTrie",       // u sends children (0, h..), (10, h..)
+		"11→10 proto.CheckAndPublish", // v: node 10 missing → c = leaf 100, p = 101
+		"10→11 proto.PublishBatch",    // u delivers P4 (prefix 101)
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %s, want %s", i, trace[i], want[i])
+		}
+	}
+	if !u.Trie().Equal(v.Trie()) {
+		t.Fatal("tries not equal after sync")
+	}
+	if p, ok := v.Trie().Get(trie.ParseKey("101")); !ok || p.Payload != "P101" {
+		t.Fatal("P4 not delivered")
+	}
+}
+
+// The CheckAndPublish prefix computation of the example: v finds c = leaf
+// "100" (minimal extension of "10") and requests prefix 101 = 10 ◦ (1−0).
+func TestCheckAndPublishPrefix(t *testing.T) {
+	_, v, _, vc := pair(3)
+	seed(v, "000", "010", "100")
+	v.checkTrie(vc, 10, []proto.NodeSummary{{Label: trie.ParseKey("10"), Hash: [16]byte{1}}})
+	msgs := vc.Take()
+	if len(msgs) != 1 {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	cap, ok := msgs[0].Body.(proto.CheckAndPublish)
+	if !ok {
+		t.Fatalf("got %T", msgs[0].Body)
+	}
+	if trie.KeyString(cap.Prefix) != "101" {
+		t.Errorf("prefix = %s, want 101", trie.KeyString(cap.Prefix))
+	}
+	if len(cap.Nodes) != 1 || trie.KeyString(cap.Nodes[0].Label) != "100" {
+		t.Errorf("continuation node = %v, want leaf 100", cap.Nodes)
+	}
+}
+
+// A receiver with an empty trie asks for everything under the probed label.
+func TestEmptyTrieAsksForAll(t *testing.T) {
+	u, v, uc, vc := pair(3)
+	seed(u, "000", "010", "100", "101")
+	root, _ := u.Trie().RootSummary()
+	v.OnMessage(vc, sim.Message{From: 10, To: 11, Topic: tp, Body: proto.CheckTrie{Sender: 10, Nodes: []proto.NodeSummary{root}}})
+	deliver(u, v, uc, vc)
+	if !u.Trie().Equal(v.Trie()) {
+		t.Fatalf("empty trie not filled: %d pubs", v.Trie().Len())
+	}
+}
+
+// Disjoint publication sets merge completely through repeated probes in
+// both directions (the potential-function argument of Theorem 17).
+func TestDisjointSetsMerge(t *testing.T) {
+	u, v, uc, vc := pair(5)
+	seed(u, "00000", "00100", "11000", "01010")
+	seed(v, "10000", "10111", "00111")
+	for i := 0; i < 6; i++ {
+		if root, ok := u.Trie().RootSummary(); ok {
+			v.OnMessage(vc, sim.Message{From: 10, To: 11, Topic: tp, Body: proto.CheckTrie{Sender: 10, Nodes: []proto.NodeSummary{root}}})
+		}
+		deliver(u, v, uc, vc)
+		if root, ok := v.Trie().RootSummary(); ok {
+			u.OnMessage(uc, sim.Message{From: 11, To: 10, Topic: tp, Body: proto.CheckTrie{Sender: 11, Nodes: []proto.NodeSummary{root}}})
+		}
+		deliver(u, v, uc, vc)
+		if u.Trie().Equal(v.Trie()) {
+			break
+		}
+	}
+	if !u.Trie().Equal(v.Trie()) || u.Trie().Len() != 7 {
+		t.Fatalf("merge incomplete: u=%d v=%d", u.Trie().Len(), v.Trie().Len())
+	}
+}
+
+// Equal tries: a probe generates no response at all (Theorem 23).
+func TestEqualTriesSilent(t *testing.T) {
+	u, v, _, vc := pair(3)
+	seed(u, "000", "111")
+	seed(v, "000", "111")
+	root, _ := u.Trie().RootSummary()
+	v.OnMessage(vc, sim.Message{From: 10, To: 11, Topic: tp, Body: proto.CheckTrie{Sender: 10, Nodes: []proto.NodeSummary{root}}})
+	if msgs := vc.Take(); len(msgs) != 0 {
+		t.Fatalf("stable probe answered with %v", msgs)
+	}
+}
+
+func TestPublishFloods(t *testing.T) {
+	u, _, uc, _ := pair(8)
+	p := u.Publish(uc, "hello")
+	if !u.Trie().Has(p.Key) {
+		t.Fatal("publisher must store its own publication")
+	}
+	msgs := uc.Take()
+	if len(msgs) != 1 {
+		t.Fatalf("flood = %v", msgs)
+	}
+	pn, ok := msgs[0].Body.(proto.PublishNew)
+	if !ok || pn.Pub.Payload != "hello" || pn.Pub.Origin != 10 {
+		t.Fatalf("flooded %v", msgs[0].Body)
+	}
+}
+
+func TestPublishNewForwardOnce(t *testing.T) {
+	_, v, _, vc := pair(8)
+	p := trie.NewPublication(8, 10, "x")
+	v.OnMessage(vc, sim.Message{From: 10, To: 11, Topic: tp, Body: proto.PublishNew{Pub: p}})
+	// v's only neighbour is the sender: nothing to forward to.
+	if msgs := vc.Take(); len(msgs) != 0 {
+		t.Fatalf("forwarded back to sender: %v", msgs)
+	}
+	// Duplicate delivery is dropped without forwarding.
+	v.OnMessage(vc, sim.Message{From: 10, To: 11, Topic: tp, Body: proto.PublishNew{Pub: p}})
+	if msgs := vc.Take(); len(msgs) != 0 || v.Trie().Len() != 1 {
+		t.Fatalf("duplicate not dropped: %v, len=%d", msgs, v.Trie().Len())
+	}
+}
+
+func TestOnDeliverInvokedOncePerPublication(t *testing.T) {
+	var got []string
+	e := NewEngine(Config{
+		Self: 10, Topic: tp, KeyLen: 8,
+		RingNeighbors: func() []proto.Tuple { return nil },
+		FloodTargets:  func() []sim.NodeID { return nil },
+		OnDeliver:     func(p proto.Publication) { got = append(got, p.Payload) },
+	})
+	c := simtest.NewCtx(10)
+	p := trie.NewPublication(8, 99, "a")
+	e.OnMessage(c, sim.Message{From: 99, Topic: tp, Body: proto.PublishBatch{Pubs: []proto.Publication{p, p}}})
+	e.OnMessage(c, sim.Message{From: 99, Topic: tp, Body: proto.PublishNew{Pub: p}})
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("OnDeliver calls = %v, want exactly one", got)
+	}
+}
+
+func TestTimeoutProbesRandomNeighbor(t *testing.T) {
+	u, _, uc, _ := pair(8)
+	u.Publish(uc, "x")
+	uc.Take()
+	u.OnTimeout(uc)
+	msgs := uc.Take()
+	if len(msgs) != 1 || msgs[0].To != 11 {
+		t.Fatalf("probe = %v", msgs)
+	}
+	if _, ok := msgs[0].Body.(proto.CheckTrie); !ok {
+		t.Fatalf("probe body %T", msgs[0].Body)
+	}
+}
+
+func TestTimeoutSilentWhenEmptyOrIsolated(t *testing.T) {
+	u, _, uc, _ := pair(8)
+	u.OnTimeout(uc) // empty trie
+	if msgs := uc.Take(); len(msgs) != 0 {
+		t.Fatalf("empty trie probed: %v", msgs)
+	}
+	iso := NewEngine(Config{Self: 12, Topic: tp, KeyLen: 8,
+		RingNeighbors: func() []proto.Tuple { return nil },
+		FloodTargets:  func() []sim.NodeID { return nil }})
+	ic := simtest.NewCtx(12)
+	iso.Publish(ic, "y")
+	ic.Take()
+	iso.OnTimeout(ic)
+	if msgs := ic.Take(); len(msgs) != 0 {
+		t.Fatalf("isolated node probed: %v", msgs)
+	}
+}
+
+func TestAblationSwitches(t *testing.T) {
+	noFlood := NewEngine(Config{Self: 10, Topic: tp, KeyLen: 8,
+		RingNeighbors:   func() []proto.Tuple { return []proto.Tuple{{Ref: 11}} },
+		FloodTargets:    func() []sim.NodeID { return []sim.NodeID{11} },
+		DisableFlooding: true})
+	c := simtest.NewCtx(10)
+	noFlood.Publish(c, "x")
+	if msgs := c.Take(); len(msgs) != 0 {
+		t.Fatalf("flooding disabled but sent %v", msgs)
+	}
+	noAE := NewEngine(Config{Self: 10, Topic: tp, KeyLen: 8,
+		RingNeighbors:      func() []proto.Tuple { return []proto.Tuple{{Ref: 11}} },
+		FloodTargets:       func() []sim.NodeID { return []sim.NodeID{11} },
+		DisableAntiEntropy: true})
+	noAE.Publish(c, "y")
+	c.Take()
+	noAE.OnTimeout(c)
+	if msgs := c.Take(); len(msgs) != 0 {
+		t.Fatalf("anti-entropy disabled but probed %v", msgs)
+	}
+}
+
+func TestCorruptedKeyWidthRejected(t *testing.T) {
+	_, v, _, vc := pair(3)
+	bad := proto.Publication{Key: trie.ParseKey("10101010"), Origin: 5}
+	v.OnMessage(vc, sim.Message{From: 5, Topic: tp, Body: proto.PublishBatch{Pubs: []proto.Publication{bad}}})
+	if v.Trie().Len() != 0 {
+		t.Fatal("foreign key width must be rejected")
+	}
+}

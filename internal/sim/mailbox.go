@@ -1,0 +1,66 @@
+package sim
+
+import "sync"
+
+// Mailbox is an unbounded, loss-free message queue: the paper's channel
+// abstraction ("we assume a channel to be able to store any finite number
+// of messages, and messages are never duplicated or get lost"). Push never
+// blocks; Pop returns false when the box is empty or closed.
+type Mailbox struct {
+	mu     sync.Mutex
+	q      []Message
+	notify chan struct{}
+	closed bool
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox() *Mailbox {
+	return &Mailbox{notify: make(chan struct{}, 1)}
+}
+
+// Push enqueues a message. Pushing to a closed mailbox drops the message,
+// mirroring sends to crashed nodes.
+func (b *Mailbox) Push(m Message) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.q = append(b.q, m)
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Pop dequeues the oldest message. The second result is false when empty.
+func (b *Mailbox) Pop() (Message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.q) == 0 {
+		return Message{}, false
+	}
+	m := b.q[0]
+	b.q = b.q[1:]
+	return m, true
+}
+
+// Len returns the number of queued messages.
+func (b *Mailbox) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q)
+}
+
+// Wait returns a channel that receives a token when messages may be
+// available. Consumers drain with Pop until false, then Wait again.
+func (b *Mailbox) Wait() <-chan struct{} { return b.notify }
+
+// Close marks the mailbox closed and discards queued messages.
+func (b *Mailbox) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.q = nil
+	b.mu.Unlock()
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RuntimeOptions configure a live (goroutine-per-node) execution.
+type RuntimeOptions struct {
+	// Interval is the real-time length of one timeout interval.
+	// Default 10ms — fast enough for interactive examples, slow enough to
+	// keep the supervisor's round-robin visible.
+	Interval time.Duration
+	// Seed drives the per-node random sources. Live runs are not
+	// deterministic (goroutine interleaving), but seeding keeps protocol
+	// coin flips reproducible in aggregate.
+	Seed int64
+}
+
+// Runtime executes Handlers live: one goroutine and one unbounded mailbox
+// per node, with a real ticker driving the Timeout action. It implements
+// the same Context contract as the deterministic Scheduler, so the exact
+// protocol code runs unchanged.
+type Runtime struct {
+	opts  RuntimeOptions
+	start time.Time
+
+	mu    sync.RWMutex
+	nodes map[NodeID]*liveNode
+	seedC int64
+
+	sent    atomic.Int64
+	dropped atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+type liveNode struct {
+	id   NodeID
+	h    Handler
+	mbox *Mailbox
+	rng  *rand.Rand // used only from the node's own goroutine
+	stop chan struct{}
+	rt   *Runtime
+}
+
+// NewRuntime creates a live execution environment.
+func NewRuntime(opts RuntimeOptions) *Runtime {
+	if opts.Interval == 0 {
+		opts.Interval = 10 * time.Millisecond
+	}
+	return &Runtime{
+		opts:  opts,
+		start: time.Now(),
+		nodes: make(map[NodeID]*liveNode),
+		seedC: opts.Seed,
+	}
+}
+
+// AddNode registers and starts a node goroutine.
+func (r *Runtime) AddNode(id NodeID, h Handler) {
+	r.mu.Lock()
+	if _, dup := r.nodes[id]; dup {
+		r.mu.Unlock()
+		panic("sim: duplicate live node")
+	}
+	r.seedC++
+	n := &liveNode{
+		id:   id,
+		h:    h,
+		mbox: NewMailbox(),
+		rng:  rand.New(rand.NewSource(r.seedC*0x9e3779b9 + 1)),
+		stop: make(chan struct{}),
+		rt:   r,
+	}
+	r.nodes[id] = n
+	r.mu.Unlock()
+
+	r.wg.Add(1)
+	go n.loop(r.opts.Interval)
+}
+
+// RemoveNode stops a node's goroutine and discards its mailbox. Messages
+// already in flight to it are dropped — an unannounced crash (Section 3.3).
+func (r *Runtime) RemoveNode(id NodeID) {
+	r.mu.Lock()
+	n, ok := r.nodes[id]
+	if ok {
+		delete(r.nodes, id)
+	}
+	r.mu.Unlock()
+	if ok {
+		close(n.stop)
+		n.mbox.Close()
+	}
+}
+
+// Suspects implements Detector: the live runtime knows crashes immediately
+// (grace period zero), which satisfies eventual correctness trivially.
+func (r *Runtime) Suspects(id NodeID) bool {
+	r.mu.RLock()
+	_, ok := r.nodes[id]
+	r.mu.RUnlock()
+	return !ok
+}
+
+// Send routes a message to the target's mailbox.
+func (r *Runtime) Send(m Message) {
+	if m.To == None {
+		r.dropped.Add(1)
+		return
+	}
+	r.mu.RLock()
+	n, ok := r.nodes[m.To]
+	r.mu.RUnlock()
+	if !ok {
+		r.dropped.Add(1)
+		return
+	}
+	r.sent.Add(1)
+	n.mbox.Push(m)
+}
+
+// Sent returns the total number of routed messages.
+func (r *Runtime) Sent() int64 { return r.sent.Load() }
+
+// Dropped returns the number of messages sent to missing nodes.
+func (r *Runtime) Dropped() int64 { return r.dropped.Load() }
+
+// Close stops all node goroutines and waits for them to exit.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	nodes := make([]*liveNode, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.nodes = make(map[NodeID]*liveNode)
+	r.mu.Unlock()
+	for _, n := range nodes {
+		close(n.stop)
+		n.mbox.Close()
+	}
+	r.wg.Wait()
+}
+
+func (n *liveNode) loop(interval time.Duration) {
+	defer n.rt.wg.Done()
+	// Random phase so node timeouts are spread across the interval, as in
+	// the deterministic scheduler.
+	phase := time.Duration(n.rng.Int63n(int64(interval)))
+	timer := time.NewTimer(phase)
+	defer timer.Stop()
+	ctx := &liveCtx{n: n}
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-timer.C:
+			n.h.OnTimeout(ctx)
+			timer.Reset(interval)
+		case <-n.mbox.Wait():
+			for {
+				m, ok := n.mbox.Pop()
+				if !ok {
+					break
+				}
+				n.h.OnMessage(ctx, m)
+			}
+		}
+	}
+}
+
+// liveCtx implements Context for a live node; it is only used from the
+// node's own goroutine.
+type liveCtx struct {
+	n *liveNode
+}
+
+func (c *liveCtx) Self() NodeID { return c.n.id }
+func (c *liveCtx) Send(to NodeID, topic Topic, body any) {
+	c.n.rt.Send(Message{To: to, From: c.n.id, Topic: topic, Body: body})
+}
+func (c *liveCtx) Rand() *rand.Rand { return c.n.rng }
+func (c *liveCtx) Now() float64 {
+	return float64(time.Since(c.n.rt.start)) / float64(c.n.rt.opts.Interval)
+}

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// SchedulerOptions configure a deterministic simulation.
+type SchedulerOptions struct {
+	// Seed drives all randomness (message delays, timeout phases, protocol
+	// coin flips). Two runs with equal seeds and equal call sequences are
+	// bit-identical.
+	Seed int64
+	// MinDelay and MaxDelay bound message delivery delay, in timeout
+	// intervals. Delays are drawn uniformly, so delivery is non-FIFO.
+	// Defaults: 0.05 and 0.95.
+	MinDelay, MaxDelay float64
+	// DetectorGrace is how long after a crash the failure detector keeps
+	// answering "alive" — it models the eventually-correct detector of
+	// Section 3.3. Default 2 intervals.
+	DetectorGrace float64
+	// Trace, if non-nil, receives every delivered message and fired timeout.
+	Trace func(format string, args ...any)
+}
+
+// Scheduler is a deterministic discrete-event executor for Handlers.
+// Virtual time is measured in timeout intervals: every registered node
+// fires its Timeout action exactly once per unit of virtual time (at a
+// per-node random phase), and messages are delivered with random sub-unit
+// delays. This realizes the paper's fully asynchronous model with fair
+// message receipt and weakly fair action execution, while keeping runs
+// reproducible.
+type Scheduler struct {
+	opts    SchedulerOptions
+	rng     *rand.Rand
+	now     float64
+	seq     int64
+	events  eventHeap
+	nodes   map[NodeID]*schedNode
+	crashed map[NodeID]float64 // node → crash time
+
+	inFlight int // message events currently queued
+
+	// accounting
+	delivered  int64
+	dropped    int64
+	byType     map[string]int64
+	sentBy     map[NodeID]int64
+	receivedBy map[NodeID]int64
+}
+
+type schedNode struct {
+	id    NodeID
+	h     Handler
+	phase float64
+	next  float64 // next timeout
+}
+
+type evKind uint8
+
+const (
+	evDeliver evKind = iota
+	evTimeout
+)
+
+type event struct {
+	t    float64
+	seq  int64 // tie-break for determinism
+	kind evKind
+	msg  Message
+	node NodeID
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any         { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h eventHeap) peekTime() float64 { return h[0].t }
+
+// NewScheduler creates an empty deterministic simulation.
+func NewScheduler(opts SchedulerOptions) *Scheduler {
+	if opts.MaxDelay == 0 {
+		opts.MaxDelay = 0.95
+	}
+	if opts.MinDelay == 0 {
+		opts.MinDelay = 0.05
+	}
+	if opts.DetectorGrace == 0 {
+		opts.DetectorGrace = 2
+	}
+	return &Scheduler{
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		nodes:      make(map[NodeID]*schedNode),
+		crashed:    make(map[NodeID]float64),
+		byType:     make(map[string]int64),
+		sentBy:     make(map[NodeID]int64),
+		receivedBy: make(map[NodeID]int64),
+	}
+}
+
+// AddNode registers a handler under the given ID and schedules its periodic
+// Timeout action starting at a random phase within the current interval.
+func (s *Scheduler) AddNode(id NodeID, h Handler) {
+	if id == None {
+		panic("sim: cannot add node with ID 0")
+	}
+	if _, dup := s.nodes[id]; dup {
+		panic(fmt.Sprintf("sim: duplicate node %d", id))
+	}
+	n := &schedNode{id: id, h: h, phase: s.rng.Float64()}
+	n.next = s.now + n.phase
+	s.nodes[id] = n
+	s.push(event{t: n.next, kind: evTimeout, node: id})
+}
+
+// RemoveNode gracefully deregisters a node (used for unsubscribed clients
+// that leave the system; in-flight messages to it are dropped on delivery).
+func (s *Scheduler) RemoveNode(id NodeID) { delete(s.nodes, id) }
+
+// Crash marks the node as failed without warning (Section 3.3): it stops
+// executing actions and all messages addressed to it vanish. The failure
+// detector starts suspecting it after the configured grace period.
+func (s *Scheduler) Crash(id NodeID) {
+	if _, ok := s.nodes[id]; !ok {
+		return
+	}
+	s.crashed[id] = s.now
+	delete(s.nodes, id)
+}
+
+// Crashed reports whether the node has crashed.
+func (s *Scheduler) Crashed(id NodeID) bool {
+	_, ok := s.crashed[id]
+	return ok
+}
+
+// Suspects implements Detector with the configured grace period.
+func (s *Scheduler) Suspects(id NodeID) bool {
+	t, ok := s.crashed[id]
+	return ok && s.now >= t+s.opts.DetectorGrace
+}
+
+// Now returns the current virtual time in timeout intervals.
+func (s *Scheduler) Now() float64 { return s.now }
+
+func (s *Scheduler) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// Send queues a message with a random delay. It is also usable directly by
+// test harnesses to inject well-formed traffic.
+func (s *Scheduler) Send(m Message) {
+	if m.To == None {
+		s.dropped++
+		return
+	}
+	s.sentBy[m.From]++
+	s.byType[fmt.Sprintf("%T", m.Body)]++
+	delay := s.opts.MinDelay + s.rng.Float64()*(s.opts.MaxDelay-s.opts.MinDelay)
+	s.inFlight++
+	s.push(event{t: s.now + delay, kind: evDeliver, msg: m})
+}
+
+// InjectAt places an arbitrary (possibly corrupted) message into the event
+// queue at the given virtual time, modelling the paper's arbitrary initial
+// channel contents.
+func (s *Scheduler) InjectAt(t float64, m Message) {
+	s.inFlight++
+	s.push(event{t: t, kind: evDeliver, msg: m})
+}
+
+// Step executes the next event. It returns false when no events remain
+// (which cannot happen while any node is registered, since timeouts renew).
+func (s *Scheduler) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	if e.t > s.now {
+		s.now = e.t
+	}
+	switch e.kind {
+	case evDeliver:
+		s.inFlight--
+		n, ok := s.nodes[e.msg.To]
+		if !ok {
+			s.dropped++
+			return true
+		}
+		s.delivered++
+		s.receivedBy[e.msg.To]++
+		if s.opts.Trace != nil {
+			s.opts.Trace("%.3f deliver %s", s.now, e.msg)
+		}
+		n.h.OnMessage(&schedCtx{s: s, id: e.msg.To}, e.msg)
+	case evTimeout:
+		n, ok := s.nodes[e.node]
+		if !ok {
+			return true // crashed or removed
+		}
+		if s.opts.Trace != nil {
+			s.opts.Trace("%.3f timeout %d", s.now, e.node)
+		}
+		n.h.OnTimeout(&schedCtx{s: s, id: e.node})
+		n.next += 1
+		s.push(event{t: n.next, kind: evTimeout, node: e.node})
+	}
+	return true
+}
+
+// RunUntil advances virtual time to t (exclusive of later events).
+func (s *Scheduler) RunUntil(t float64) {
+	for s.events.Len() > 0 && s.events.peekTime() <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunRounds advances by k timeout intervals.
+func (s *Scheduler) RunRounds(k int) { s.RunUntil(s.now + float64(k)) }
+
+// RunRoundsUntil advances round by round until pred returns true or maxRounds
+// elapsed; it returns the number of whole rounds executed and whether pred
+// held. pred is evaluated after each round.
+func (s *Scheduler) RunRoundsUntil(maxRounds int, pred func() bool) (rounds int, ok bool) {
+	if pred() {
+		return 0, true
+	}
+	for r := 1; r <= maxRounds; r++ {
+		s.RunRounds(1)
+		if pred() {
+			return r, true
+		}
+	}
+	return maxRounds, false
+}
+
+// InFlight returns the number of queued message deliveries.
+func (s *Scheduler) InFlight() int { return s.inFlight }
+
+// Delivered returns the total number of delivered messages.
+func (s *Scheduler) Delivered() int64 { return s.delivered }
+
+// Dropped returns messages dropped (sent to ⊥, crashed or removed nodes).
+func (s *Scheduler) Dropped() int64 { return s.dropped }
+
+// SentBy returns the number of messages node id has sent so far.
+func (s *Scheduler) SentBy(id NodeID) int64 { return s.sentBy[id] }
+
+// ReceivedBy returns the number of messages delivered to node id so far.
+func (s *Scheduler) ReceivedBy(id NodeID) int64 { return s.receivedBy[id] }
+
+// CountByType returns the number of sends per message body type name.
+func (s *Scheduler) CountByType(typeName string) int64 { return s.byType[typeName] }
+
+// TypeNames returns all message body type names seen, sorted.
+func (s *Scheduler) TypeNames() []string {
+	out := make([]string, 0, len(s.byType))
+	for k := range s.byType {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResetCounters zeroes the message accounting (used to measure steady-state
+// rates after convergence).
+func (s *Scheduler) ResetCounters() {
+	s.delivered, s.dropped = 0, 0
+	s.byType = make(map[string]int64)
+	s.sentBy = make(map[NodeID]int64)
+	s.receivedBy = make(map[NodeID]int64)
+}
+
+// Rand exposes the scheduler's random source for workload generation.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// NodeIDs returns the IDs of all live registered nodes, sorted.
+func (s *Scheduler) NodeIDs() []NodeID {
+	out := make([]NodeID, 0, len(s.nodes))
+	for id := range s.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Handler returns the handler registered under id, or nil.
+func (s *Scheduler) Handler(id NodeID) Handler {
+	if n, ok := s.nodes[id]; ok {
+		return n.h
+	}
+	return nil
+}
+
+// schedCtx binds the scheduler to the currently executing node.
+type schedCtx struct {
+	s  *Scheduler
+	id NodeID
+}
+
+func (c *schedCtx) Self() NodeID { return c.id }
+func (c *schedCtx) Send(to NodeID, topic Topic, body any) {
+	c.s.Send(Message{To: to, From: c.id, Topic: topic, Body: body})
+}
+func (c *schedCtx) Rand() *rand.Rand { return c.s.rng }
+func (c *schedCtx) Now() float64     { return c.s.now }

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSchedulerSendToBottomDropped(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 1})
+	s.Send(Message{To: None, From: 1, Body: "x"})
+	if s.Dropped() != 1 {
+		t.Errorf("dropped = %d", s.Dropped())
+	}
+	if s.InFlight() != 0 {
+		t.Errorf("inflight = %d", s.InFlight())
+	}
+}
+
+func TestSchedulerTypeNamesSorted(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 2})
+	s.AddNode(1, &echoNode{})
+	s.Send(Message{To: 1, From: 1, Body: "s"})
+	s.Send(Message{To: 1, From: 1, Body: 42})
+	names := s.TypeNames()
+	if len(names) != 2 || names[0] != "int" || names[1] != "string" {
+		t.Errorf("TypeNames = %v", names)
+	}
+	if s.CountByType("int") != 1 {
+		t.Errorf("count(int) = %d", s.CountByType("int"))
+	}
+}
+
+func TestSchedulerRemoveNodeDropsInFlight(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 3})
+	a := &echoNode{}
+	s.AddNode(1, a)
+	s.Send(Message{To: 1, From: 2, Body: "x"})
+	s.RemoveNode(1)
+	s.RunRounds(2)
+	if len(a.got) != 0 {
+		t.Error("removed node received a message")
+	}
+	if s.Dropped() != 1 {
+		t.Errorf("dropped = %d", s.Dropped())
+	}
+}
+
+func TestSchedulerResetCounters(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 4})
+	s.AddNode(1, &echoNode{})
+	s.Send(Message{To: 1, From: 2, Body: "x"})
+	s.RunRounds(2)
+	if s.Delivered() == 0 {
+		t.Fatal("nothing delivered")
+	}
+	s.ResetCounters()
+	if s.Delivered() != 0 || s.SentBy(2) != 0 || s.ReceivedBy(1) != 0 || s.CountByType("string") != 0 {
+		t.Error("counters not reset")
+	}
+}
+
+func TestSchedulerNodeIDsAndHandler(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 5})
+	h1, h3 := &echoNode{}, &echoNode{}
+	s.AddNode(3, h3)
+	s.AddNode(1, h1)
+	ids := s.NodeIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Errorf("NodeIDs = %v", ids)
+	}
+	if s.Handler(3) != h3 || s.Handler(99) != nil {
+		t.Error("Handler lookup wrong")
+	}
+}
+
+func TestSchedulerCrashUnknownNoop(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 6})
+	s.Crash(42) // unknown: must not panic or mark crashed
+	if s.Crashed(42) {
+		t.Error("unknown node marked crashed")
+	}
+}
+
+func TestSchedulerDuplicateNodePanics(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 7})
+	s.AddNode(1, &echoNode{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate AddNode")
+		}
+	}()
+	s.AddNode(1, &echoNode{})
+}
+
+func TestMessageString(t *testing.T) {
+	m := Message{To: 2, From: 1, Topic: 3, Body: "hello"}
+	if got := m.String(); got != "1→2 t3 string" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNeverSuspects(t *testing.T) {
+	if NeverSuspects().Suspects(5) {
+		t.Error("NeverSuspects suspected someone")
+	}
+}

@@ -1,0 +1,90 @@
+// Package sim provides the distributed-system substrate the paper's
+// protocols run on: an asynchronous message-passing model with unbounded,
+// loss-free, non-FIFO channels, periodic Timeout actions, node crashes and
+// an eventually-correct failure detector (Sections 1.1 and 3.3 of Feldmann
+// et al.).
+//
+// Two interchangeable executions are provided:
+//
+//   - Scheduler: a deterministic discrete-event simulation (virtual time,
+//     seeded randomness, exact message accounting). All tests, experiments
+//     and benchmarks run on it.
+//   - Runtime: a live execution with one goroutine per protocol node,
+//     unbounded mailboxes and real tickers. The public API and the examples
+//     run on it.
+//
+// Protocol nodes implement Handler against Context and are oblivious to
+// which execution drives them.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NodeID identifies a protocol node. The zero value is ⊥ (no node); the
+// supervisor of a system conventionally has ID 1.
+type NodeID int64
+
+// None is the ⊥ node reference.
+const None NodeID = 0
+
+// Topic identifies one publish-subscribe topic; every message is tagged
+// with the topic it refers to (Section 4: "each message contains the topic
+// it refers to, such that the receiver can match it to the respective
+// BuildSR protocol").
+type Topic int32
+
+// Message is an envelope in a node's channel. Body carries one of the
+// protocol messages defined in package proto.
+type Message struct {
+	To    NodeID
+	From  NodeID
+	Topic Topic
+	Body  any
+}
+
+// String renders a compact description for traces.
+func (m Message) String() string {
+	return fmt.Sprintf("%d→%d t%d %T", m.From, m.To, m.Topic, m.Body)
+}
+
+// Context is the interface a node uses to interact with the system while
+// handling a message or a timeout.
+type Context interface {
+	// Self returns the executing node's ID.
+	Self() NodeID
+	// Send puts a message into the channel of node to. Sends to ⊥ or to
+	// crashed/unknown nodes are silently dropped (the paper assumes
+	// non-corrupted IDs; messages to failed nodes invoke no action).
+	Send(to NodeID, topic Topic, body any)
+	// Rand returns the node's deterministic random source. It must only be
+	// used from within the executing handler.
+	Rand() *rand.Rand
+	// Now returns the current time in timeout intervals (virtual time under
+	// the Scheduler, wall-clock intervals under the Runtime).
+	Now() float64
+}
+
+// Handler is a protocol node: it reacts to messages and to the periodic
+// Timeout action (the paper's only spontaneous action).
+type Handler interface {
+	OnMessage(ctx Context, m Message)
+	OnTimeout(ctx Context)
+}
+
+// Detector is the failure-detector oracle of Section 3.3. Only the
+// supervisor consults it. Implementations are eventually correct: a crashed
+// node is eventually (and permanently) suspected, and live nodes are never
+// suspected.
+type Detector interface {
+	Suspects(id NodeID) bool
+}
+
+// neverSuspects is the detector used when failures are disabled.
+type neverSuspects struct{}
+
+func (neverSuspects) Suspects(NodeID) bool { return false }
+
+// NeverSuspects returns a Detector that suspects no one.
+func NeverSuspects() Detector { return neverSuspects{} }

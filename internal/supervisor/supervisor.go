@@ -1,0 +1,423 @@
+// Package supervisor implements the supervisor side of the BuildSR protocol
+// (Algorithm 3, Sections 3.1, 3.3 and 4.1 of Feldmann et al.).
+//
+// The supervisor is the commonly known gateway of the system. Per topic it
+// maintains a database of (label, subscriber) tuples, hands out
+// configurations (pred, label, succ) in a round-robin fashion, processes
+// subscribe/unsubscribe requests with a constant number of messages
+// (Theorem 7), repairs its database from arbitrary corruption with purely
+// local actions (Lemma 9), and culls crashed subscribers reported by the
+// single system-wide failure detector (Section 3.3).
+package supervisor
+
+import (
+	"sort"
+	"sync"
+
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+)
+
+// Supervisor is a sim.Handler managing one database per topic. All entry
+// points lock, so live-runtime introspection (public API snapshots) is safe
+// concurrently with the protocol goroutine.
+type Supervisor struct {
+	mu       sync.Mutex
+	self     sim.NodeID
+	detector sim.Detector
+	topics   map[sim.Topic]*topicDB
+
+	// CullPerTimeout bounds how many database entries per topic the failure
+	// detector screens each Timeout (keeps per-interval work constant).
+	CullPerTimeout int
+}
+
+// topicDB is the database for one topic plus the round-robin cursor.
+type topicDB struct {
+	// db maps label → subscriber. The ⊥ subscriber (sim.None) and labels
+	// outside {l(0) … l(n−1)} are representable on purpose: they are the
+	// corrupted states of Section 3.1 that CheckLabels repairs.
+	db   map[label.Label]sim.NodeID
+	next uint64
+
+	// sorted caches the entries in r-order for predecessor/successor
+	// queries; rebuilt when stale.
+	sorted []entry
+	stale  bool
+}
+
+type entry struct {
+	l  label.Label
+	id sim.NodeID
+}
+
+// New creates a supervisor with the given node ID and failure detector.
+func New(self sim.NodeID, detector sim.Detector) *Supervisor {
+	if detector == nil {
+		detector = sim.NeverSuspects()
+	}
+	return &Supervisor{
+		self:           self,
+		detector:       detector,
+		topics:         make(map[sim.Topic]*topicDB),
+		CullPerTimeout: 1,
+	}
+}
+
+// ID returns the supervisor's node ID.
+func (s *Supervisor) ID() sim.NodeID { return s.self }
+
+func (s *Supervisor) topic(t sim.Topic) *topicDB {
+	db, ok := s.topics[t]
+	if !ok {
+		db = &topicDB{db: make(map[label.Label]sim.NodeID)}
+		s.topics[t] = db
+	}
+	return db
+}
+
+// OnTimeout performs the periodic supervisor action for every topic:
+// repair the database, screen a few entries against the failure detector,
+// and send one configuration in round-robin order (Algorithm 3, Timeout).
+func (s *Supervisor) OnTimeout(ctx sim.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Iterate topics in a fixed order for determinism.
+	ids := make([]sim.Topic, 0, len(s.topics))
+	for t := range s.topics {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, t := range ids {
+		s.timeoutTopic(ctx, t)
+	}
+}
+
+func (s *Supervisor) timeoutTopic(ctx sim.Context, t sim.Topic) {
+	db := s.topic(t)
+	db.checkLabels()
+	n := uint64(len(db.db))
+	if n == 0 {
+		return
+	}
+	// Cull crashed subscribers (Section 3.3): screen the round-robin target
+	// plus a bounded number of subsequent entries.
+	for i := 0; i < s.CullPerTimeout; i++ {
+		cursor := (db.next + 1 + uint64(i)) % n
+		if v, ok := db.db[label.FromIndex(cursor)]; ok && v != sim.None && s.detector.Suspects(v) {
+			delete(db.db, label.FromIndex(cursor))
+			db.stale = true
+			db.checkLabels()
+			n = uint64(len(db.db))
+			if n == 0 {
+				return
+			}
+		}
+	}
+	db.next = (db.next + 1) % n
+	lab := label.FromIndex(db.next)
+	if v, ok := db.db[lab]; ok && v != sim.None {
+		s.sendConfiguration(ctx, t, db, v)
+	}
+}
+
+// OnMessage dispatches the three supervisor-bound requests.
+func (s *Supervisor) OnMessage(ctx sim.Context, m sim.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch b := m.Body.(type) {
+	case proto.Subscribe:
+		v := b.V
+		if v == sim.None {
+			v = m.From
+		}
+		s.subscribe(ctx, m.Topic, v)
+	case proto.Unsubscribe:
+		v := b.V
+		if v == sim.None {
+			v = m.From
+		}
+		s.unsubscribe(ctx, m.Topic, v)
+	case proto.GetConfiguration:
+		v := b.V
+		if v == sim.None {
+			v = m.From
+		}
+		s.getConfiguration(ctx, m.Topic, v)
+	}
+}
+
+// subscribe implements Algorithm 3 Subscribe: insert v with the next free
+// label and send it its configuration; if v is already recorded just
+// re-send its configuration. Exactly one message either way (Theorem 7).
+func (s *Supervisor) subscribe(ctx sim.Context, t sim.Topic, v sim.NodeID) {
+	db := s.topic(t)
+	db.checkLabels()
+	db.checkMultipleCopies(v)
+	if db.labelOf(v) != label.Bottom {
+		s.getConfiguration(ctx, t, v)
+		return
+	}
+	lab := label.FromIndex(uint64(len(db.db)))
+	db.db[lab] = v
+	db.stale = true
+	s.sendConfiguration(ctx, t, db, v)
+}
+
+// unsubscribe implements Algorithm 3 Unsubscribe: remove v, move the node
+// with the highest label into the vacated label, send that node its new
+// configuration, and grant v permission to drop its connections by sending
+// it the all-⊥ configuration. At most two messages (Theorem 7).
+func (s *Supervisor) unsubscribe(ctx sim.Context, t sim.Topic, v sim.NodeID) {
+	db := s.topic(t)
+	db.checkLabels()
+	db.checkMultipleCopies(v)
+	lu := db.labelOf(v)
+	if lu != label.Bottom {
+		n := uint64(len(db.db))
+		last := label.FromIndex(n - 1)
+		if n > 1 && lu != last {
+			w := db.db[last]
+			delete(db.db, last)
+			db.db[lu] = w // w takes over v's label
+			db.stale = true
+			s.sendConfiguration(ctx, t, db, w)
+		} else {
+			delete(db.db, lu)
+			db.stale = true
+		}
+	}
+	ctx.Send(v, t, proto.SetData{}) // all-⊥: permission to leave
+}
+
+// getConfiguration implements Algorithm 3 GetConfiguration: send v its
+// configuration if recorded, the all-⊥ configuration otherwise (v will then
+// re-subscribe via action (i) if it wants in — this realizes the
+// "integrate v into the database" of Section 3.2.1 in two steps).
+func (s *Supervisor) getConfiguration(ctx sim.Context, t sim.Topic, v sim.NodeID) {
+	db := s.topic(t)
+	db.checkMultipleCopies(v)
+	if db.labelOf(v) == label.Bottom {
+		ctx.Send(v, t, proto.SetData{})
+		return
+	}
+	s.sendConfiguration(ctx, t, db, v)
+}
+
+func (s *Supervisor) sendConfiguration(ctx sim.Context, t sim.Topic, db *topicDB, v sim.NodeID) {
+	lab := db.labelOf(v)
+	pred, succ := db.neighbors(lab)
+	ctx.Send(v, t, proto.SetData{Pred: pred, Label: lab, Succ: succ})
+}
+
+// labelOf returns the (lowest) label stored for v, or ⊥.
+func (db *topicDB) labelOf(v sim.NodeID) label.Label {
+	best := label.Bottom
+	for l, w := range db.db {
+		if w == v && (best == label.Bottom || l.Index() < best.Index()) {
+			best = l
+		}
+	}
+	return best
+}
+
+// checkMultipleCopies removes all duplicate tuples for v except the one
+// with the lowest label (Algorithm 3, CheckMultipleCopies — corruption
+// case (ii)).
+func (db *topicDB) checkMultipleCopies(v sim.NodeID) {
+	if v == sim.None {
+		return
+	}
+	keep := db.labelOf(v)
+	for l, w := range db.db {
+		if w == v && l != keep {
+			delete(db.db, l)
+			db.stale = true
+		}
+	}
+}
+
+// checkLabels repairs the database (Algorithm 3, CheckLabels): it removes
+// tuples with ⊥ subscribers (case (i)) and relabels entries so that exactly
+// the labels l(0) … l(n−1) are present (cases (iii) and (iv)), moving the
+// entries with the highest/out-of-range labels into the gaps. Purely local:
+// no messages are generated; the round-robin refresh propagates the
+// corrected labels.
+func (db *topicDB) checkLabels() {
+	for l, v := range db.db {
+		if v == sim.None {
+			delete(db.db, l)
+			db.stale = true
+		}
+	}
+	n := uint64(len(db.db))
+	var missing []label.Label // wanted labels not present, ascending
+	var extra []entry         // entries with labels outside l(0 … n−1)
+	for i := uint64(0); i < n; i++ {
+		if _, ok := db.db[label.FromIndex(i)]; !ok {
+			missing = append(missing, label.FromIndex(i))
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	for l, v := range db.db {
+		if !l.Valid() || l.IsBottom() || l.Index() >= n || l != label.FromIndex(l.Index()) {
+			extra = append(extra, entry{l, v})
+		}
+	}
+	// Paper: take the tuple with maximum index j > i; sort extras by
+	// descending index so the assignment is deterministic.
+	sort.Slice(extra, func(i, j int) bool {
+		return extraRank(extra[i].l) > extraRank(extra[j].l)
+	})
+	for i, gap := range missing {
+		if i >= len(extra) {
+			break // cannot happen with a consistent map, defensive only
+		}
+		delete(db.db, extra[i].l)
+		db.db[gap] = extra[i].id
+	}
+	db.stale = true
+}
+
+// extraRank orders out-of-range labels: generated labels by their index,
+// malformed labels last (they are replaced first in descending order).
+func extraRank(l label.Label) uint64 {
+	if l.Valid() && !l.IsBottom() {
+		return l.Index()
+	}
+	return 1<<63 + uint64(l.Frac()>>1) // malformed: highest ranks
+}
+
+// neighbors returns the predecessor and successor tuples of lab in the
+// r-ordering of the database, wrapping around the ring. With a single
+// entry both are ⊥.
+func (db *topicDB) neighbors(lab label.Label) (pred, succ proto.Tuple) {
+	db.rebuild()
+	n := len(db.sorted)
+	if n <= 1 {
+		return proto.Tuple{}, proto.Tuple{}
+	}
+	i := sort.Search(n, func(i int) bool { return db.sorted[i].l.Frac() >= lab.Frac() })
+	if i == n || db.sorted[i].l != lab {
+		// lab not present (transient corruption): neighbors of its position.
+		pi := (i - 1 + n) % n
+		si := i % n
+		return proto.Tuple{L: db.sorted[pi].l, Ref: db.sorted[pi].id},
+			proto.Tuple{L: db.sorted[si].l, Ref: db.sorted[si].id}
+	}
+	pi := (i - 1 + n) % n
+	si := (i + 1) % n
+	return proto.Tuple{L: db.sorted[pi].l, Ref: db.sorted[pi].id},
+		proto.Tuple{L: db.sorted[si].l, Ref: db.sorted[si].id}
+}
+
+func (db *topicDB) rebuild() {
+	if !db.stale && db.sorted != nil {
+		return
+	}
+	db.sorted = db.sorted[:0]
+	for l, v := range db.db {
+		db.sorted = append(db.sorted, entry{l, v})
+	}
+	sort.Slice(db.sorted, func(i, j int) bool { return db.sorted[i].l.Frac() < db.sorted[j].l.Frac() })
+	db.stale = false
+}
+
+// ---- introspection and corruption injection (tests and experiments) ----
+
+// N returns the number of recorded subscribers for a topic.
+func (s *Supervisor) N(t sim.Topic) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.topic(t).db)
+}
+
+// Topics returns all topics with a database, sorted.
+func (s *Supervisor) Topics() []sim.Topic {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]sim.Topic, 0, len(s.topics))
+	for t := range s.topics {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot returns a copy of the topic database.
+func (s *Supervisor) Snapshot(t sim.Topic) map[label.Label]sim.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.topic(t)
+	out := make(map[label.Label]sim.NodeID, len(db.db))
+	for l, v := range db.db {
+		out[l] = v
+	}
+	return out
+}
+
+// LabelOf returns the label recorded for v, or ⊥.
+func (s *Supervisor) LabelOf(t sim.Topic, v sim.NodeID) label.Label {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.topic(t).labelOf(v)
+}
+
+// Corrupted reports whether the database currently violates any of the four
+// validity conditions of Section 3.1.
+func (s *Supervisor) Corrupted(t sim.Topic) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.topic(t)
+	n := uint64(len(db.db))
+	seen := make(map[sim.NodeID]bool, n)
+	for l, v := range db.db {
+		if v == sim.None { // (i)
+			return true
+		}
+		if seen[v] { // (ii)
+			return true
+		}
+		seen[v] = true
+		if !l.Valid() || l.IsBottom() || l.Index() >= n || l != label.FromIndex(l.Index()) { // (iv)
+			return true
+		}
+	}
+	for i := uint64(0); i < n; i++ { // (iii)
+		if _, ok := db.db[label.FromIndex(i)]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// InjectRaw force-writes a raw tuple into the database (tests: corruption
+// cases (i), (ii) and (iv)).
+func (s *Supervisor) InjectRaw(t sim.Topic, l label.Label, v sim.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.topic(t)
+	db.db[l] = v
+	db.stale = true
+}
+
+// DeleteLabel force-removes a label (tests: corruption case (iii)).
+func (s *Supervisor) DeleteLabel(t sim.Topic, l label.Label) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.topic(t)
+	delete(db.db, l)
+	db.stale = true
+}
+
+// RepairNow runs the local repair actions immediately (tests).
+func (s *Supervisor) RepairNow(t sim.Topic) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.topic(t).checkLabels()
+}
+
+var _ sim.Handler = (*Supervisor)(nil)

@@ -1,0 +1,478 @@
+// Package tokenring implements the deterministic supervisor variant the
+// paper's conclusion poses as future work: "one may investigate, if there
+// are deterministic self-stabilizing protocols for supervised overlay
+// networks. These can probably [be] established by using a token-passing
+// scheme. … Then the space overhead for the supervisor could be reduced as
+// it only needs to know the number of subscribers n."
+//
+// Design. The supervisor stores, per topic, only a constant amount of
+// steady-state data: the ring size n, the tuple of position 0 (the entry),
+// the tuple of the last position, an epoch and the token bookkeeping. It
+// periodically launches a Token that walks the ring in r-order; every
+// receiver derives its label deterministically from its position
+// (label.NthInOrder) and adopts the predecessor carried by the token. The
+// final node returns the token and the supervisor installs the cycle
+// closure by introducing the first and last tuples to each other. No
+// randomness and no per-subscriber database are involved in the steady
+// state.
+//
+// Joins are spliced in-pass: pending joiners ride on the token with their
+// assigned labels and are visited at exactly the positions their labels
+// occupy. Leaves and crashes break the pass; after repeated failures the
+// supervisor falls back to a rebuild: it waits for live subscribers to
+// re-register (nodes report themselves when they have not seen a token
+// for a while) and then batch-assigns the new ring. During a rebuild the
+// supervisor transiently stores the registration set (O(n)); the paper's
+// O(1)-space claim concerns the steady state, and the trade-off is
+// measured by the token-vs-database experiment.
+package tokenring
+
+import (
+	"sort"
+
+	"sspubsub/internal/core"
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+)
+
+// Supervisor is the token-passing supervisor (a sim.Handler).
+type Supervisor struct {
+	self   sim.NodeID
+	topics map[sim.Topic]*topicState
+
+	// TokenSlack is the extra allowance (in timeout intervals) beyond one
+	// expected pass duration before a token is declared lost.
+	TokenSlack float64
+	// RebuildQuiet is how long registration must be quiet before a rebuild
+	// batch-assigns the ring.
+	RebuildQuiet float64
+}
+
+type topicState struct {
+	epoch uint64
+	n     uint64      // committed ring size
+	entry proto.Tuple // position 0
+	last  proto.Tuple // position n−1
+
+	tokenOut  bool
+	tokenN    uint64 // size the in-flight pass is building
+	tokenSent float64
+	failures  int
+
+	pending  map[sim.NodeID]bool // joiners awaiting splice
+	inFlight map[sim.NodeID]bool // joiners riding the current pass
+
+	rebuild      bool
+	rebuildStart float64
+	prevN        uint64              // ring size before the rebuild began
+	regs         map[sim.NodeID]bool // re-registrations during rebuild
+	lastReg      float64
+	fallback     sim.NodeID // most recent complainer (entry candidate)
+}
+
+// NewSupervisor creates a token-passing supervisor.
+func NewSupervisor(self sim.NodeID) *Supervisor {
+	return &Supervisor{
+		self:         self,
+		topics:       make(map[sim.Topic]*topicState),
+		TokenSlack:   5,
+		RebuildQuiet: 3,
+	}
+}
+
+func (s *Supervisor) topic(t sim.Topic) *topicState {
+	st, ok := s.topics[t]
+	if !ok {
+		st = &topicState{pending: map[sim.NodeID]bool{}, inFlight: map[sim.NodeID]bool{}, regs: map[sim.NodeID]bool{}}
+		s.topics[t] = st
+	}
+	return st
+}
+
+// N returns the committed ring size for a topic.
+func (s *Supervisor) N(t sim.Topic) int { return int(s.topic(t).n) }
+
+// Epoch returns the current token epoch (tests).
+func (s *Supervisor) Epoch(t sim.Topic) uint64 { return s.topic(t).epoch }
+
+// Rebuilding reports whether the topic is in rebuild mode (tests).
+func (s *Supervisor) Rebuilding(t sim.Topic) bool { return s.topic(t).rebuild }
+
+// OnTimeout launches or retries token passes and finalizes rebuilds.
+func (s *Supervisor) OnTimeout(ctx sim.Context) {
+	topics := make([]sim.Topic, 0, len(s.topics))
+	for t := range s.topics {
+		topics = append(topics, t)
+	}
+	sort.Slice(topics, func(i, j int) bool { return topics[i] < topics[j] })
+	for _, t := range topics {
+		s.timeoutTopic(ctx, t)
+	}
+}
+
+func (s *Supervisor) timeoutTopic(ctx sim.Context, t sim.Topic) {
+	st := s.topic(t)
+	now := ctx.Now()
+
+	if st.rebuild {
+		// Finish when registration goes quiet, or after every live member
+		// has certainly had a staleness window (2·prevN + slack) — with
+		// many members the re-registration stream never goes quiet.
+		cap := 2*float64(st.prevN) + 16
+		if len(st.regs) > 0 &&
+			(now-st.lastReg >= s.RebuildQuiet || now-st.rebuildStart >= cap) {
+			s.finishRebuild(ctx, t, st)
+		}
+		return
+	}
+
+	if st.tokenOut {
+		// Expected pass duration ≈ one hop per message delay (< 1 interval
+		// each); allow n + slack intervals before declaring loss.
+		if now-st.tokenSent <= float64(st.tokenN)+s.TokenSlack {
+			return
+		}
+		st.tokenOut = false
+		st.failures++
+		st.epoch++
+		// Drop the in-flight joiners rather than re-pending them: a joiner
+		// that was spliced before the pass broke is a member now and must
+		// not be assigned a second label, while an unspliced joiner is
+		// still unlabelled and re-subscribes by itself. (Re-pending spliced
+		// members is a livelock: every subsequent pass visits them twice
+		// and aborts.)
+		st.inFlight = map[sim.NodeID]bool{}
+		if st.failures >= 3 {
+			s.startRebuild(st)
+			return
+		}
+	}
+
+	// Launch a pass. Bootstrap directly while the ring is tiny.
+	joiners := sortedIDs(st.pending)
+	if st.n == 0 {
+		if len(joiners) == 0 {
+			return
+		}
+		// First subscriber: assign l(0) directly.
+		v := joiners[0]
+		delete(st.pending, v)
+		st.n = 1
+		st.entry = proto.Tuple{L: label.FromIndex(0), Ref: v}
+		st.last = st.entry
+		ctx.Send(v, t, proto.SetData{Label: label.FromIndex(0)})
+		return
+	}
+	st.epoch++
+	st.tokenN = st.n + uint64(len(joiners))
+	pendingTuples := make([]proto.Tuple, len(joiners))
+	st.inFlight = map[sim.NodeID]bool{}
+	for i, v := range joiners {
+		pendingTuples[i] = proto.Tuple{L: label.FromIndex(st.n + uint64(i)), Ref: v}
+		st.inFlight[v] = true
+	}
+	st.pending = map[sim.NodeID]bool{}
+	st.tokenOut = true
+	st.tokenSent = now
+	ctx.Send(st.entry.Ref, t, proto.Token{
+		Epoch:   st.epoch,
+		N:       st.tokenN,
+		Pos:     0,
+		Pending: pendingTuples,
+	})
+}
+
+func (s *Supervisor) startRebuild(st *topicState) {
+	st.rebuild = true
+	st.prevN = st.n
+	st.rebuildStart = -1 // set on the first registration
+	st.n = 0
+	st.entry = proto.Tuple{}
+	st.last = proto.Tuple{}
+	st.regs = map[sim.NodeID]bool{}
+	for v := range st.pending { // joiners participate in the rebuild
+		st.regs[v] = true
+	}
+	for v := range st.inFlight {
+		st.regs[v] = true
+	}
+	st.pending = map[sim.NodeID]bool{}
+	st.inFlight = map[sim.NodeID]bool{}
+}
+
+// finishRebuild batch-assigns the ring over the registered set and then
+// discards it, returning to O(1) steady-state memory.
+func (s *Supervisor) finishRebuild(ctx sim.Context, t sim.Topic, st *topicState) {
+	ids := sortedIDs(st.regs)
+	n := uint64(len(ids))
+	tuples := make([]proto.Tuple, n)
+	for i, v := range ids {
+		tuples[i] = proto.Tuple{L: label.NthInOrder(n, uint64(i)), Ref: v}
+	}
+	for i, v := range ids {
+		pred := tuples[(uint64(i)+n-1)%n]
+		succ := tuples[(uint64(i)+1)%n]
+		if n == 1 {
+			pred, succ = proto.Tuple{}, proto.Tuple{}
+		}
+		ctx.Send(v, t, proto.SetData{Pred: pred, Label: tuples[i].L, Succ: succ})
+	}
+	st.n = n
+	st.entry = tuples[0]
+	st.last = tuples[n-1]
+	st.rebuild = false
+	st.failures = 0
+	st.regs = map[sim.NodeID]bool{}
+	st.tokenOut = false
+}
+
+// OnMessage handles registrations, leaves and token returns.
+func (s *Supervisor) OnMessage(ctx sim.Context, m sim.Message) {
+	st := s.topic(m.Topic)
+	switch b := m.Body.(type) {
+	case proto.Subscribe:
+		v := b.V
+		if v == sim.None {
+			v = m.From
+		}
+		if st.rebuild {
+			st.regs[v] = true
+			st.lastReg = ctx.Now()
+			if st.rebuildStart < 0 {
+				st.rebuildStart = ctx.Now()
+			}
+		} else if !st.inFlight[v] {
+			// A joiner already riding the current pass re-subscribes while
+			// still unlabelled; pending it again would assign it a second
+			// label on the next pass.
+			st.pending[v] = true
+		}
+	case proto.Register:
+		v := b.V
+		if v == sim.None {
+			v = m.From
+		}
+		st.fallback = v
+		if st.rebuild {
+			st.regs[v] = true
+			st.lastReg = ctx.Now()
+			if st.rebuildStart < 0 {
+				st.rebuildStart = ctx.Now()
+			}
+		} else if b.Label.IsBottom() {
+			if !st.inFlight[v] {
+				st.pending[v] = true
+			}
+		} else {
+			// A labelled node that has not seen the token for a long time
+			// is not on the walk: it is a shadow member (e.g. left over
+			// from a pass that broke after splicing it). Evict it — it
+			// clears its label, re-subscribes and is spliced consistently.
+			// A legitimate member complaining about a merely delayed token
+			// suffers the same eviction and simply rejoins: churn, not
+			// incorrectness.
+			ctx.Send(v, m.Topic, proto.SetData{})
+		}
+	case proto.Unsubscribe:
+		v := b.V
+		if v == sim.None {
+			v = m.From
+		}
+		// Grant immediately; without a database the supervisor cannot
+		// excise one member surgically, so the ring is rebuilt from the
+		// survivors' re-registrations.
+		delete(st.pending, v)
+		delete(st.inFlight, v)
+		delete(st.regs, v)
+		ctx.Send(v, m.Topic, proto.SetData{})
+		if !st.rebuild {
+			s.startRebuild(st)
+		}
+	case proto.GetConfiguration:
+		if b.V != sim.None {
+			st.fallback = b.V
+		}
+	case proto.TokenReturn:
+		if b.Epoch != st.epoch || !st.tokenOut {
+			return // stale pass
+		}
+		st.tokenOut = false
+		if !b.Complete {
+			st.failures++
+			st.epoch++
+			st.inFlight = map[sim.NodeID]bool{} // see the timeout path
+			if st.failures >= 3 {
+				s.startRebuild(st)
+			}
+			return
+		}
+		st.failures = 0
+		st.n = st.tokenN
+		if !b.First.IsBottom() {
+			st.entry = b.First
+		}
+		if !b.Last.IsBottom() {
+			st.last = b.Last
+		}
+		// All joiners of this pass are spliced.
+		st.inFlight = map[sim.NodeID]bool{}
+		// Install the cycle closure: introduce the extremes to each other.
+		if st.entry.Ref != sim.None && st.last.Ref != sim.None && st.entry.Ref != st.last.Ref {
+			ctx.Send(st.entry.Ref, m.Topic, proto.Introduce{C: st.last, Flag: proto.CYC})
+			ctx.Send(st.last.Ref, m.Topic, proto.Introduce{C: st.entry, Flag: proto.CYC})
+		}
+	}
+}
+
+func sortedIDs(set map[sim.NodeID]bool) []sim.NodeID {
+	out := make([]sim.NodeID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+var _ sim.Handler = (*Supervisor)(nil)
+
+// Node wraps a core.Client for token mode: it intercepts Token messages,
+// applies the positional configuration to the right per-topic instance,
+// forwards the token, and reports staleness to the supervisor when no
+// token has been seen for StaleAfter intervals.
+type Node struct {
+	Client     *core.Client
+	Supervisor sim.NodeID
+	// StaleAfter is the staleness threshold in timeout intervals.
+	StaleAfter float64
+
+	lastToken map[sim.Topic]float64
+	lastEpoch map[sim.Topic]uint64
+	lastN     map[sim.Topic]uint64
+}
+
+// NewNode wraps a client for token mode.
+func NewNode(client *core.Client, supervisor sim.NodeID) *Node {
+	return &Node{
+		Client:     client,
+		Supervisor: supervisor,
+		StaleAfter: 12,
+		lastToken:  map[sim.Topic]float64{},
+		lastEpoch:  map[sim.Topic]uint64{},
+		lastN:      map[sim.Topic]uint64{},
+	}
+}
+
+// OnTimeout drives the wrapped client and reports token staleness.
+func (n *Node) OnTimeout(ctx sim.Context) {
+	n.Client.OnTimeout(ctx)
+	for _, t := range n.Client.Topics() {
+		if !n.Client.Joined(t) {
+			continue
+		}
+		seen, ok := n.lastToken[t]
+		if !ok {
+			n.lastToken[t] = ctx.Now()
+			continue
+		}
+		// Scale the staleness threshold with the last observed ring size: a
+		// pass takes about one hop per message delay, so a healthy token
+		// returns well within 2·N intervals.
+		threshold := n.StaleAfter
+		if t2 := 2*float64(n.lastN[t]) + 8; t2 > threshold {
+			threshold = t2
+		}
+		if ctx.Now()-seen > threshold {
+			st, _ := n.Client.StateOf(t)
+			ctx.Send(n.Supervisor, t, proto.Register{V: n.Client.ID(), Label: st.Label})
+			n.lastToken[t] = ctx.Now() // back off until the next window
+		}
+	}
+}
+
+// OnMessage intercepts tokens and forwards everything else to the client.
+func (n *Node) OnMessage(ctx sim.Context, m sim.Message) {
+	tok, ok := m.Body.(proto.Token)
+	if !ok {
+		n.Client.OnMessage(ctx, m)
+		return
+	}
+	n.lastToken[m.Topic] = ctx.Now()
+	n.lastN[m.Topic] = tok.N
+	in, joined := n.Client.Instance(m.Topic)
+	if !joined || in.Sub.Departed() {
+		ctx.Send(n.Supervisor, m.Topic, proto.TokenReturn{Epoch: tok.Epoch, Complete: false, First: tok.First})
+		return
+	}
+	if tok.Pos >= tok.N {
+		return // corrupted token
+	}
+	// A consistent pass visits every node exactly once. A second visit in
+	// the same epoch means the walk is inconsistent (a node holds two
+	// positions — e.g. a straggler Subscribe re-pended an already-labelled
+	// node, or stale right pointers looped the walk). Abort the pass; the
+	// supervisor's failure counter escalates to a rebuild, which is always
+	// consistent.
+	if last, ok := n.lastEpoch[m.Topic]; ok && last == tok.Epoch {
+		ctx.Send(n.Supervisor, m.Topic, proto.TokenReturn{Epoch: tok.Epoch, Complete: false, First: tok.First})
+		return
+	}
+	n.lastEpoch[m.Topic] = tok.Epoch
+	lab := label.NthInOrder(tok.N, tok.Pos)
+	in.Sub.ApplyToken(lab, tok.Prev)
+	self := proto.Tuple{L: lab, Ref: n.Client.ID()}
+	if tok.Pos == 0 {
+		tok.First = self
+	}
+
+	next := tok.Pos + 1
+	if next == tok.N {
+		// Census check: a consistent ring of exactly N nodes closes here —
+		// our successor must be the entry (or still unknown). Anything else
+		// means extra nodes are woven into the physical ring (e.g. joiners
+		// spliced by a pass that later broke); only a rebuild restores an
+		// exact census, so fail the pass.
+		complete := true
+		if right := in.Sub.Right(); !right.IsBottom() && right.Ref != tok.First.Ref {
+			complete = false
+		}
+		ctx.Send(n.Supervisor, m.Topic, proto.TokenReturn{
+			Epoch: tok.Epoch, Complete: complete, First: tok.First, Last: self,
+		})
+		return
+	}
+	nextLabel := label.NthInOrder(tok.N, next)
+	fwd := tok
+	fwd.Pos = next
+	fwd.Prev = self
+
+	// A pending joiner owns the next position: splice it in, handing it the
+	// place to continue (our old right, or the hop we ourselves inherited).
+	for i, p := range tok.Pending {
+		if p.L == nextLabel {
+			fwd.Pending = append(append([]proto.Tuple{}, tok.Pending[:i]...), tok.Pending[i+1:]...)
+			fwd.NextHop = in.Sub.Right()
+			if fwd.NextHop.IsBottom() {
+				fwd.NextHop = tok.NextHop
+			}
+			ctx.Send(p.Ref, m.Topic, fwd)
+			return
+		}
+	}
+	fwd.NextHop = proto.Tuple{}
+	target := in.Sub.Right()
+	if target.IsBottom() {
+		target = tok.NextHop
+	}
+	if target.IsBottom() || target.Ref == tok.First.Ref {
+		// No way forward, or a premature wrap (the physical ring is shorter
+		// than N): fail the pass.
+		ctx.Send(n.Supervisor, m.Topic, proto.TokenReturn{
+			Epoch: tok.Epoch, Complete: false, First: tok.First, Last: self,
+		})
+		return
+	}
+	ctx.Send(target.Ref, m.Topic, fwd)
+}
+
+var _ sim.Handler = (*Node)(nil)

@@ -1,0 +1,251 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sspubsub/internal/label"
+)
+
+// edge is a test helper: the undirected edge between subscriber indices.
+func edge(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Figure 1 of the paper: SR(16) has 16 ring edges (level 4), 8 shortcuts at
+// level 3 (green), 4 at level 2 (red) and 1 at level 1 (blue).
+func TestFigure1EdgeCensus(t *testing.T) {
+	r := New(16)
+	byLevel := map[uint8]int{}
+	for _, lvl := range r.Edges() {
+		byLevel[lvl]++
+	}
+	want := map[uint8]int{4: 16, 3: 8, 2: 4, 1: 1}
+	for lvl, w := range want {
+		if byLevel[lvl] != w {
+			t.Errorf("level %d: %d edges, want %d", lvl, byLevel[lvl], w)
+		}
+	}
+	if len(r.Edges()) != 29 {
+		t.Errorf("|E| = %d undirected, want 29", len(r.Edges()))
+	}
+}
+
+// Spot-check specific Figure 1 edges. Indices are subscriber numbers x:
+// x=0 ↔ r 0, x=1 ↔ 1/2, x=2 ↔ 1/4, x=3 ↔ 3/4, x=4 ↔ 1/8, x=5 ↔ 3/8 …
+func TestFigure1SpecificEdges(t *testing.T) {
+	r := New(16)
+	cases := []struct {
+		a, b  int
+		level uint8
+	}{
+		{0, 1, 1},  // 0 — 1/2: the blue level-1 shortcut
+		{0, 2, 2},  // 0 — 1/4 (red)
+		{2, 1, 2},  // 1/4 — 1/2 (red)
+		{1, 3, 2},  // 1/2 — 3/4 (red)
+		{3, 0, 2},  // 3/4 — 0 (red, wraps)
+		{0, 4, 3},  // 0 — 1/8 (green)
+		{4, 2, 3},  // 1/8 — 1/4 (green)
+		{2, 5, 3},  // 1/4 — 3/8 (green)
+		{0, 8, 4},  // 0 — 1/16 (ring)
+		{8, 4, 4},  // 1/16 — 1/8 (ring)
+		{15, 0, 4}, // 15/16 — 0 (ring, wraps)
+	}
+	for _, c := range cases {
+		lvl, ok := r.EdgeLevel(c.a, c.b)
+		if !ok {
+			t.Errorf("edge (%d,%d) missing", c.a, c.b)
+			continue
+		}
+		if lvl != c.level {
+			t.Errorf("edge (%d,%d) level %d, want %d", c.a, c.b, lvl, c.level)
+		}
+	}
+	// Non-edges: 1/16 has no shortcut anywhere (deepest level).
+	if _, ok := r.EdgeLevel(8, 1); ok {
+		t.Error("1/16 — 1/2 must not be an edge")
+	}
+}
+
+// Lemma 3: max degree 2(log n − k + 1) up to the shared level-1 edge;
+// average degree ≤ 4; |E| ≈ 4n − 4 directed.
+func TestDegreeStatsLemma3(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024, 4096} {
+		r := New(n)
+		st := r.Stats()
+		logn := int(math.Ceil(math.Log2(float64(n))))
+		// The label-0 node holds 2 edges per level except the deduplicated
+		// level-1 edge: 2·log n − 1.
+		if want := 2*logn - 1; n >= 4 && st.MaxDegree != want {
+			t.Errorf("n=%d: max degree %d, want %d", n, st.MaxDegree, want)
+		}
+		if st.AvgDegree > 4.0 {
+			t.Errorf("n=%d: avg degree %.3f > 4", n, st.AvgDegree)
+		}
+		// Directed edge count: paper's closed form is 4n−4; the actual
+		// graph double-counts one less edge (the level-1 pair is a single
+		// edge), giving 4n−6 for powers of two.
+		if n >= 4 && n&(n-1) == 0 {
+			if st.Directed != 4*n-6 {
+				t.Errorf("n=%d: directed edges %d, want %d (paper closed form %d)",
+					n, st.Directed, 4*n-6, st.PaperDirected)
+			}
+		}
+	}
+}
+
+// The skip ring has logarithmic diameter (Section 4.3: flooding reaches all
+// subscribers in O(log n) hops).
+func TestDiameterLogarithmic(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 64, 256, 1024} {
+		r := New(n)
+		d := r.Diameter()
+		logn := int(math.Ceil(math.Log2(float64(n))))
+		if d > logn+1 {
+			t.Errorf("n=%d: diameter %d exceeds log n + 1 = %d", n, d, logn+1)
+		}
+	}
+}
+
+// Expected states must be mutually consistent: if x's expected left is
+// label L, then L's owner's expected right is x's label, etc.
+func TestExpectedStatesConsistent(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 23, 64} {
+		r := New(n)
+		for x := 0; x < n; x++ {
+			exp := r.Expected(x)
+			if !exp.Left.IsBottom() {
+				y := r.IndexOf(exp.Left)
+				if y < 0 {
+					t.Fatalf("n=%d x=%d: left label %s unknown", n, x, exp.Left)
+				}
+				if got := r.Expected(y).Right; got != exp.Label {
+					t.Errorf("n=%d: %s.left=%s but %s.right=%s", n, exp.Label, exp.Left, exp.Left, got)
+				}
+			}
+			if !exp.Ring.IsBottom() {
+				y := r.IndexOf(exp.Ring)
+				if got := r.Expected(y).Ring; got != exp.Label {
+					t.Errorf("n=%d: ring edge not mutual between %s and %s", n, exp.Label, exp.Ring)
+				}
+			}
+			// Every expected shortcut label must exist in the ring.
+			for slot := range exp.Shortcuts {
+				if r.IndexOf(slot) < 0 {
+					t.Errorf("n=%d x=%d: shortcut slot %s unknown", n, x, slot)
+				}
+			}
+		}
+	}
+}
+
+// Property: shortcut slots derived by the oracle match Definition 2's edge
+// set — for every expected shortcut (v, s) the static graph has an edge at
+// level max(|v|, |s|) < ⌈log n⌉.
+func TestExpectedShortcutsMatchEdges(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed%120) + 2
+		r := New(n)
+		for x := 0; x < n; x++ {
+			exp := r.Expected(x)
+			for slot := range exp.Shortcuts {
+				y := r.IndexOf(slot)
+				if y < 0 {
+					return false
+				}
+				if _, ok := r.EdgeLevel(x, y); !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Conversely, every static edge is accounted for by either a ring
+// adjacency or a shortcut slot of one of its endpoints.
+func TestEdgesCoveredByExpectedStates(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 16, 33} {
+		r := New(n)
+		for e := range r.Edges() {
+			a, b := e[0], e[1]
+			if covered(r, a, b) || covered(r, b, a) {
+				continue
+			}
+			t.Errorf("n=%d: edge (%d,%d) not covered by any expected state", n, a, b)
+		}
+	}
+}
+
+func covered(r *SkipRing, x, y int) bool {
+	exp := r.Expected(x)
+	ly := r.Label(y)
+	if exp.Left == ly || exp.Right == ly || exp.Ring == ly {
+		return true
+	}
+	_, ok := exp.Shortcuts[ly]
+	return ok
+}
+
+func TestRingNeighborsWrap(t *testing.T) {
+	r := New(16)
+	// x=0 (r 0): pred is the max (15/16 = x 15), succ is 1/16 = x 8.
+	pred, succ := r.RingNeighbors(0)
+	if pred != 15 || succ != 8 {
+		t.Errorf("RingNeighbors(0) = %d,%d; want 15,8", pred, succ)
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	r := New(10)
+	for x := 0; x < 10; x++ {
+		if r.IndexOf(r.Label(x)) != x {
+			t.Errorf("IndexOf(Label(%d)) != %d", x, x)
+		}
+	}
+	if r.IndexOf(label.FromIndex(10)) != -1 {
+		t.Error("out-of-range label should map to -1")
+	}
+	if r.IndexOf(label.Bottom) != -1 {
+		t.Error("⊥ should map to -1")
+	}
+}
+
+func TestBFSHops(t *testing.T) {
+	r := New(64)
+	hops := r.BFSHops(0)
+	for x, h := range hops {
+		if h < 0 {
+			t.Fatalf("node %d unreachable", x)
+		}
+	}
+	if hops[0] != 0 {
+		t.Error("source distance must be 0")
+	}
+}
+
+func TestSingletonAndPair(t *testing.T) {
+	r1 := New(1)
+	if len(r1.Edges()) != 0 || r1.Diameter() != 0 {
+		t.Error("SR(1) must have no edges")
+	}
+	exp := r1.Expected(0)
+	if !exp.Left.IsBottom() || !exp.Right.IsBottom() || !exp.Ring.IsBottom() || len(exp.Shortcuts) != 0 {
+		t.Errorf("SR(1) expected state not empty: %+v", exp)
+	}
+	r2 := New(2)
+	if len(r2.Edges()) != 1 {
+		t.Errorf("SR(2) must have exactly 1 edge, got %d", len(r2.Edges()))
+	}
+	e0 := r2.Expected(0)
+	if e0.Right != r2.Label(1) || !e0.Left.IsBottom() || e0.Ring != r2.Label(1) {
+		t.Errorf("SR(2) node 0 expected state wrong: %+v", e0)
+	}
+}

@@ -1,0 +1,124 @@
+// Package trie implements the hashed Patricia trie of Section 4.2: a
+// compressed binary trie over fixed-width publication keys whose nodes
+// carry Merkle-style hashes, so two subscribers can locate the exact
+// difference between their publication sets by exchanging O(depth) node
+// summaries (the CheckTrie protocol).
+//
+// Keys are h̄_m(origin, payload): a collision-resistant hash (SHA-256,
+// truncated to the configured width m ≤ 64) of the publishing node's unique
+// ID and the payload, so every key has the same length and keys identify
+// publications ("the constant m and the hash function h̄_m are known to all
+// subscribers").
+package trie
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/bits"
+
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+)
+
+// Key re-exports proto.Key locally; a Key is a bit string of Len ≤ 64 bits
+// stored most-significant-first in Bits. Trie node labels are key prefixes;
+// leaf labels are full keys.
+type Key = proto.Key
+
+// EmptyKey is the empty bit string ⊥ (the label of a root whose children
+// share no common prefix).
+var EmptyKey = Key{}
+
+// KeyBit returns bit i of k, counting from the most significant (leftmost)
+// bit, i.e. the bit consumed at trie depth i.
+func KeyBit(k Key, i uint8) uint8 {
+	return uint8(k.Bits>>(k.Len-1-i)) & 1
+}
+
+// KeyPrefix returns the first n bits of k.
+func KeyPrefix(k Key, n uint8) Key {
+	if n >= k.Len {
+		return k
+	}
+	return Key{Bits: k.Bits >> (k.Len - n), Len: n}
+}
+
+// HasPrefix reports whether p is a prefix of k (every key is a prefix of
+// itself; the empty key is a prefix of everything).
+func HasPrefix(k, p Key) bool {
+	return k.Len >= p.Len && KeyPrefix(k, p.Len) == p
+}
+
+// LCP returns the longest common prefix of a and b.
+func LCP(a, b Key) Key {
+	n := a.Len
+	if b.Len < n {
+		n = b.Len
+	}
+	if n == 0 {
+		return EmptyKey
+	}
+	x := (a.Bits >> (a.Len - n)) ^ (b.Bits >> (b.Len - n))
+	if x == 0 {
+		return Key{Bits: a.Bits >> (a.Len - n), Len: n}
+	}
+	common := n - uint8(64-bits.LeadingZeros64(x))
+	return Key{Bits: a.Bits >> (a.Len - common), Len: common}
+}
+
+// AppendBit extends k with one bit.
+func AppendBit(k Key, b uint8) Key {
+	return Key{Bits: k.Bits<<1 | uint64(b&1), Len: k.Len + 1}
+}
+
+// KeyString renders the bit string, "⊥" for the empty key.
+func KeyString(k Key) string {
+	if k.Len == 0 {
+		return "⊥"
+	}
+	buf := make([]byte, k.Len)
+	for i := uint8(0); i < k.Len; i++ {
+		buf[i] = '0' + KeyBit(k, i)
+	}
+	return string(buf)
+}
+
+// ParseKey parses a bit string into a Key; it panics on invalid input
+// (test/table helper).
+func ParseKey(s string) Key {
+	var k Key
+	for _, c := range s {
+		switch c {
+		case '0':
+			k = AppendBit(k, 0)
+		case '1':
+			k = AppendBit(k, 1)
+		default:
+			panic("trie: invalid key string " + s)
+		}
+	}
+	return k
+}
+
+// KeyFor computes h̄_m(origin, payload): the m-bit publication key
+// (Section 4.2). SHA-256 stands in for the paper's collision-resistant
+// hash function.
+func KeyFor(m uint8, origin sim.NodeID, payload string) Key {
+	h := sha256.New()
+	var idb [8]byte
+	binary.BigEndian.PutUint64(idb[:], uint64(origin))
+	h.Write(idb[:])
+	h.Write([]byte(payload))
+	sum := h.Sum(nil)
+	v := binary.BigEndian.Uint64(sum[:8])
+	if m < 64 {
+		v >>= 64 - m
+	}
+	return Key{Bits: v, Len: m}
+}
+
+// NewPublication builds a Publication with its key (m is the system-wide
+// key width).
+func NewPublication(m uint8, origin sim.NodeID, payload string) proto.Publication {
+	return proto.Publication{Key: KeyFor(m, origin, payload), Origin: origin, Payload: payload}
+}

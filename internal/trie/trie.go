@@ -1,0 +1,318 @@
+package trie
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"sspubsub/internal/proto"
+)
+
+// Node is one Patricia-trie node. Invariants (Section 4.2):
+//   - a leaf's label is a full m-bit key and it stores one publication;
+//   - an inner node has exactly two children and its label is the longest
+//     common prefix of its children's labels;
+//   - Hash is h(key) for leaves and h(c0.Hash ◦ c1.Hash) for inner nodes
+//     (Merkle-style; the paper's formula hashes the subtree contents so a
+//     single root comparison certifies set equality).
+type Node struct {
+	Label Key
+	Hash  [16]byte
+	// Child holds the two subtries of an inner node, indexed by the first
+	// bit after Label; both nil for leaves.
+	Child [2]*Node
+	// Pub is the stored publication (leaves only).
+	Pub proto.Publication
+}
+
+// IsLeaf reports whether n stores a publication.
+func (n *Node) IsLeaf() bool { return n.Child[0] == nil }
+
+// Summary returns the (label, hash) pair sent in CheckTrie messages.
+func (n *Node) Summary() proto.NodeSummary {
+	return proto.NodeSummary{Label: n.Label, Hash: n.Hash}
+}
+
+// Trie is a hashed Patricia trie over fixed-width keys. The zero value is
+// not usable; call New.
+type Trie struct {
+	keyLen uint8
+	root   *Node
+	size   int
+}
+
+// New creates an empty trie for keys of width m bits (1 ≤ m ≤ 64).
+func New(m uint8) *Trie {
+	if m == 0 || m > 64 {
+		panic(fmt.Sprintf("trie: invalid key width %d", m))
+	}
+	return &Trie{keyLen: m}
+}
+
+// KeyLen returns the key width m.
+func (t *Trie) KeyLen() uint8 { return t.keyLen }
+
+// Len returns the number of stored publications.
+func (t *Trie) Len() int { return t.size }
+
+// Root returns the root node, or nil for an empty trie.
+func (t *Trie) Root() *Node { return t.root }
+
+// RootSummary returns the root's summary; ok is false for an empty trie.
+func (t *Trie) RootSummary() (proto.NodeSummary, bool) {
+	if t.root == nil {
+		return proto.NodeSummary{}, false
+	}
+	return t.root.Summary(), true
+}
+
+func leafHash(k Key) [16]byte {
+	var buf [9]byte
+	binary.BigEndian.PutUint64(buf[:8], k.Bits)
+	buf[8] = k.Len
+	s := sha256.Sum256(buf[:])
+	var out [16]byte
+	copy(out[:], s[:16])
+	return out
+}
+
+func innerHash(a, b [16]byte) [16]byte {
+	var buf [32]byte
+	copy(buf[:16], a[:])
+	copy(buf[16:], b[:])
+	s := sha256.Sum256(buf[:])
+	var out [16]byte
+	copy(out[:], s[:16])
+	return out
+}
+
+func (n *Node) rehash() {
+	if n.IsLeaf() {
+		n.Hash = leafHash(n.Label)
+		return
+	}
+	n.Hash = innerHash(n.Child[0].Hash, n.Child[1].Hash)
+}
+
+// Insert adds publication p. It returns true if p was new; re-inserting an
+// existing key is a no-op ("no publish messages are deleted", Theorem 17 —
+// the trie grows monotonically).
+func (t *Trie) Insert(p proto.Publication) bool {
+	if p.Key.Len != t.keyLen {
+		panic(fmt.Sprintf("trie: key width %d, trie width %d", p.Key.Len, t.keyLen))
+	}
+	if t.root == nil {
+		t.root = &Node{Label: p.Key, Pub: p}
+		t.root.rehash()
+		t.size++
+		return true
+	}
+	// Walk down, remembering the path for rehash.
+	path := make([]*Node, 0, 16)
+	cur := t.root
+	var parent *Node
+	var parentIdx uint8
+	for {
+		lcp := LCP(p.Key, cur.Label)
+		if lcp.Len == cur.Label.Len {
+			if cur.IsLeaf() {
+				return false // full key match: already present
+			}
+			path = append(path, cur)
+			parent = cur
+			parentIdx = KeyBit(p.Key, cur.Label.Len)
+			cur = cur.Child[parentIdx]
+			continue
+		}
+		// Diverged inside cur.Label: split with a new inner node labelled
+		// with the common prefix.
+		leaf := &Node{Label: p.Key, Pub: p}
+		leaf.rehash()
+		inner := &Node{Label: lcp}
+		inner.Child[KeyBit(p.Key, lcp.Len)] = leaf
+		inner.Child[KeyBit(cur.Label, lcp.Len)] = cur
+		inner.rehash()
+		if parent == nil {
+			t.root = inner
+		} else {
+			parent.Child[parentIdx] = inner
+		}
+		for i := len(path) - 1; i >= 0; i-- {
+			path[i].rehash()
+		}
+		t.size++
+		return true
+	}
+}
+
+// Has reports whether a publication with the given key is stored.
+func (t *Trie) Has(k Key) bool {
+	n := t.Find(k)
+	return n != nil && n.IsLeaf()
+}
+
+// Get returns the publication stored under k.
+func (t *Trie) Get(k Key) (proto.Publication, bool) {
+	n := t.Find(k)
+	if n == nil || !n.IsLeaf() {
+		return proto.Publication{}, false
+	}
+	return n.Pub, true
+}
+
+// Find returns the node whose label equals l exactly (the paper's
+// SearchNode), or nil.
+func (t *Trie) Find(l Key) *Node {
+	n := t.FindAtOrBelow(l)
+	if n != nil && n.Label == l {
+		return n
+	}
+	return nil
+}
+
+// FindAtOrBelow returns the node with minimal label length whose label has
+// l as a (not necessarily proper) prefix — the node c of case (iii) in
+// Section 4.2 — or nil if no stored key extends l.
+func (t *Trie) FindAtOrBelow(l Key) *Node {
+	cur := t.root
+	for cur != nil {
+		lcp := LCP(l, cur.Label)
+		switch {
+		case lcp.Len == l.Len:
+			// cur.Label extends (or equals) l: cur is the shallowest such
+			// node, since its parent's label was a proper prefix of l.
+			return cur
+		case lcp.Len == cur.Label.Len:
+			// cur.Label is a proper prefix of l: descend.
+			if cur.IsLeaf() {
+				return nil
+			}
+			cur = cur.Child[KeyBit(l, cur.Label.Len)]
+		default:
+			return nil // diverged strictly inside both
+		}
+	}
+	return nil
+}
+
+// CollectPrefix returns all stored publications whose key starts with l,
+// in key order.
+func (t *Trie) CollectPrefix(l Key) []proto.Publication {
+	n := t.FindAtOrBelow(l)
+	if n == nil {
+		return nil
+	}
+	var out []proto.Publication
+	n.walk(func(leaf *Node) { out = append(out, leaf.Pub) })
+	return out
+}
+
+// All returns every stored publication in key order.
+func (t *Trie) All() []proto.Publication {
+	if t.root == nil {
+		return nil
+	}
+	out := make([]proto.Publication, 0, t.size)
+	t.root.walk(func(leaf *Node) { out = append(out, leaf.Pub) })
+	return out
+}
+
+func (n *Node) walk(visit func(*Node)) {
+	if n.IsLeaf() {
+		visit(n)
+		return
+	}
+	n.Child[0].walk(visit)
+	n.Child[1].walk(visit)
+}
+
+// Equal reports whether both tries store the same publication set, by root
+// hash comparison (the legitimate-state test of Theorem 23).
+func (t *Trie) Equal(o *Trie) bool {
+	if t.root == nil || o.root == nil {
+		return t.root == nil && o.root == nil
+	}
+	return t.root.Hash == o.root.Hash
+}
+
+// CheckInvariants verifies the structural invariants; it returns a
+// description of the first violation, or "".
+func (t *Trie) CheckInvariants() string {
+	if t.root == nil {
+		if t.size != 0 {
+			return "empty root with nonzero size"
+		}
+		return ""
+	}
+	leaves := 0
+	var rec func(n *Node) string
+	rec = func(n *Node) string {
+		if n.IsLeaf() {
+			leaves++
+			if n.Child[1] != nil {
+				return "leaf with one child"
+			}
+			if n.Label.Len != t.keyLen {
+				return fmt.Sprintf("leaf label %s has wrong width", KeyString(n.Label))
+			}
+			if n.Pub.Key != n.Label {
+				return "leaf label differs from publication key"
+			}
+			if n.Hash != leafHash(n.Label) {
+				return "stale leaf hash"
+			}
+			return ""
+		}
+		if n.Child[1] == nil {
+			return "inner node with one child"
+		}
+		for b := 0; b < 2; b++ {
+			c := n.Child[b]
+			if !HasPrefix(c.Label, n.Label) || c.Label.Len <= n.Label.Len {
+				return fmt.Sprintf("child label %s does not extend %s", KeyString(c.Label), KeyString(n.Label))
+			}
+			if KeyBit(c.Label, n.Label.Len) != uint8(b) {
+				return "child under wrong branch"
+			}
+		}
+		if lcp := LCP(n.Child[0].Label, n.Child[1].Label); lcp != n.Label {
+			return fmt.Sprintf("inner label %s is not the children's LCP %s", KeyString(n.Label), KeyString(lcp))
+		}
+		if n.Hash != innerHash(n.Child[0].Hash, n.Child[1].Hash) {
+			return "stale inner hash"
+		}
+		if msg := rec(n.Child[0]); msg != "" {
+			return msg
+		}
+		return rec(n.Child[1])
+	}
+	if msg := rec(t.root); msg != "" {
+		return msg
+	}
+	if leaves != t.size {
+		return fmt.Sprintf("size %d but %d leaves", t.size, leaves)
+	}
+	return ""
+}
+
+// Dump renders the trie structure for debugging and the Figure 2 test.
+func (t *Trie) Dump() string {
+	if t.root == nil {
+		return "(empty)"
+	}
+	var sb strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		if n.IsLeaf() {
+			fmt.Fprintf(&sb, "leaf %s %q\n", KeyString(n.Label), n.Pub.Payload)
+			return
+		}
+		fmt.Fprintf(&sb, "node %s\n", KeyString(n.Label))
+		rec(n.Child[0], depth+1)
+		rec(n.Child[1], depth+1)
+	}
+	rec(t.root, 0)
+	return sb.String()
+}

@@ -1,0 +1,146 @@
+package sspubsub
+
+import (
+	"sspubsub/internal/cluster"
+	"sspubsub/internal/core"
+	"sspubsub/internal/sim"
+)
+
+// SimOptions configure a deterministic Simulation.
+type SimOptions struct {
+	// Seed makes the entire run reproducible.
+	Seed int64
+	// KeyLen is the publication key width (default 64).
+	KeyLen uint8
+	// DisableFlooding / DisableAntiEntropy / DisableActionIV are the
+	// ablation switches described in DESIGN.md.
+	DisableFlooding    bool
+	DisableAntiEntropy bool
+	DisableActionIV    bool
+}
+
+// NodeID identifies a simulated subscriber node.
+type NodeID = sim.NodeID
+
+// Topic identifies a topic in a Simulation.
+type Topic = sim.Topic
+
+// Simulation runs the full protocol stack (supervisor, subscribers,
+// publication engines) on a deterministic discrete-event scheduler with
+// virtual time measured in timeout intervals. It exposes the research
+// controls used by the paper-reproduction experiments: corrupted initial
+// states, crashes, convergence detection against the exact legitimate
+// topology, and message accounting.
+type Simulation struct {
+	c *cluster.Cluster
+}
+
+// NewSimulation creates an empty deterministic system (supervisor only).
+func NewSimulation(opts SimOptions) *Simulation {
+	return &Simulation{c: cluster.New(cluster.Options{
+		Seed: opts.Seed,
+		ClientOpts: core.Options{
+			KeyLen:             opts.KeyLen,
+			DisableFlooding:    opts.DisableFlooding,
+			DisableAntiEntropy: opts.DisableAntiEntropy,
+			DisableActionIV:    opts.DisableActionIV,
+		},
+	})}
+}
+
+// AddSubscribers creates n subscriber nodes and returns their IDs.
+func (s *Simulation) AddSubscribers(n int) []NodeID { return s.c.AddClients(n) }
+
+// Join subscribes a node to a topic.
+func (s *Simulation) Join(id NodeID, t Topic) { s.c.Join(id, t) }
+
+// JoinAll subscribes every node to the topic.
+func (s *Simulation) JoinAll(t Topic) { s.c.JoinAll(t) }
+
+// Leave starts an unsubscribe handshake.
+func (s *Simulation) Leave(id NodeID, t Topic) { s.c.Leave(id, t) }
+
+// Crash fails a node without warning (Section 3.3).
+func (s *Simulation) Crash(id NodeID) { s.c.Crash(id) }
+
+// Publish makes a node publish a payload.
+func (s *Simulation) Publish(id NodeID, t Topic, payload string) { s.c.Publish(id, t, payload) }
+
+// RunRounds advances virtual time by k timeout intervals.
+func (s *Simulation) RunRounds(k int) { s.c.Sched.RunRounds(k) }
+
+// RunUntilConverged advances until topic t is in its legitimate state with
+// exactly n members, returning the rounds taken and success.
+func (s *Simulation) RunUntilConverged(t Topic, n, maxRounds int) (int, bool) {
+	return s.c.RunUntilConverged(t, n, maxRounds)
+}
+
+// Converged reports whether topic t is currently legitimate.
+func (s *Simulation) Converged(t Topic) bool { return s.c.Converged(t) }
+
+// Explain describes the first legitimacy violation, or returns "".
+func (s *Simulation) Explain(t Topic) string { return s.c.Explain(t) }
+
+// TriesEqual reports whether all members hold identical publication sets.
+func (s *Simulation) TriesEqual(t Topic) bool { return s.c.TriesEqual(t) }
+
+// Publications returns the publication payloads known to a node.
+func (s *Simulation) Publications(id NodeID, t Topic) []string {
+	cl, ok := s.c.Clients[id]
+	if !ok {
+		return nil
+	}
+	pubs := cl.Publications(t)
+	out := make([]string, len(pubs))
+	for i, p := range pubs {
+		out[i] = p.Payload
+	}
+	return out
+}
+
+// Degree returns a node's current overlay degree.
+func (s *Simulation) Degree(id NodeID, t Topic) int {
+	cl, ok := s.c.Clients[id]
+	if !ok {
+		return 0
+	}
+	return cl.Degree(t)
+}
+
+// CorruptSubscriberStates overwrites all member states with garbage.
+func (s *Simulation) CorruptSubscriberStates(t Topic) { s.c.CorruptSubscriberStates(t) }
+
+// CorruptSupervisorDB injects the four database corruption cases.
+func (s *Simulation) CorruptSupervisorDB(t Topic) { s.c.CorruptSupervisorDB(t) }
+
+// InjectGarbageMessages seeds the channels with corrupted messages.
+func (s *Simulation) InjectGarbageMessages(t Topic, count int) { s.c.InjectGarbageMessages(t, count) }
+
+// PartitionStates splits the members into k self-consistent, unrecorded
+// components (the hard initial state of Section 3.2.1).
+func (s *Simulation) PartitionStates(t Topic, k int) { s.c.PartitionStates(t, k) }
+
+// MessagesDelivered returns the total messages delivered so far.
+func (s *Simulation) MessagesDelivered() int64 { return s.c.Sched.Delivered() }
+
+// MessagesByType returns the count of sends for a protocol message type
+// name, e.g. "proto.GetConfiguration".
+func (s *Simulation) MessagesByType(name string) int64 { return s.c.Sched.CountByType(name) }
+
+// SentBy returns the number of messages a node has sent.
+func (s *Simulation) SentBy(id NodeID) int64 { return s.c.Sched.SentBy(id) }
+
+// SupervisorSent returns the number of messages the supervisor has sent.
+func (s *Simulation) SupervisorSent() int64 { return s.c.Sched.SentBy(cluster.SupervisorID) }
+
+// ResetCounters zeroes the message accounting (measure steady states).
+func (s *Simulation) ResetCounters() { s.c.Sched.ResetCounters() }
+
+// Members returns the nodes currently subscribed to t.
+func (s *Simulation) Members(t Topic) []NodeID { return s.c.Members(t) }
+
+// Now returns the current virtual time in timeout intervals.
+func (s *Simulation) Now() float64 { return s.c.Sched.Now() }
+
+// Cluster exposes the underlying harness for advanced experiments.
+func (s *Simulation) Cluster() *cluster.Cluster { return s.c }

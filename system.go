@@ -1,0 +1,445 @@
+package sspubsub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sspubsub/internal/cluster"
+	"sspubsub/internal/core"
+	"sspubsub/internal/hashdht"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/supervisor"
+)
+
+// Options configure a live System.
+type Options struct {
+	// Interval is the protocol timeout interval (default 10ms). Smaller
+	// intervals stabilize faster at higher background message cost.
+	Interval time.Duration
+	// Seed drives protocol coin flips (live runs are still subject to
+	// goroutine scheduling).
+	Seed int64
+	// KeyLen is the publication key width m in bits (default 64).
+	KeyLen uint8
+	// EventBuffer is each subscription's delivery channel capacity
+	// (default 256). When a consumer lags, the oldest buffered events are
+	// dropped from the channel — the full history remains available via
+	// Subscription.History.
+	EventBuffer int
+	// DisableFlooding turns off PublishNew (deliveries then come only
+	// through anti-entropy).
+	DisableFlooding bool
+	// Supervisors is the number of supervisor nodes (default 1). With more
+	// than one, topics are spread over the supervisors by consistent
+	// hashing — the scalability extension of Section 1.3.
+	Supervisors int
+}
+
+// System is a running supervised publish-subscribe system: one supervisor
+// plus any number of clients, each a goroutine-backed protocol node.
+type System struct {
+	opts Options
+	rt   *sim.Runtime
+	sups map[sim.NodeID]*supervisor.Supervisor
+	ring *hashdht.Ring
+
+	mu       sync.Mutex
+	topics   map[string]sim.Topic
+	names    map[sim.Topic]string
+	topicSup map[sim.Topic]sim.NodeID
+	clients  map[sim.NodeID]*Client
+	byName   map[string]*Client
+	nextTID  sim.Topic
+	nextID   sim.NodeID
+	closed   bool
+}
+
+// SupervisorID is the supervisor's node ID in every System.
+const supervisorID sim.NodeID = 1
+
+// NewSystem starts a system with a supervisor and no clients.
+func NewSystem(opts Options) *System {
+	if opts.Interval == 0 {
+		opts.Interval = 10 * time.Millisecond
+	}
+	if opts.KeyLen == 0 {
+		opts.KeyLen = 64
+	}
+	if opts.EventBuffer == 0 {
+		opts.EventBuffer = 256
+	}
+	if opts.Supervisors <= 0 {
+		opts.Supervisors = 1
+	}
+	rt := sim.NewRuntime(sim.RuntimeOptions{Interval: opts.Interval, Seed: opts.Seed})
+	sups := make(map[sim.NodeID]*supervisor.Supervisor, opts.Supervisors)
+	ring := hashdht.NewRing(64)
+	for i := 0; i < opts.Supervisors; i++ {
+		id := supervisorID + sim.NodeID(i)
+		sup := supervisor.New(id, rt)
+		rt.AddNode(id, sup)
+		sups[id] = sup
+		ring.Add(id)
+	}
+	return &System{
+		opts:     opts,
+		rt:       rt,
+		sups:     sups,
+		ring:     ring,
+		topics:   make(map[string]sim.Topic),
+		names:    make(map[sim.Topic]string),
+		topicSup: make(map[sim.Topic]sim.NodeID),
+		clients:  make(map[sim.NodeID]*Client),
+		byName:   make(map[string]*Client),
+		nextTID:  1,
+		nextID:   supervisorID + sim.NodeID(opts.Supervisors),
+	}
+}
+
+// Close stops every node goroutine. Subscription channels are closed.
+func (s *System) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	clients := make([]*Client, 0, len(s.clients))
+	for _, c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	s.rt.Close()
+	for _, c := range clients {
+		c.closeSubs()
+	}
+}
+
+// topicID assigns a stable small integer to a topic name.
+func (s *System) topicID(name string) sim.Topic {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.topics[name]; ok {
+		return t
+	}
+	t := s.nextTID
+	s.nextTID++
+	s.topics[name] = t
+	s.names[t] = name
+	if owner, ok := s.ring.Owner(name); ok {
+		s.topicSup[t] = owner
+	}
+	return t
+}
+
+// supervisorOf returns the supervisor node responsible for a topic.
+func (s *System) supervisorOf(t sim.Topic) sim.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.topicSup[t]; ok {
+		return id
+	}
+	return supervisorID
+}
+
+// supFor returns the supervisor instance responsible for a topic.
+func (s *System) supFor(t sim.Topic) *supervisor.Supervisor {
+	id := s.supervisorOf(t)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sups[id]
+}
+
+// TopicName returns the name registered for a topic ID.
+func (s *System) topicName(t sim.Topic) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.names[t]
+}
+
+// NewClient creates and starts a client node. Names must be unique.
+func (s *System) NewClient(name string) (*Client, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sspubsub: system closed")
+	}
+	if _, dup := s.byName[name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sspubsub: duplicate client name %q", name)
+	}
+	id := s.nextID
+	s.nextID++
+	c := &Client{sys: s, name: name, id: id, subs: make(map[sim.Topic]*Subscription)}
+	c.cc = core.NewClient(id, supervisorID, core.Options{
+		KeyLen:          s.opts.KeyLen,
+		OnDeliver:       c.deliver,
+		DisableFlooding: s.opts.DisableFlooding,
+		SupervisorFor:   s.supervisorOf,
+	})
+	s.clients[id] = c
+	s.byName[name] = c
+	s.mu.Unlock()
+	s.rt.AddNode(id, c.cc)
+	return c, nil
+}
+
+// MustClient is NewClient that panics on error (examples and tests).
+func (s *System) MustClient(name string) *Client {
+	c, err := s.NewClient(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// clientName resolves a node ID to its client name ("?" if unknown).
+func (s *System) clientName(id sim.NodeID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.clients[id]; ok {
+		return c.name
+	}
+	if _, ok := s.sups[id]; ok {
+		return "supervisor"
+	}
+	return "?"
+}
+
+// Members returns the names of the clients currently subscribed to topic.
+func (s *System) Members(topic string) []string {
+	t := s.topicID(topic)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, c := range s.clients {
+		if c.cc.Joined(t) {
+			out = append(out, c.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stable reports whether the topic's overlay is currently in its
+// legitimate state (the supervisor database matches the members and every
+// member's explicit state equals the unique legitimate skip ring).
+func (s *System) Stable(topic string) bool { return s.explain(topic) == "" }
+
+// explain returns the first legitimacy violation, or "".
+func (s *System) explain(topic string) string {
+	t := s.topicID(topic)
+	s.mu.Lock()
+	var members []*Client
+	for _, c := range s.clients {
+		if c.cc.Joined(t) {
+			members = append(members, c)
+		}
+	}
+	s.mu.Unlock()
+	states := make(map[sim.NodeID]core.State, len(members))
+	for _, c := range members {
+		st, ok := c.cc.StateOf(t)
+		if !ok {
+			return fmt.Sprintf("member %s has no instance", c.name)
+		}
+		states[c.id] = st
+	}
+	sup := s.supFor(t)
+	if sup.Corrupted(t) {
+		return "supervisor database corrupted"
+	}
+	return cluster.CheckLegitimacy(sup.Snapshot(t), states)
+}
+
+// WaitStable polls until the topic overlay is legitimate with exactly n
+// members, or the timeout expires.
+func (s *System) WaitStable(topic string, n int, timeout time.Duration) bool {
+	t := s.topicID(topic)
+	deadline := time.Now().Add(timeout)
+	sup := s.supFor(t)
+	for time.Now().Before(deadline) {
+		if sup.N(t) == n && len(s.Members(topic)) == n && s.Stable(topic) {
+			return true
+		}
+		time.Sleep(s.opts.Interval)
+	}
+	return false
+}
+
+// Publication is one published item as seen by applications.
+type Publication struct {
+	Topic   string
+	Origin  string // publishing client's name
+	Payload string
+}
+
+// Client is one application endpoint: a physical node that can subscribe
+// to topics and publish on them.
+type Client struct {
+	sys  *System
+	name string
+	id   sim.NodeID
+	cc   *core.Client
+
+	mu   sync.Mutex
+	subs map[sim.Topic]*Subscription
+}
+
+// Name returns the client's name.
+func (c *Client) Name() string { return c.name }
+
+// Subscribe joins a topic and returns the subscription handle. Subscribing
+// twice to the same topic returns the existing subscription.
+func (c *Client) Subscribe(topic string) *Subscription {
+	t := c.sys.topicID(topic)
+	c.mu.Lock()
+	if sub, ok := c.subs[t]; ok {
+		c.mu.Unlock()
+		return sub
+	}
+	sub := &Subscription{
+		client: c,
+		topic:  topic,
+		tid:    t,
+		events: make(chan Publication, c.sys.opts.EventBuffer),
+	}
+	c.subs[t] = sub
+	c.mu.Unlock()
+	c.sys.rt.Send(sim.Message{To: c.id, From: c.id, Topic: t, Body: core.JoinTopic{}})
+	return sub
+}
+
+// Publish publishes a payload on a topic the client subscribes to. It
+// returns an error if the client never subscribed (in this system, as in
+// the paper, publishers are subscribers of the topic's skip ring).
+func (c *Client) Publish(topic, payload string) error {
+	t := c.sys.topicID(topic)
+	c.mu.Lock()
+	_, subscribed := c.subs[t]
+	c.mu.Unlock()
+	if !subscribed {
+		return fmt.Errorf("sspubsub: %s is not subscribed to %q", c.name, topic)
+	}
+	c.sys.rt.Send(sim.Message{To: c.id, From: c.id, Topic: t, Body: core.PublishCmd{Payload: payload}})
+	return nil
+}
+
+// History returns every publication currently known for the topic, oldest
+// key first (the Patricia-trie contents, Section 4.2).
+func (c *Client) History(topic string) []Publication {
+	t := c.sys.topicID(topic)
+	pubs := c.cc.Publications(t)
+	out := make([]Publication, len(pubs))
+	for i, p := range pubs {
+		out[i] = Publication{Topic: topic, Origin: c.sys.clientName(p.Origin), Payload: p.Payload}
+	}
+	return out
+}
+
+// Degree returns the client's current overlay degree for a topic.
+func (c *Client) Degree(topic string) int {
+	return c.cc.Degree(c.sys.topicID(topic))
+}
+
+// Label returns the client's current overlay label for a topic (a bit
+// string such as "011", or "⊥" before the supervisor assigns one).
+func (c *Client) Label(topic string) string {
+	st, ok := c.cc.StateOf(c.sys.topicID(topic))
+	if !ok {
+		return "⊥"
+	}
+	return st.Label.String()
+}
+
+// deliver routes one protocol delivery to the right subscription channel.
+// It runs on the client's node goroutine and must not call back into cc.
+func (c *Client) deliver(t sim.Topic, p proto.Publication) {
+	c.mu.Lock()
+	sub := c.subs[t]
+	c.mu.Unlock()
+	if sub == nil {
+		return
+	}
+	sub.push(Publication{
+		Topic:   c.sys.topicName(t),
+		Origin:  c.sys.clientName(p.Origin),
+		Payload: p.Payload,
+	})
+}
+
+func (c *Client) closeSubs() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sub := range c.subs {
+		sub.close()
+	}
+}
+
+// Subscription is a client's handle on one topic.
+type Subscription struct {
+	client *Client
+	topic  string
+	tid    sim.Topic
+	events chan Publication
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Topic returns the topic name.
+func (s *Subscription) Topic() string { return s.topic }
+
+// Events returns the delivery channel. Every publication that becomes
+// known to this subscriber (via flooding or anti-entropy) is sent exactly
+// once; when the buffer overflows the oldest entries are dropped (use
+// History for the complete set).
+func (s *Subscription) Events() <-chan Publication { return s.events }
+
+// History returns all publications currently known for the topic.
+func (s *Subscription) History() []Publication { return s.client.History(s.topic) }
+
+// Unsubscribe leaves the topic: the supervisor excises this node from the
+// skip ring (Section 4.1) and the delivery channel is closed.
+func (s *Subscription) Unsubscribe() {
+	c := s.client
+	c.sys.rt.Send(sim.Message{To: c.id, From: c.id, Topic: s.tid, Body: core.LeaveTopic{}})
+	c.mu.Lock()
+	delete(c.subs, s.tid)
+	c.mu.Unlock()
+	s.close()
+}
+
+// push delivers one event, dropping the oldest buffered entry when the
+// consumer lags. push and close share the mutex, so a send can never race
+// a channel close.
+func (s *Subscription) push(pub Publication) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for {
+		select {
+		case s.events <- pub:
+			return
+		default:
+			select {
+			case <-s.events:
+			default:
+			}
+		}
+	}
+}
+
+func (s *Subscription) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.events)
+	}
+}

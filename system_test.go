@@ -1,0 +1,242 @@
+package sspubsub
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestSystem(t *testing.T) *System {
+	t.Helper()
+	sys := NewSystem(Options{Interval: 2 * time.Millisecond, Seed: 42})
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestSystemSubscribePublishDeliver(t *testing.T) {
+	sys := newTestSystem(t)
+	alice := sys.MustClient("alice")
+	bob := sys.MustClient("bob")
+	subA := alice.Subscribe("news")
+	subB := bob.Subscribe("news")
+	if !sys.WaitStable("news", 2, 5*time.Second) {
+		t.Fatalf("overlay never stabilized: %s", sys.explain("news"))
+	}
+	if err := alice.Publish("news", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	want := func(sub *Subscription, who string) {
+		select {
+		case p := <-sub.Events():
+			if p.Payload != "hello" || p.Origin != "alice" || p.Topic != "news" {
+				t.Errorf("%s received %+v", who, p)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s never received the publication", who)
+		}
+	}
+	want(subA, "alice")
+	want(subB, "bob")
+}
+
+func TestSystemLateJoinerGetsHistory(t *testing.T) {
+	sys := newTestSystem(t)
+	alice := sys.MustClient("alice")
+	alice.Subscribe("chat")
+	if !sys.WaitStable("chat", 1, 5*time.Second) {
+		t.Fatal("no stability with one member")
+	}
+	for _, m := range []string{"one", "two", "three"} {
+		if err := alice.Publish("chat", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Late joiner must obtain the full history through anti-entropy.
+	carol := sys.MustClient("carol")
+	sub := carol.Subscribe("chat")
+	got := map[string]bool{}
+	deadline := time.After(10 * time.Second)
+	for len(got) < 3 {
+		select {
+		case p := <-sub.Events():
+			got[p.Payload] = true
+		case <-deadline:
+			t.Fatalf("late joiner got %v, want all three", got)
+		}
+	}
+	if h := sub.History(); len(h) != 3 {
+		t.Errorf("history has %d entries", len(h))
+	}
+}
+
+func TestSystemUnsubscribe(t *testing.T) {
+	sys := newTestSystem(t)
+	a := sys.MustClient("a")
+	b := sys.MustClient("b")
+	c := sys.MustClient("c")
+	a.Subscribe("t")
+	subB := b.Subscribe("t")
+	c.Subscribe("t")
+	if !sys.WaitStable("t", 3, 5*time.Second) {
+		t.Fatalf("setup: %s", sys.explain("t"))
+	}
+	subB.Unsubscribe()
+	if !sys.WaitStable("t", 2, 10*time.Second) {
+		t.Fatalf("no re-stabilization after unsubscribe: %s", sys.explain("t"))
+	}
+	members := sys.Members("t")
+	if len(members) != 2 {
+		t.Errorf("members = %v", members)
+	}
+	// The closed channel signals the unsubscribe locally.
+	select {
+	case _, open := <-subB.Events():
+		if open {
+			// Drain any buffered pre-unsubscribe deliveries.
+		}
+	case <-time.After(time.Second):
+	}
+}
+
+func TestSystemPublishRequiresSubscription(t *testing.T) {
+	sys := newTestSystem(t)
+	a := sys.MustClient("a")
+	if err := a.Publish("nope", "x"); err == nil {
+		t.Fatal("publish without subscription must fail")
+	}
+}
+
+func TestSystemDuplicateClientName(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.MustClient("dup")
+	if _, err := sys.NewClient("dup"); err == nil {
+		t.Fatal("duplicate names must be rejected")
+	}
+}
+
+func TestSystemLabelsAndDegrees(t *testing.T) {
+	sys := newTestSystem(t)
+	clients := make([]*Client, 4)
+	for i := range clients {
+		clients[i] = sys.MustClient(string(rune('a' + i)))
+		clients[i].Subscribe("t")
+	}
+	if !sys.WaitStable("t", 4, 5*time.Second) {
+		t.Fatalf("no stability: %s", sys.explain("t"))
+	}
+	labels := map[string]bool{}
+	for _, c := range clients {
+		labels[c.Label("t")] = true
+		if c.Degree("t") == 0 {
+			t.Errorf("client %s has degree 0", c.Name())
+		}
+	}
+	for _, want := range []string{"0", "1", "01", "11"} {
+		if !labels[want] {
+			t.Errorf("label %s missing (have %v)", want, labels)
+		}
+	}
+}
+
+func TestSystemCloseIdempotent(t *testing.T) {
+	sys := NewSystem(Options{Interval: time.Millisecond})
+	c := sys.MustClient("x")
+	c.Subscribe("t")
+	sys.Close()
+	sys.Close()
+	if _, err := sys.NewClient("y"); err == nil {
+		t.Fatal("NewClient after Close must fail")
+	}
+}
+
+func TestSimulationFacade(t *testing.T) {
+	s := NewSimulation(SimOptions{Seed: 9})
+	ids := s.AddSubscribers(8)
+	s.JoinAll(1)
+	rounds, ok := s.RunUntilConverged(1, 8, 300)
+	if !ok {
+		t.Fatalf("no convergence: %s", s.Explain(1))
+	}
+	t.Logf("converged in %d rounds", rounds)
+	s.Publish(ids[0], 1, "msg")
+	s.RunRounds(5)
+	if !s.TriesEqual(1) {
+		t.Fatal("publication did not spread")
+	}
+	for _, id := range ids {
+		if got := s.Publications(id, 1); len(got) != 1 || got[0] != "msg" {
+			t.Fatalf("node %d publications = %v", id, got)
+		}
+		if s.Degree(id, 1) == 0 {
+			t.Errorf("node %d degree 0", id)
+		}
+	}
+	if s.MessagesDelivered() == 0 || s.SupervisorSent() == 0 {
+		t.Error("message accounting empty")
+	}
+	// Determinism: same seed, same convergence time.
+	s2 := NewSimulation(SimOptions{Seed: 9})
+	s2.AddSubscribers(8)
+	s2.JoinAll(1)
+	rounds2, _ := s2.RunUntilConverged(1, 8, 300)
+	if rounds2 != rounds {
+		t.Errorf("nondeterministic: %d vs %d rounds", rounds, rounds2)
+	}
+}
+
+func TestSimulationCorruptionRecovery(t *testing.T) {
+	s := NewSimulation(SimOptions{Seed: 31})
+	s.AddSubscribers(10)
+	s.JoinAll(1)
+	if _, ok := s.RunUntilConverged(1, 10, 300); !ok {
+		t.Fatal("setup failed")
+	}
+	s.CorruptSubscriberStates(1)
+	s.CorruptSupervisorDB(1)
+	s.InjectGarbageMessages(1, 30)
+	if _, ok := s.RunUntilConverged(1, 10, 3000); !ok {
+		t.Fatalf("no recovery: %s", s.Explain(1))
+	}
+	s.Crash(s.Members(1)[0])
+	if _, ok := s.RunUntilConverged(1, 9, 3000); !ok {
+		t.Fatalf("no crash recovery: %s", s.Explain(1))
+	}
+}
+
+func TestSystemMultiSupervisor(t *testing.T) {
+	sys := NewSystem(Options{Interval: 2 * time.Millisecond, Seed: 77, Supervisors: 3})
+	t.Cleanup(sys.Close)
+	topics := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	clients := make([]*Client, 6)
+	for i := range clients {
+		clients[i] = sys.MustClient(string(rune('a' + i)))
+	}
+	// Every client joins every topic; each topic's ring is managed by its
+	// consistent-hashing owner supervisor.
+	for _, tp := range topics {
+		for _, c := range clients {
+			c.Subscribe(tp)
+		}
+	}
+	owners := map[NodeID]bool{}
+	for _, tp := range topics {
+		if !sys.WaitStable(tp, len(clients), 10*time.Second) {
+			t.Fatalf("topic %s never stabilized: %s", tp, sys.explain(tp))
+		}
+		owners[sys.supervisorOf(sys.topicID(tp))] = true
+	}
+	if len(owners) < 2 {
+		t.Errorf("6 topics landed on %d supervisor(s); expected spread over ≥ 2 of 3", len(owners))
+	}
+	// Publications still flow normally on a sharded system.
+	if err := clients[0].Publish("alpha", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(clients[5].History("alpha")) == 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("publication never reached the last client")
+}
