@@ -407,6 +407,60 @@ func BenchmarkLiveSystemPublish(b *testing.B) {
 	}
 }
 
+// ---- cross-substrate benches (sim scheduler vs concurrent runtime) ----
+
+// BenchmarkCrossSubstratePublishThroughput measures end-to-end publish
+// dissemination on both substrates: b.N publications are issued into a
+// converged 16-node ring and the benchmark runs until every subscriber
+// holds every publication (flooding + anti-entropy). pubs/s is the
+// sustained system throughput.
+func BenchmarkCrossSubstratePublishThroughput(b *testing.B) {
+	for _, kind := range []RuntimeKind{RuntimeSim, RuntimeConcurrent} {
+		b.Run(string(kind), func(b *testing.B) {
+			s := NewSimulation(SimOptions{Runtime: kind, Seed: 11, Interval: time.Millisecond})
+			defer s.Close()
+			const n = 16
+			s.AddSubscribers(n)
+			s.JoinAll(benchTopic)
+			if _, ok := s.RunUntilConverged(benchTopic, n, 5000); !ok {
+				b.Fatalf("setup: no convergence: %s", s.Explain(benchTopic))
+			}
+			members := s.Members(benchTopic)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Publish(members[i%len(members)], benchTopic, fmt.Sprintf("p%d", i))
+			}
+			if _, ok := s.RunUntil(200000, func() bool {
+				return s.AllHavePubs(benchTopic, b.N) && s.TriesEqual(benchTopic)
+			}); !ok {
+				b.Fatal("publications never fully disseminated")
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pubs/s")
+		})
+	}
+}
+
+// BenchmarkCrossSubstrateStabilization measures wall-time from a fresh
+// join burst to the unique legitimate SR(n) on both substrates (ns/op is
+// the stabilization time).
+func BenchmarkCrossSubstrateStabilization(b *testing.B) {
+	for _, kind := range []RuntimeKind{RuntimeSim, RuntimeConcurrent} {
+		b.Run(string(kind), func(b *testing.B) {
+			const n = 24
+			for i := 0; i < b.N; i++ {
+				s := NewSimulation(SimOptions{Runtime: kind, Seed: int64(i)*31 + 7, Interval: time.Millisecond})
+				s.AddSubscribers(n)
+				s.JoinAll(benchTopic)
+				if _, ok := s.RunUntilConverged(benchTopic, n, 10000); !ok {
+					s.Close()
+					b.Fatalf("no convergence: %s", s.Explain(benchTopic))
+				}
+				s.Close()
+			}
+		})
+	}
+}
+
 // ---- helpers ----
 
 func benchConverge(b *testing.B, n int, seed int64) *cluster.Cluster {

@@ -1,12 +1,21 @@
-// Command srsim runs deterministic simulations of the self-stabilizing
-// supervised publish-subscribe system: pick an initial-state scenario, a
-// size and a seed, and watch the system converge (or trace every message
-// with -trace).
+// Command srsim runs simulations of the self-stabilizing supervised
+// publish-subscribe system: pick an execution substrate, an initial-state
+// scenario, a size and a seed, and watch the system converge (or trace
+// every message with -trace).
 //
 // Usage:
 //
 //	srsim -n 32 -scenario corrupted-states [-seed 7] [-rounds 20000] [-trace]
+//	srsim -n 32 -runtime concurrent [-interval 2ms] [-churn]
 //	srsim -scenarios                     # list scenarios
+//
+// With -runtime=sim (the default) the run is a deterministic
+// discrete-event simulation and every corruption scenario is available.
+// With -runtime=concurrent the same protocol code runs on the live
+// goroutine-per-node runtime with jittered real-time timeouts; only the
+// fresh-join scenario applies (live state cannot be corrupted in place),
+// and -churn additionally runs a crash/restart fault injector during
+// stabilization.
 package main
 
 import (
@@ -14,9 +23,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"sspubsub/internal/cluster"
+	"sspubsub/internal/core"
 	"sspubsub/internal/experiments"
+	"sspubsub/internal/runtime/concurrent"
 	"sspubsub/internal/sim"
 )
 
@@ -24,10 +36,13 @@ const topic sim.Topic = 1
 
 func main() {
 	n := flag.Int("n", 32, "number of subscribers")
-	seed := flag.Int64("seed", 1, "random seed (runs are reproducible)")
+	seed := flag.Int64("seed", 1, "random seed (sim runs are reproducible)")
+	runtime := flag.String("runtime", "sim", "execution substrate: sim | concurrent")
+	interval := flag.Duration("interval", 2*time.Millisecond, "timeout interval (concurrent runtime)")
+	churn := flag.Bool("churn", false, "run a crash/restart injector during stabilization (concurrent runtime)")
 	scenario := flag.String("scenario", "fresh-join-burst", "initial state scenario")
 	rounds := flag.Int("rounds", 20000, "max rounds before giving up")
-	trace := flag.Bool("trace", false, "print every delivered message and timeout")
+	trace := flag.Bool("trace", false, "print every delivered message and timeout (sim runtime)")
 	list := flag.Bool("scenarios", false, "list scenarios and exit")
 	pubs := flag.Int("pubs", 0, "publish this many items after convergence and wait for full dissemination")
 	crash := flag.Float64("crash", 0, "crash this fraction of nodes after convergence")
@@ -40,22 +55,36 @@ func main() {
 		return
 	}
 
-	opts := cluster.Options{Seed: *seed}
-	if *trace {
+	switch *runtime {
+	case "sim":
+		runSim(*n, *seed, *scenario, *rounds, *trace, *pubs, *crash)
+	case "concurrent":
+		if sc := experiments.E5Scenario(*scenario); sc != experiments.ScenarioFresh {
+			log.Fatalf("scenario %q requires -runtime=sim (live state cannot be corrupted in place)", *scenario)
+		}
+		runConcurrent(*n, *seed, *interval, *rounds, *churn, *pubs, *crash)
+	default:
+		log.Fatalf("unknown -runtime %q (use sim or concurrent)", *runtime)
+	}
+}
+
+func runSim(n int, seed int64, scenario string, rounds int, trace bool, pubs int, crash float64) {
+	opts := cluster.Options{Seed: seed}
+	if trace {
 		opts.Sched.Trace = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
 	c := cluster.New(opts)
-	c.AddClients(*n)
+	c.AddClients(n)
 	c.JoinAll(topic)
 
-	sc := experiments.E5Scenario(*scenario)
+	sc := experiments.E5Scenario(scenario)
 	if sc != experiments.ScenarioFresh {
-		if _, ok := c.RunUntilConverged(topic, *n, 5000); !ok {
+		if _, ok := c.RunUntilConverged(topic, n, 5000); !ok {
 			log.Fatalf("setup convergence failed: %s", c.Explain(topic))
 		}
-		fmt.Printf("setup: legitimate SR(%d) built; injecting %s\n", *n, sc)
+		fmt.Printf("setup: legitimate SR(%d) built; injecting %s\n", n, sc)
 		switch sc {
 		case experiments.ScenarioCorrupt:
 			c.CorruptSubscriberStates(topic)
@@ -64,61 +93,164 @@ func main() {
 		case experiments.ScenarioBadDB:
 			c.CorruptSupervisorDB(topic)
 		case experiments.ScenarioGarbageMsg:
-			c.InjectGarbageMessages(topic, 5**n)
+			c.InjectGarbageMessages(topic, 5*n)
 		default:
-			log.Fatalf("unknown scenario %q (use -scenarios)", *scenario)
+			log.Fatalf("unknown scenario %q (use -scenarios)", scenario)
 		}
 	}
 
 	start := c.Sched.Now()
-	r, ok := c.RunUntilConverged(topic, *n, *rounds)
+	r, ok := c.RunUntilConverged(topic, n, rounds)
 	if !ok {
 		log.Fatalf("NOT converged after %d rounds: %s", r, c.Explain(topic))
 	}
 	fmt.Printf("converged to legitimate SR(%d) in %d rounds (%.0f messages, %.1f per node per round)\n",
-		*n, r, float64(c.Sched.Delivered()),
-		float64(c.Sched.Delivered())/float64(*n)/(c.Sched.Now()-start+1))
+		n, r, float64(c.Sched.Delivered()),
+		float64(c.Sched.Delivered())/float64(n)/(c.Sched.Now()-start+1))
 
-	if *crash > 0 {
+	if crash > 0 {
 		members := c.Members(topic)
-		k := int(*crash * float64(*n))
+		k := int(crash * float64(n))
 		for i := 0; i < k; i++ {
 			c.Crash(members[i*len(members)/k])
 		}
 		fmt.Printf("crashed %d nodes; waiting for recovery…\n", k)
-		r, ok := c.RunUntilConverged(topic, *n-k, *rounds)
+		r, ok := c.RunUntilConverged(topic, n-k, rounds)
 		if !ok {
 			log.Fatalf("no recovery: %s", c.Explain(topic))
 		}
-		fmt.Printf("recovered to legitimate SR(%d) in %d rounds\n", *n-k, r)
+		fmt.Printf("recovered to legitimate SR(%d) in %d rounds\n", n-k, r)
 	}
 
-	if *pubs > 0 {
+	if pubs > 0 {
 		members := c.Members(topic)
-		for i := 0; i < *pubs; i++ {
+		for i := 0; i < pubs; i++ {
 			c.Publish(members[i%len(members)], topic, fmt.Sprintf("pub-%d", i))
 		}
-		r, ok := c.Sched.RunRoundsUntil(*rounds, func() bool {
-			return c.AllHavePubs(topic, *pubs) && c.TriesEqual(topic)
+		r, ok := c.Sched.RunRoundsUntil(rounds, func() bool {
+			return c.AllHavePubs(topic, pubs) && c.TriesEqual(topic)
 		})
 		if !ok {
 			log.Fatal("publications never converged")
 		}
 		fmt.Printf("%d publications disseminated to all %d subscribers in %d rounds\n",
-			*pubs, len(members), r)
+			pubs, len(members), r)
 	}
 
-	// Print a compact state listing.
 	fmt.Println("\nfinal state:")
-	fmt.Print(statesSummary(c))
+	printStates(c.Members(topic), func(id sim.NodeID) (st stateLike, ok bool) {
+		s, ok2 := c.Clients[id].StateOf(topic)
+		return stateLike{s.Label.String(), s.Left.String(), s.Right.String(), s.Ring.String(), len(s.Shortcuts)}, ok2
+	})
 }
 
-func statesSummary(c *cluster.Cluster) string {
-	out := ""
-	for _, id := range c.Members(topic) {
-		st, _ := c.Clients[id].StateOf(topic)
-		out += fmt.Sprintf("  node %-4d label %-8s left %-12s right %-12s ring %-12s shortcuts %d\n",
-			id, st.Label, st.Left, st.Right, st.Ring, len(st.Shortcuts))
+func runConcurrent(n int, seed int64, interval time.Duration, rounds int, churn bool, pubs int, crash float64) {
+	rt := concurrent.NewRuntime(concurrent.Options{Interval: interval, Seed: seed})
+	defer rt.Close()
+	l := cluster.NewLive(rt, core.Options{})
+	l.AddClients(n)
+	l.JoinAll(topic)
+
+	start := time.Now()
+	if churn {
+		// Let the fault injector interleave crashes and restarts with the
+		// join burst for a fixed window, then require re-convergence.
+		in := rt.NewInjector(concurrent.InjectorOptions{
+			Period:   10 * interval,
+			Downtime: 4 * interval,
+			Seed:     seed,
+			Protect:  func(id sim.NodeID) bool { return id == cluster.SupervisorID },
+		})
+		time.Sleep(100 * interval)
+		in.Stop()
+		fmt.Printf("churn: %d crashes, %d restarts survived\n", in.Crashes(), in.Restarts())
 	}
+	ok := waitConverged(rt, l, n, time.Duration(rounds)*interval, interval)
+	if !ok {
+		log.Fatalf("NOT converged within %d intervals: %s", rounds, quietExplain(rt, l))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("converged to legitimate SR(%d) in %s (%.1f intervals, %d messages delivered)\n",
+		n, elapsed.Round(time.Millisecond), float64(elapsed)/float64(interval), rt.Delivered())
+
+	if crash > 0 {
+		members := l.Members(topic)
+		k := int(crash * float64(n))
+		for i := 0; i < k; i++ {
+			l.Crash(members[i*len(members)/k])
+		}
+		fmt.Printf("crashed %d nodes; waiting for recovery…\n", k)
+		if !waitConverged(rt, l, n-k, time.Duration(rounds)*interval, interval) {
+			log.Fatalf("no recovery: %s", quietExplain(rt, l))
+		}
+		fmt.Printf("recovered to legitimate SR(%d)\n", n-k)
+	}
+
+	if pubs > 0 {
+		members := l.Members(topic)
+		for i := 0; i < pubs; i++ {
+			l.Publish(members[i%len(members)], topic, fmt.Sprintf("pub-%d", i))
+		}
+		deadline := time.Now().Add(time.Duration(rounds) * interval)
+		for {
+			done := false
+			rt.Quiesce(time.Second, func() { done = l.AllHavePubs(topic, pubs) && l.TriesEqual(topic) })
+			if done {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatal("publications never converged")
+			}
+			time.Sleep(interval)
+		}
+		fmt.Printf("%d publications disseminated to all %d subscribers\n", pubs, len(members))
+	}
+
+	fmt.Println("\nfinal state:")
+	rt.Quiesce(time.Second, func() {
+		printStates(l.Members(topic), func(id sim.NodeID) (stateLike, bool) {
+			s, ok2 := l.Clients[id].StateOf(topic)
+			return stateLike{s.Label.String(), s.Left.String(), s.Right.String(), s.Ring.String(), len(s.Shortcuts)}, ok2
+		})
+	})
+}
+
+// quietExplain reads the first legitimacy violation under the quiesce
+// barrier, so the report is an exact snapshot rather than a torn one.
+func quietExplain(rt *concurrent.Runtime, l *cluster.Live) string {
+	out := "system did not quiesce"
+	rt.Quiesce(time.Second, func() { out = l.Explain(topic) })
 	return out
+}
+
+func waitConverged(rt *concurrent.Runtime, l *cluster.Live, n int, timeout, interval time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := false
+		rt.Quiesce(time.Second, func() { ok = l.ConvergedWith(topic, n) })
+		if ok {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(interval)
+	}
+}
+
+// stateLike is the subset of a subscriber state the summary prints.
+type stateLike struct {
+	label, left, right, ring string
+	shortcuts                int
+}
+
+func printStates(members []sim.NodeID, state func(sim.NodeID) (stateLike, bool)) {
+	for _, id := range members {
+		st, ok := state(id)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  node %-4d label %-8s left %-12s right %-12s ring %-12s shortcuts %d\n",
+			id, st.label, st.left, st.right, st.ring, st.shortcuts)
+	}
 }

@@ -1,0 +1,146 @@
+package sspubsub
+
+// Cross-substrate conformance: the BuildSR convergence scenario must pass
+// identically on the deterministic discrete-event scheduler and on the
+// concurrent goroutine runtime. "Identically" is meaningful because the
+// legitimate state is unique (Lemma 2): for a given member count the
+// converged overlay has exactly one label assignment, so both substrates
+// must end in the same topology even though the concurrent run's message
+// interleaving is arbitrary. Run with -race to validate the runtime's
+// synchronization (CI does).
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+)
+
+// conformanceResult captures everything the scenario asserts on.
+type conformanceResult struct {
+	labels      []string // sorted member labels after convergence
+	afterCrash  []string // sorted member labels after crash recovery
+	payloads    []string // sorted payloads known to every member
+	memberCount int
+}
+
+// runConvergenceScenario is the BuildSR scenario from the system tests:
+// fresh join burst → convergence; publish burst → full dissemination;
+// crash → re-convergence. The rounds budgets are virtual time on
+// RuntimeSim and wall-clock intervals on RuntimeConcurrent.
+func runConvergenceScenario(t *testing.T, kind RuntimeKind, n int, seed int64) conformanceResult {
+	t.Helper()
+	s := NewSimulation(SimOptions{Runtime: kind, Seed: seed, Interval: 2 * time.Millisecond})
+	defer s.Close()
+
+	ids := s.AddSubscribers(n)
+	s.JoinAll(1)
+	if _, ok := s.RunUntilConverged(1, n, 5000); !ok {
+		t.Fatalf("[%s] no convergence with %d members: %s", kind, n, s.Explain(1))
+	}
+
+	var res conformanceResult
+	for _, id := range s.Members(1) {
+		res.labels = append(res.labels, s.Label(id, 1))
+	}
+	sort.Strings(res.labels)
+
+	members := s.Members(1)
+	const pubs = 5
+	for p := 0; p < pubs; p++ {
+		s.Publish(members[p%len(members)], 1, fmt.Sprintf("pub-%d", p))
+	}
+	if _, ok := s.RunUntil(5000, func() bool { return s.AllHavePubs(1, pubs) && s.TriesEqual(1) }); !ok {
+		t.Fatalf("[%s] publications never fully disseminated", kind)
+	}
+	res.payloads = append(res.payloads, s.Publications(members[0], 1)...)
+	sort.Strings(res.payloads)
+
+	s.Crash(ids[0])
+	if _, ok := s.RunUntilConverged(1, n-1, 10000); !ok {
+		t.Fatalf("[%s] no recovery after crash: %s", kind, s.Explain(1))
+	}
+	for _, id := range s.Members(1) {
+		res.afterCrash = append(res.afterCrash, s.Label(id, 1))
+	}
+	sort.Strings(res.afterCrash)
+	res.memberCount = len(res.afterCrash)
+	return res
+}
+
+// TestCrossSubstrateConformance runs the scenario on both substrates and
+// requires identical outcomes.
+func TestCrossSubstrateConformance(t *testing.T) {
+	const n = 10
+	simRes := runConvergenceScenario(t, RuntimeSim, n, 5)
+	concRes := runConvergenceScenario(t, RuntimeConcurrent, n, 5)
+
+	if got, want := fmt.Sprint(concRes.labels), fmt.Sprint(simRes.labels); got != want {
+		t.Errorf("converged labels differ: concurrent %s, sim %s", got, want)
+	}
+	if got, want := fmt.Sprint(concRes.afterCrash), fmt.Sprint(simRes.afterCrash); got != want {
+		t.Errorf("post-crash labels differ: concurrent %s, sim %s", got, want)
+	}
+	if got, want := fmt.Sprint(concRes.payloads), fmt.Sprint(simRes.payloads); got != want {
+		t.Errorf("publication sets differ: concurrent %s, sim %s", got, want)
+	}
+	if concRes.memberCount != n-1 || simRes.memberCount != n-1 {
+		t.Errorf("member counts: concurrent %d, sim %d, want %d",
+			concRes.memberCount, simRes.memberCount, n-1)
+	}
+}
+
+// TestConcurrentRuntimeUnderChurn stresses the concurrent substrate with
+// the crash/restart injector while a topic is converging, then verifies
+// the system still reaches the unique legitimate state once churn stops.
+func TestConcurrentRuntimeUnderChurn(t *testing.T) {
+	s := NewSimulation(SimOptions{Runtime: RuntimeConcurrent, Seed: 9, Interval: time.Millisecond})
+	defer s.Close()
+	const n = 8
+	s.AddSubscribers(n)
+	s.JoinAll(1)
+	stop := s.StartChurn(9)
+	s.RunRounds(100) // let crashes and restarts interleave with joins
+	stop()
+	if _, ok := s.RunUntilConverged(1, n, 20000); !ok {
+		t.Fatalf("no convergence after churn: %s", s.Explain(1))
+	}
+	want := make([]string, 0, n)
+	for _, id := range s.Members(1) {
+		want = append(want, s.Label(id, 1))
+	}
+	if len(want) != n {
+		t.Fatalf("%d members after churn, want %d", len(want), n)
+	}
+}
+
+// TestSimulationFacadeGuards pins the substrate-specific API edges: the
+// corruption injectors refuse to run on the concurrent runtime, and the
+// runtime kind is reported correctly.
+func TestSimulationFacadeGuards(t *testing.T) {
+	s := NewSimulation(SimOptions{Runtime: RuntimeConcurrent, Interval: time.Millisecond})
+	defer s.Close()
+	if s.Runtime() != RuntimeConcurrent {
+		t.Errorf("Runtime() = %s", s.Runtime())
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic on the concurrent runtime", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("CorruptSubscriberStates", func() { s.CorruptSubscriberStates(1) })
+	mustPanic("CorruptSupervisorDB", func() { s.CorruptSupervisorDB(1) })
+	mustPanic("InjectGarbageMessages", func() { s.InjectGarbageMessages(1, 1) })
+	mustPanic("PartitionStates", func() { s.PartitionStates(1, 2) })
+	mustPanic("Cluster", func() { s.Cluster() })
+
+	d := NewSimulation(SimOptions{})
+	if d.Runtime() != RuntimeSim {
+		t.Errorf("default Runtime() = %s", d.Runtime())
+	}
+	mustPanic("StartChurn", func() { d.StartChurn(1) })
+	d.Close() // no-op on sim
+}

@@ -20,13 +20,32 @@
 //
 // Two entry points are provided:
 //
-//   - System runs the protocol live, one goroutine per node, for
-//     applications: create clients, subscribe to topics, publish payloads
-//     and receive deliveries on channels.
-//   - Simulation runs the identical protocol code on a deterministic
-//     discrete-event scheduler, for research: inject corrupted states,
-//     crash nodes, measure convergence rounds and message counts
-//     reproducibly from a seed.
+//   - System runs the protocol live for applications: create clients,
+//     subscribe to topics, publish payloads and receive deliveries on
+//     channels.
+//   - Simulation drives research scenarios — corrupted states, crashes,
+//     convergence detection, message accounting — on a selectable
+//     execution substrate (SimOptions.Runtime).
+//
+// Protocol nodes are substrate-agnostic: they implement sim.Handler
+// against sim.Context, and any sim.Transport can execute them. Two
+// transports ship with the package:
+//
+//   - RuntimeSim, the deterministic discrete-event scheduler
+//     (internal/sim): virtual time, seeded randomness, bit-identical
+//     equal-seed replay, exact message accounting. Use it for research,
+//     regression tests and anything that must be reproducible.
+//   - RuntimeConcurrent, the production goroutine-per-node runtime
+//     (internal/runtime/concurrent): buffered mailbox channels with a
+//     loss-free overflow tier, real-time jittered Timeout ticks, a
+//     crash/restart fault injector, and a quiesce barrier that freezes
+//     the system so convergence predicates read one consistent cross-node
+//     snapshot. Use it to exercise true parallelism; System runs on it by
+//     default.
+//
+// The cross-substrate conformance tests run the same BuildSR scenario on
+// both transports and require identical outcomes, which is well-defined
+// because the legitimate state is unique for every member count.
 //
 // The packages under internal/ hold the building blocks (label algebra,
 // the BuildSR subscriber and supervisor protocols, the Patricia trie, the

@@ -1,0 +1,3 @@
+module sspubsub
+
+go 1.22

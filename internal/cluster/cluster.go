@@ -16,7 +16,6 @@ import (
 	"sspubsub/internal/label"
 	"sspubsub/internal/proto"
 	"sspubsub/internal/sim"
-	"sspubsub/internal/supervisor"
 )
 
 // SupervisorID is the well-known node ID of the supervisor.
@@ -29,13 +28,13 @@ type Options struct {
 	Sched      sim.SchedulerOptions // Seed is overridden by Options.Seed
 }
 
-// Cluster is a deterministic simulation of the full system.
+// Cluster is a deterministic simulation of the full system: the shared
+// Live driver/legitimacy surface running on the discrete-event Scheduler,
+// plus the research controls that only make sense there (round-based
+// convergence, corruption injectors).
 type Cluster struct {
-	Sched   *sim.Scheduler
-	Sup     *supervisor.Supervisor
-	Clients map[sim.NodeID]*core.Client
-	opts    Options
-	nextID  sim.NodeID
+	*Live
+	Sched *sim.Scheduler
 }
 
 // New creates a cluster with a supervisor and no clients.
@@ -43,106 +42,7 @@ func New(opts Options) *Cluster {
 	so := opts.Sched
 	so.Seed = opts.Seed
 	s := sim.NewScheduler(so)
-	sup := supervisor.New(SupervisorID, s)
-	s.AddNode(SupervisorID, sup)
-	return &Cluster{
-		Sched:   s,
-		Sup:     sup,
-		Clients: make(map[sim.NodeID]*core.Client),
-		opts:    opts,
-		nextID:  SupervisorID + 1,
-	}
-}
-
-// AddClient creates and registers one client node, returning its ID.
-func (c *Cluster) AddClient() sim.NodeID {
-	id := c.nextID
-	c.nextID++
-	cl := core.NewClient(id, SupervisorID, c.opts.ClientOpts)
-	c.Clients[id] = cl
-	c.Sched.AddNode(id, cl)
-	return id
-}
-
-// AddClients creates n clients and returns their IDs in creation order.
-func (c *Cluster) AddClients(n int) []sim.NodeID {
-	out := make([]sim.NodeID, n)
-	for i := range out {
-		out[i] = c.AddClient()
-	}
-	return out
-}
-
-// Join subscribes a client to a topic (via its control channel).
-func (c *Cluster) Join(id sim.NodeID, t sim.Topic) {
-	c.Sched.Send(sim.Message{To: id, From: id, Topic: t, Body: core.JoinTopic{}})
-}
-
-// JoinAll subscribes every client to the topic.
-func (c *Cluster) JoinAll(t sim.Topic) {
-	for id := range c.Clients {
-		c.Join(id, t)
-	}
-}
-
-// Leave starts the unsubscribe handshake for one client.
-func (c *Cluster) Leave(id sim.NodeID, t sim.Topic) {
-	c.Sched.Send(sim.Message{To: id, From: id, Topic: t, Body: core.LeaveTopic{}})
-}
-
-// Publish makes a client publish a payload on a topic.
-func (c *Cluster) Publish(id sim.NodeID, t sim.Topic, payload string) {
-	c.Sched.Send(sim.Message{To: id, From: id, Topic: t, Body: core.PublishCmd{Payload: payload}})
-}
-
-// Crash fails a client without warning.
-func (c *Cluster) Crash(id sim.NodeID) {
-	c.Sched.Crash(id)
-	delete(c.Clients, id)
-}
-
-// Members returns the clients currently holding a live instance for t.
-func (c *Cluster) Members(t sim.Topic) []sim.NodeID {
-	var out []sim.NodeID
-	for id, cl := range c.Clients {
-		if cl.Joined(t) {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// ---- legitimacy predicate ----
-
-// Converged reports whether topic t is in a legitimate state: the
-// supervisor's database is non-corrupted and records exactly the live
-// members, and every member's explicit state (label, left, right, ring,
-// shortcut slots with resolved owners) equals the unique legitimate SR(n).
-func (c *Cluster) Converged(t sim.Topic) bool { return c.explain(t, false) == "" }
-
-// Explain returns a human-readable description of the first legitimacy
-// violation, or "" when converged. Used by failing tests.
-func (c *Cluster) Explain(t sim.Topic) string { return c.explain(t, true) }
-
-func (c *Cluster) explain(t sim.Topic, verbose bool) string {
-	if c.Sup.Corrupted(t) {
-		return "supervisor database corrupted"
-	}
-	states := make(map[sim.NodeID]core.State)
-	for _, id := range c.Members(t) {
-		st, ok := c.Clients[id].StateOf(t)
-		if !ok {
-			return fmt.Sprintf("member %d has no instance", id)
-		}
-		states[id] = st
-	}
-	return CheckLegitimacy(c.Sup.Snapshot(t), states)
-}
-
-// ConvergedWith reports legitimacy with exactly n recorded members (guards
-// against the vacuous empty-state legitimacy before joins are processed).
-func (c *Cluster) ConvergedWith(t sim.Topic, n int) bool {
-	return c.Sup.N(t) == n && len(c.Members(t)) == n && c.Converged(t)
+	return &Cluster{Live: NewLive(s, opts.ClientOpts), Sched: s}
 }
 
 // RunUntilConverged advances rounds until the topic is legitimate with
@@ -150,34 +50,6 @@ func (c *Cluster) ConvergedWith(t sim.Topic, n int) bool {
 // was reached.
 func (c *Cluster) RunUntilConverged(t sim.Topic, n, maxRounds int) (int, bool) {
 	return c.Sched.RunRoundsUntil(maxRounds, func() bool { return c.ConvergedWith(t, n) })
-}
-
-// ---- publication predicates ----
-
-// TriesEqual reports whether all live members hold hash-identical tries.
-func (c *Cluster) TriesEqual(t sim.Topic) bool {
-	members := c.Members(t)
-	if len(members) == 0 {
-		return true
-	}
-	first := c.Clients[members[0]].TrieRootHash(t)
-	for _, id := range members[1:] {
-		if c.Clients[id].TrieRootHash(t) != first {
-			return false
-		}
-	}
-	return true
-}
-
-// AllHavePubs reports whether every live member knows at least k
-// publications for t.
-func (c *Cluster) AllHavePubs(t sim.Topic, k int) bool {
-	for _, id := range c.Members(t) {
-		if len(c.Clients[id].Publications(t)) < k {
-			return false
-		}
-	}
-	return true
 }
 
 // ---- corruption injectors (arbitrary initial states, Theorem 8) ----
@@ -235,9 +107,10 @@ func (c *Cluster) CorruptSupervisorDB(t sim.Topic) {
 	rng := c.Sched.Rand()
 	snap := c.Sup.Snapshot(t)
 	var someNode sim.NodeID
-	for _, v := range snap {
-		someNode = v
-		break
+	for _, v := range snap { // deterministic: take the largest recorded ID
+		if v > someNode {
+			someNode = v
+		}
 	}
 	c.Sup.InjectRaw(t, label.FromIndex(uint64(n+1+rng.Intn(8))), sim.None)  // (i) ⊥ subscriber
 	c.Sup.InjectRaw(t, label.FromIndex(uint64(n+10+rng.Intn(8))), someNode) // (ii)+(iv) duplicate, out of range

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"sspubsub/internal/core"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/supervisor"
+)
+
+// Live assembles the same supervised publish-subscribe stack as Cluster on
+// an arbitrary sim.Transport — in practice the concurrent goroutine
+// runtime. It mirrors Cluster's driver and legitimacy API so scenarios can
+// run unchanged on either substrate (the cross-substrate conformance
+// tests do exactly that).
+//
+// All methods must be called from a single driver goroutine; the protocol
+// nodes themselves run wherever the transport puts them. On a live
+// transport the state-reading predicates (Converged, Explain, TriesEqual,
+// AllHavePubs) see each node at a slightly different instant — wrap them
+// in the runtime's quiesce barrier when an exact cross-node snapshot is
+// required.
+type Live struct {
+	Tr      sim.Transport
+	Sup     *supervisor.Supervisor
+	Clients map[sim.NodeID]*core.Client
+	opts    core.Options
+	nextID  sim.NodeID
+}
+
+// NewLive starts a supervisor on the transport and returns the harness.
+func NewLive(tr sim.Transport, clientOpts core.Options) *Live {
+	sup := supervisor.New(SupervisorID, tr)
+	tr.AddNode(SupervisorID, sup)
+	return &Live{
+		Tr:      tr,
+		Sup:     sup,
+		Clients: make(map[sim.NodeID]*core.Client),
+		opts:    clientOpts,
+		nextID:  SupervisorID + 1,
+	}
+}
+
+// AddClient creates and registers one client node, returning its ID.
+func (l *Live) AddClient() sim.NodeID {
+	id := l.nextID
+	l.nextID++
+	cl := core.NewClient(id, SupervisorID, l.opts)
+	l.Clients[id] = cl
+	l.Tr.AddNode(id, cl)
+	return id
+}
+
+// AddClients creates n clients and returns their IDs in creation order.
+func (l *Live) AddClients(n int) []sim.NodeID {
+	out := make([]sim.NodeID, n)
+	for i := range out {
+		out[i] = l.AddClient()
+	}
+	return out
+}
+
+// Join subscribes a client to a topic (via its control channel).
+func (l *Live) Join(id sim.NodeID, t sim.Topic) {
+	l.Tr.Send(sim.Message{To: id, From: id, Topic: t, Body: core.JoinTopic{}})
+}
+
+// JoinAll subscribes every client to the topic, in ID order.
+func (l *Live) JoinAll(t sim.Topic) {
+	ids := make([]sim.NodeID, 0, len(l.Clients))
+	for id := range l.Clients {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		l.Join(id, t)
+	}
+}
+
+// Leave starts the unsubscribe handshake for one client.
+func (l *Live) Leave(id sim.NodeID, t sim.Topic) {
+	l.Tr.Send(sim.Message{To: id, From: id, Topic: t, Body: core.LeaveTopic{}})
+}
+
+// Publish makes a client publish a payload on a topic.
+func (l *Live) Publish(id sim.NodeID, t sim.Topic, payload string) {
+	l.Tr.Send(sim.Message{To: id, From: id, Topic: t, Body: core.PublishCmd{Payload: payload}})
+}
+
+// Crash fails a client without warning.
+func (l *Live) Crash(id sim.NodeID) {
+	l.Tr.Crash(id)
+	delete(l.Clients, id)
+}
+
+// Members returns the clients currently holding a live instance for t,
+// sorted by ID.
+func (l *Live) Members(t sim.Topic) []sim.NodeID {
+	var out []sim.NodeID
+	for id, cl := range l.Clients {
+		if cl.Joined(t) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Converged reports whether topic t is in a legitimate state (see
+// Cluster.Converged for the predicate).
+func (l *Live) Converged(t sim.Topic) bool { return l.Explain(t) == "" }
+
+// Explain returns a human-readable description of the first legitimacy
+// violation, or "" when converged.
+func (l *Live) Explain(t sim.Topic) string {
+	if l.Sup.Corrupted(t) {
+		return "supervisor database corrupted"
+	}
+	states := make(map[sim.NodeID]core.State)
+	for _, id := range l.Members(t) {
+		st, ok := l.Clients[id].StateOf(t)
+		if !ok {
+			return fmt.Sprintf("member %d has no instance", id)
+		}
+		states[id] = st
+	}
+	return CheckLegitimacy(l.Sup.Snapshot(t), states)
+}
+
+// ConvergedWith reports legitimacy with exactly n recorded members.
+func (l *Live) ConvergedWith(t sim.Topic, n int) bool {
+	return l.Sup.N(t) == n && len(l.Members(t)) == n && l.Converged(t)
+}
+
+// TriesEqual reports whether all live members hold hash-identical tries.
+func (l *Live) TriesEqual(t sim.Topic) bool {
+	members := l.Members(t)
+	if len(members) == 0 {
+		return true
+	}
+	first := l.Clients[members[0]].TrieRootHash(t)
+	for _, id := range members[1:] {
+		if l.Clients[id].TrieRootHash(t) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// AllHavePubs reports whether every live member knows at least k
+// publications for t.
+func (l *Live) AllHavePubs(t sim.Topic, k int) bool {
+	for _, id := range l.Members(t) {
+		if len(l.Clients[id].Publications(t)) < k {
+			return false
+		}
+	}
+	return true
+}

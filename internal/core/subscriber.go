@@ -315,9 +315,24 @@ func (s *Subscriber) maintainShortcuts(ctx sim.Context) {
 		desired[l] = true
 	}
 	// Drop slots we should no longer have; their occupants are delegated
-	// back into the sorted list so the references are not lost.
-	for l, ref := range s.shortcuts {
+	// back into the sorted list so the references are not lost. Iterate in
+	// label order, not map order: dropping several slots (which happens
+	// from corrupted states) sends one Linearize each, and the send order
+	// determines how random delivery delays are drawn — a map-order walk
+	// would break equal-seed replay.
+	slots := make([]label.Label, 0, len(s.shortcuts))
+	for l := range s.shortcuts {
+		slots = append(slots, l)
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].Frac() != slots[j].Frac() {
+			return slots[i].Frac() < slots[j].Frac()
+		}
+		return slots[i].Len < slots[j].Len // corrupted labels can collide on Frac
+	})
+	for _, l := range slots {
 		if !desired[l] {
+			ref := s.shortcuts[l]
 			delete(s.shortcuts, l)
 			s.version++
 			if ref != sim.None && ref != s.self {

@@ -173,7 +173,13 @@ func Parse(s string) (Label, error) {
 			return Bottom, fmt.Errorf("label: invalid character %q in %q", c, s)
 		}
 	}
-	return Label{Bits: b, Len: uint8(len(s))}, nil
+	l := Label{Bits: b, Len: uint8(len(s))}
+	if !l.Valid() {
+		// Only "0" and strings ending in 1 are generated labels; accepting
+		// others would create Labels that compare equal on Frac but not ==.
+		return Bottom, fmt.Errorf("label: %q is not a well-formed label", s)
+	}
+	return l, nil
 }
 
 // MustParse is Parse that panics on error, for tests and tables.

@@ -1,0 +1,121 @@
+package concurrent
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sspubsub/internal/sim"
+)
+
+// InjectorOptions configure a crash/restart fault injector.
+type InjectorOptions struct {
+	// Period is the mean time between crashes; actual gaps are drawn
+	// uniformly from [Period/2, 3·Period/2). Default 20·Interval.
+	Period time.Duration
+	// Downtime is how long a victim stays crashed before it is restarted
+	// with the handler (and hence the stale state) it crashed with.
+	// Default 4·Interval.
+	Downtime time.Duration
+	// Protect exempts nodes from being crashed (e.g. the supervisor, which
+	// the paper assumes reliable). Nil protects no one.
+	Protect func(sim.NodeID) bool
+	// Seed drives victim selection.
+	Seed int64
+}
+
+// Injector drives churn against a Runtime: it periodically crashes a
+// random unprotected node and restarts it after a hold-off. Because a
+// restarted node resumes with whatever state its handler held, every
+// crash/restart cycle is an "arbitrary initial state" episode for the
+// self-stabilization machinery.
+type Injector struct {
+	rt   *Runtime
+	opts InjectorOptions
+	rng  *rand.Rand
+
+	crashes  atomic.Int64
+	restarts atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup // outstanding delayed restarts
+}
+
+// NewInjector creates and starts an injector against the runtime.
+func (r *Runtime) NewInjector(opts InjectorOptions) *Injector {
+	if opts.Period == 0 {
+		opts.Period = 20 * r.opts.Interval
+	}
+	if opts.Downtime == 0 {
+		opts.Downtime = 4 * r.opts.Interval
+	}
+	in := &Injector{
+		rt:   r,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed*0x9e3779b9 + 0x7f4a7c15)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go in.loop()
+	return in
+}
+
+// Crashes returns how many crashes the injector has inflicted.
+func (in *Injector) Crashes() int64 { return in.crashes.Load() }
+
+// Restarts returns how many victims have been restarted.
+func (in *Injector) Restarts() int64 { return in.restarts.Load() }
+
+// Stop halts the injector and immediately restarts any victim still down,
+// so the system can re-converge. It blocks until all restarts finished.
+// Idempotent.
+func (in *Injector) Stop() {
+	in.stopOnce.Do(func() { close(in.stop) })
+	<-in.done
+	in.wg.Wait()
+}
+
+func (in *Injector) loop() {
+	defer close(in.done)
+	for {
+		gap := time.Duration(float64(in.opts.Period) * (0.5 + in.rng.Float64()))
+		select {
+		case <-in.stop:
+			return
+		case <-time.After(gap):
+		}
+		in.crashOne()
+	}
+}
+
+// crashOne picks a random live unprotected node, crashes it and schedules
+// its restart.
+func (in *Injector) crashOne() {
+	ids := in.rt.NodeIDs()
+	in.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids {
+		if in.opts.Protect != nil && in.opts.Protect(id) {
+			continue
+		}
+		h := in.rt.Handler(id)
+		if h == nil {
+			continue // lost a race with removal
+		}
+		in.rt.Crash(id)
+		in.crashes.Add(1)
+		in.wg.Add(1)
+		go func(id sim.NodeID, h sim.Handler) {
+			defer in.wg.Done()
+			select {
+			case <-in.stop:
+			case <-time.After(in.opts.Downtime):
+			}
+			in.rt.Restart(id, h)
+			in.restarts.Add(1)
+		}(id, h)
+		return
+	}
+}

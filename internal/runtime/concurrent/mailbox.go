@@ -1,0 +1,70 @@
+package concurrent
+
+import (
+	"sync"
+
+	"sspubsub/internal/sim"
+)
+
+// mailbox is the loss-free channel of one node: a buffered Go channel as
+// the fast path plus an unbounded overflow queue behind a mutex, so push
+// never blocks and never drops (the paper's channels "store any finite
+// number of messages"). Delivery order across the two tiers is not FIFO,
+// which the model explicitly permits.
+//
+// Invariant: whenever the overflow is non-empty, the channel was full at
+// the moment of the last push (push shifts overflow into the channel while
+// there is room, under the same lock). Hence a consumer blocked on an
+// empty channel implies an empty overflow, and draining the overflow after
+// every channel receive keeps spilled messages from stalling.
+type mailbox struct {
+	ch chan sim.Message
+
+	mu     sync.Mutex
+	over   []sim.Message
+	closed bool
+}
+
+func newMailbox(depth int) *mailbox {
+	return &mailbox{ch: make(chan sim.Message, depth)}
+}
+
+// push enqueues a message, spilling to the overflow when the channel is
+// full. It reports false when the mailbox is closed (the node stopped).
+func (b *mailbox) push(m sim.Message) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.over = append(b.over, m)
+	for len(b.over) > 0 {
+		select {
+		case b.ch <- b.over[0]:
+			b.over = b.over[1:]
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+// takeOverflow removes and returns all spilled messages.
+func (b *mailbox) takeOverflow() []sim.Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.over
+	b.over = nil
+	return out
+}
+
+// close marks the mailbox closed, discards the overflow and returns how
+// many messages it held. The channel itself is drained by the caller.
+func (b *mailbox) close() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	nOver := len(b.over)
+	b.over = nil
+	return nOver
+}

@@ -97,6 +97,13 @@ func (r *Runtime) RemoveNode(id NodeID) {
 	}
 }
 
+// Crash implements Transport. On this runtime an unannounced crash and a
+// graceful removal coincide: the goroutine stops and queued messages are
+// discarded.
+func (r *Runtime) Crash(id NodeID) { r.RemoveNode(id) }
+
+var _ Transport = (*Runtime)(nil)
+
 // Suspects implements Detector: the live runtime knows crashes immediately
 // (grace period zero), which satisfies eventual correctness trivially.
 func (r *Runtime) Suspects(id NodeID) bool {

@@ -128,6 +128,12 @@ func (s *Scheduler) AddNode(id NodeID, h Handler) {
 // that leave the system; in-flight messages to it are dropped on delivery).
 func (s *Scheduler) RemoveNode(id NodeID) { delete(s.nodes, id) }
 
+// Close implements Transport; the discrete-event scheduler owns no
+// goroutines or OS resources, so it is a no-op.
+func (s *Scheduler) Close() {}
+
+var _ Transport = (*Scheduler)(nil)
+
 // Crash marks the node as failed without warning (Section 3.3): it stops
 // executing actions and all messages addressed to it vanish. The failure
 // detector starts suspecting it after the configured grace period.

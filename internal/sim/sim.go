@@ -73,6 +73,33 @@ type Handler interface {
 	OnTimeout(ctx Context)
 }
 
+// Transport is the execution-substrate contract: everything a protocol
+// driver (the public System/Simulation facades, the cluster harness, the
+// CLIs) needs in order to host Handlers, independent of whether they run on
+// the deterministic Scheduler, the in-package goroutine Runtime, or the
+// concurrent runtime in internal/runtime/concurrent. Handlers themselves
+// never see a Transport — they only see Context — so protocol code is
+// substrate-agnostic by construction.
+type Transport interface {
+	// AddNode registers a handler and starts its periodic Timeout action.
+	AddNode(id NodeID, h Handler)
+	// RemoveNode gracefully deregisters a node; in-flight messages to it
+	// are dropped on delivery.
+	RemoveNode(id NodeID)
+	// Crash fails a node without warning (Section 3.3): it stops executing
+	// actions, messages addressed to it vanish, and the failure detector
+	// eventually suspects it.
+	Crash(id NodeID)
+	// Send routes a well-formed message toward its destination mailbox.
+	Send(m Message)
+	// Close stops the substrate and releases its resources. Close is
+	// idempotent; on the deterministic Scheduler it is a no-op.
+	Close()
+
+	// Transports double as the system-wide failure detector of Section 3.3.
+	Detector
+}
+
 // Detector is the failure-detector oracle of Section 3.3. Only the
 // supervisor consults it. Implementations are eventually correct: a crashed
 // node is eventually (and permanently) suspected, and live nodes are never

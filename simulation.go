@@ -1,14 +1,42 @@
 package sspubsub
 
 import (
+	"fmt"
+	"time"
+
 	"sspubsub/internal/cluster"
 	"sspubsub/internal/core"
+	"sspubsub/internal/runtime/concurrent"
 	"sspubsub/internal/sim"
 )
 
-// SimOptions configure a deterministic Simulation.
+// RuntimeKind selects the execution substrate protocol nodes run on.
+type RuntimeKind string
+
+const (
+	// RuntimeSim is the deterministic discrete-event scheduler: virtual
+	// time, seeded randomness, exact reproducibility. The default.
+	RuntimeSim RuntimeKind = "sim"
+	// RuntimeConcurrent is the live goroutine-per-node runtime: real-time
+	// jittered timeouts, buffered mailboxes, true parallelism. Runs are
+	// not reproducible, but exercise the protocol under genuine
+	// concurrency.
+	RuntimeConcurrent RuntimeKind = "concurrent"
+)
+
+// SimOptions configure a Simulation.
 type SimOptions struct {
-	// Seed makes the entire run reproducible.
+	// Runtime picks the substrate (default RuntimeSim). The corruption
+	// injectors (CorruptSubscriberStates, CorruptSupervisorDB,
+	// InjectGarbageMessages, PartitionStates) require RuntimeSim; all
+	// other controls work on both substrates.
+	Runtime RuntimeKind
+	// Interval is the real-time length of one timeout interval on
+	// RuntimeConcurrent (default 2ms). Ignored by RuntimeSim, where a
+	// round is a unit of virtual time.
+	Interval time.Duration
+	// Seed makes RuntimeSim runs fully reproducible and seeds the
+	// per-node randomness on RuntimeConcurrent.
 	Seed int64
 	// KeyLen is the publication key width (default 64).
 	KeyLen uint8
@@ -26,67 +54,228 @@ type NodeID = sim.NodeID
 type Topic = sim.Topic
 
 // Simulation runs the full protocol stack (supervisor, subscribers,
-// publication engines) on a deterministic discrete-event scheduler with
-// virtual time measured in timeout intervals. It exposes the research
-// controls used by the paper-reproduction experiments: corrupted initial
-// states, crashes, convergence detection against the exact legitimate
-// topology, and message accounting.
+// publication engines) on a chosen substrate. On the default deterministic
+// scheduler it exposes the research controls used by the
+// paper-reproduction experiments: corrupted initial states, crashes,
+// convergence detection against the exact legitimate topology, and message
+// accounting. On the concurrent runtime the same scenario API drives real
+// goroutines, with convergence checks taken under a quiesce barrier; a
+// "round" is then one wall-clock timeout interval.
 type Simulation struct {
-	c *cluster.Cluster
+	c *cluster.Cluster // deterministic substrate (nil on concurrent)
+
+	live  *cluster.Live         // concurrent substrate (nil on sim)
+	crt   *concurrent.Runtime   // nil on sim
+	ivl   time.Duration
+	churn []*concurrent.Injector // injectors started via StartChurn
 }
 
-// NewSimulation creates an empty deterministic system (supervisor only).
+// NewSimulation creates an empty system (supervisor only) on the substrate
+// selected by opts.Runtime.
 func NewSimulation(opts SimOptions) *Simulation {
-	return &Simulation{c: cluster.New(cluster.Options{
-		Seed: opts.Seed,
-		ClientOpts: core.Options{
-			KeyLen:             opts.KeyLen,
-			DisableFlooding:    opts.DisableFlooding,
-			DisableAntiEntropy: opts.DisableAntiEntropy,
-			DisableActionIV:    opts.DisableActionIV,
-		},
-	})}
+	clientOpts := core.Options{
+		KeyLen:             opts.KeyLen,
+		DisableFlooding:    opts.DisableFlooding,
+		DisableAntiEntropy: opts.DisableAntiEntropy,
+		DisableActionIV:    opts.DisableActionIV,
+	}
+	switch opts.Runtime {
+	case RuntimeConcurrent:
+		ivl := opts.Interval
+		if ivl == 0 {
+			ivl = 2 * time.Millisecond
+		}
+		crt := concurrent.NewRuntime(concurrent.Options{Interval: ivl, Seed: opts.Seed})
+		return &Simulation{live: cluster.NewLive(crt, clientOpts), crt: crt, ivl: ivl}
+	case RuntimeSim, "":
+		return &Simulation{c: cluster.New(cluster.Options{Seed: opts.Seed, ClientOpts: clientOpts})}
+	default:
+		panic(fmt.Sprintf("sspubsub: unknown runtime %q", opts.Runtime))
+	}
+}
+
+// Close stops any running fault injectors and the substrate. It must be
+// called on RuntimeConcurrent to terminate the node goroutines; on
+// RuntimeSim it is a no-op.
+func (s *Simulation) Close() {
+	for _, in := range s.churn {
+		in.Stop()
+	}
+	s.churn = nil
+	if s.crt != nil {
+		s.crt.Close()
+	}
+}
+
+// Runtime returns which substrate the simulation runs on.
+func (s *Simulation) Runtime() RuntimeKind {
+	if s.crt != nil {
+		return RuntimeConcurrent
+	}
+	return RuntimeSim
+}
+
+// requireSim guards the deterministic-only research controls.
+func (s *Simulation) requireSim(op string) {
+	if s.c == nil {
+		panic(fmt.Sprintf("sspubsub: %s requires Runtime == RuntimeSim", op))
+	}
 }
 
 // AddSubscribers creates n subscriber nodes and returns their IDs.
-func (s *Simulation) AddSubscribers(n int) []NodeID { return s.c.AddClients(n) }
+func (s *Simulation) AddSubscribers(n int) []NodeID {
+	if s.crt != nil {
+		return s.live.AddClients(n)
+	}
+	return s.c.AddClients(n)
+}
 
 // Join subscribes a node to a topic.
-func (s *Simulation) Join(id NodeID, t Topic) { s.c.Join(id, t) }
+func (s *Simulation) Join(id NodeID, t Topic) {
+	if s.crt != nil {
+		s.live.Join(id, t)
+		return
+	}
+	s.c.Join(id, t)
+}
 
 // JoinAll subscribes every node to the topic.
-func (s *Simulation) JoinAll(t Topic) { s.c.JoinAll(t) }
+func (s *Simulation) JoinAll(t Topic) {
+	if s.crt != nil {
+		s.live.JoinAll(t)
+		return
+	}
+	s.c.JoinAll(t)
+}
 
 // Leave starts an unsubscribe handshake.
-func (s *Simulation) Leave(id NodeID, t Topic) { s.c.Leave(id, t) }
+func (s *Simulation) Leave(id NodeID, t Topic) {
+	if s.crt != nil {
+		s.live.Leave(id, t)
+		return
+	}
+	s.c.Leave(id, t)
+}
 
 // Crash fails a node without warning (Section 3.3).
-func (s *Simulation) Crash(id NodeID) { s.c.Crash(id) }
+func (s *Simulation) Crash(id NodeID) {
+	if s.crt != nil {
+		s.live.Crash(id)
+		return
+	}
+	s.c.Crash(id)
+}
 
 // Publish makes a node publish a payload.
-func (s *Simulation) Publish(id NodeID, t Topic, payload string) { s.c.Publish(id, t, payload) }
+func (s *Simulation) Publish(id NodeID, t Topic, payload string) {
+	if s.crt != nil {
+		s.live.Publish(id, t, payload)
+		return
+	}
+	s.c.Publish(id, t, payload)
+}
 
-// RunRounds advances virtual time by k timeout intervals.
-func (s *Simulation) RunRounds(k int) { s.c.Sched.RunRounds(k) }
+// RunRounds advances by k timeout intervals: virtual on RuntimeSim,
+// wall-clock on RuntimeConcurrent.
+func (s *Simulation) RunRounds(k int) {
+	if s.crt != nil {
+		time.Sleep(time.Duration(k) * s.ivl)
+		return
+	}
+	s.c.Sched.RunRounds(k)
+}
 
 // RunUntilConverged advances until topic t is in its legitimate state with
-// exactly n members, returning the rounds taken and success.
+// exactly n members, returning the rounds taken and success. On
+// RuntimeConcurrent the legitimacy predicate is evaluated under the
+// quiesce barrier once per interval, so the snapshot is exact.
 func (s *Simulation) RunUntilConverged(t Topic, n, maxRounds int) (int, bool) {
+	if s.crt != nil {
+		start := time.Now()
+		deadline := start.Add(time.Duration(maxRounds) * s.ivl)
+		for {
+			if s.quiescedCheck(func() bool { return s.live.ConvergedWith(t, n) }) {
+				return s.elapsedRounds(start), true
+			}
+			if time.Now().After(deadline) {
+				return maxRounds, false
+			}
+			time.Sleep(s.ivl)
+		}
+	}
 	return s.c.RunUntilConverged(t, n, maxRounds)
 }
 
+// RunUntil advances round by round until pred returns true or maxRounds
+// elapsed; pred is evaluated between rounds (under the quiesce barrier on
+// RuntimeConcurrent).
+func (s *Simulation) RunUntil(maxRounds int, pred func() bool) (int, bool) {
+	if s.crt != nil {
+		start := time.Now()
+		deadline := start.Add(time.Duration(maxRounds) * s.ivl)
+		for {
+			if s.quiescedCheck(pred) {
+				return s.elapsedRounds(start), true
+			}
+			if time.Now().After(deadline) {
+				return maxRounds, false
+			}
+			time.Sleep(s.ivl)
+		}
+	}
+	return s.c.Sched.RunRoundsUntil(maxRounds, pred)
+}
+
+// quiescedCheck evaluates pred with the concurrent runtime frozen. If the
+// system does not drain within a generous window (livelock, injector
+// churn), the check conservatively reports false.
+func (s *Simulation) quiescedCheck(pred func() bool) bool {
+	ok := false
+	s.crt.Quiesce(100*s.ivl, func() { ok = pred() })
+	return ok
+}
+
+func (s *Simulation) elapsedRounds(start time.Time) int {
+	return int(time.Since(start) / s.ivl)
+}
+
 // Converged reports whether topic t is currently legitimate.
-func (s *Simulation) Converged(t Topic) bool { return s.c.Converged(t) }
+func (s *Simulation) Converged(t Topic) bool {
+	if s.crt != nil {
+		return s.quiescedCheck(func() bool { return s.live.Converged(t) })
+	}
+	return s.c.Converged(t)
+}
 
 // Explain describes the first legitimacy violation, or returns "".
-func (s *Simulation) Explain(t Topic) string { return s.c.Explain(t) }
+func (s *Simulation) Explain(t Topic) string {
+	if s.crt != nil {
+		out := "system did not quiesce"
+		s.crt.Quiesce(100*s.ivl, func() { out = s.live.Explain(t) })
+		return out
+	}
+	return s.c.Explain(t)
+}
 
 // TriesEqual reports whether all members hold identical publication sets.
-func (s *Simulation) TriesEqual(t Topic) bool { return s.c.TriesEqual(t) }
+func (s *Simulation) TriesEqual(t Topic) bool {
+	if s.crt != nil {
+		return s.quiescedCheck(func() bool { return s.live.TriesEqual(t) })
+	}
+	return s.c.TriesEqual(t)
+}
+
+// AllHavePubs reports whether every member knows at least k publications.
+func (s *Simulation) AllHavePubs(t Topic, k int) bool {
+	if s.crt != nil {
+		return s.quiescedCheck(func() bool { return s.live.AllHavePubs(t, k) })
+	}
+	return s.c.AllHavePubs(t, k)
+}
 
 // Publications returns the publication payloads known to a node.
 func (s *Simulation) Publications(id NodeID, t Topic) []string {
-	cl, ok := s.c.Clients[id]
+	cl, ok := s.clientOf(id)
 	if !ok {
 		return nil
 	}
@@ -100,47 +289,139 @@ func (s *Simulation) Publications(id NodeID, t Topic) []string {
 
 // Degree returns a node's current overlay degree.
 func (s *Simulation) Degree(id NodeID, t Topic) int {
-	cl, ok := s.c.Clients[id]
+	cl, ok := s.clientOf(id)
 	if !ok {
 		return 0
 	}
 	return cl.Degree(t)
 }
 
+// Label returns a node's current overlay label for t ("⊥" when absent).
+func (s *Simulation) Label(id NodeID, t Topic) string {
+	cl, ok := s.clientOf(id)
+	if !ok {
+		return "⊥"
+	}
+	st, ok := cl.StateOf(t)
+	if !ok {
+		return "⊥"
+	}
+	return st.Label.String()
+}
+
+func (s *Simulation) clientOf(id NodeID) (*core.Client, bool) {
+	if s.crt != nil {
+		cl, ok := s.live.Clients[id]
+		return cl, ok
+	}
+	cl, ok := s.c.Clients[id]
+	return cl, ok
+}
+
 // CorruptSubscriberStates overwrites all member states with garbage.
-func (s *Simulation) CorruptSubscriberStates(t Topic) { s.c.CorruptSubscriberStates(t) }
+// Requires RuntimeSim.
+func (s *Simulation) CorruptSubscriberStates(t Topic) {
+	s.requireSim("CorruptSubscriberStates")
+	s.c.CorruptSubscriberStates(t)
+}
 
 // CorruptSupervisorDB injects the four database corruption cases.
-func (s *Simulation) CorruptSupervisorDB(t Topic) { s.c.CorruptSupervisorDB(t) }
+// Requires RuntimeSim.
+func (s *Simulation) CorruptSupervisorDB(t Topic) {
+	s.requireSim("CorruptSupervisorDB")
+	s.c.CorruptSupervisorDB(t)
+}
 
 // InjectGarbageMessages seeds the channels with corrupted messages.
-func (s *Simulation) InjectGarbageMessages(t Topic, count int) { s.c.InjectGarbageMessages(t, count) }
+// Requires RuntimeSim.
+func (s *Simulation) InjectGarbageMessages(t Topic, count int) {
+	s.requireSim("InjectGarbageMessages")
+	s.c.InjectGarbageMessages(t, count)
+}
 
 // PartitionStates splits the members into k self-consistent, unrecorded
-// components (the hard initial state of Section 3.2.1).
-func (s *Simulation) PartitionStates(t Topic, k int) { s.c.PartitionStates(t, k) }
+// components (the hard initial state of Section 3.2.1). Requires
+// RuntimeSim.
+func (s *Simulation) PartitionStates(t Topic, k int) {
+	s.requireSim("PartitionStates")
+	s.c.PartitionStates(t, k)
+}
+
+// StartChurn attaches a crash/restart fault injector to a concurrent run:
+// every few intervals a random subscriber crashes and later restarts with
+// its stale state. The returned stop function halts the churn, restarts
+// any victim still down and blocks until the system is whole again; it is
+// idempotent, and Close stops any injector still running. Requires
+// RuntimeConcurrent.
+func (s *Simulation) StartChurn(seed int64) (stop func()) {
+	if s.crt == nil {
+		panic("sspubsub: StartChurn requires Runtime == RuntimeConcurrent")
+	}
+	in := s.crt.NewInjector(concurrent.InjectorOptions{
+		Seed:    seed,
+		Protect: func(id NodeID) bool { return id == cluster.SupervisorID },
+	})
+	s.churn = append(s.churn, in)
+	return in.Stop
+}
 
 // MessagesDelivered returns the total messages delivered so far.
-func (s *Simulation) MessagesDelivered() int64 { return s.c.Sched.Delivered() }
+func (s *Simulation) MessagesDelivered() int64 {
+	if s.crt != nil {
+		return s.crt.Delivered()
+	}
+	return s.c.Sched.Delivered()
+}
 
 // MessagesByType returns the count of sends for a protocol message type
 // name, e.g. "proto.GetConfiguration".
-func (s *Simulation) MessagesByType(name string) int64 { return s.c.Sched.CountByType(name) }
+func (s *Simulation) MessagesByType(name string) int64 {
+	if s.crt != nil {
+		return s.crt.CountByType(name)
+	}
+	return s.c.Sched.CountByType(name)
+}
 
 // SentBy returns the number of messages a node has sent.
-func (s *Simulation) SentBy(id NodeID) int64 { return s.c.Sched.SentBy(id) }
+func (s *Simulation) SentBy(id NodeID) int64 {
+	if s.crt != nil {
+		return s.crt.SentBy(id)
+	}
+	return s.c.Sched.SentBy(id)
+}
 
 // SupervisorSent returns the number of messages the supervisor has sent.
-func (s *Simulation) SupervisorSent() int64 { return s.c.Sched.SentBy(cluster.SupervisorID) }
+func (s *Simulation) SupervisorSent() int64 { return s.SentBy(cluster.SupervisorID) }
 
 // ResetCounters zeroes the message accounting (measure steady states).
-func (s *Simulation) ResetCounters() { s.c.Sched.ResetCounters() }
+func (s *Simulation) ResetCounters() {
+	if s.crt != nil {
+		s.crt.ResetCounters()
+		return
+	}
+	s.c.Sched.ResetCounters()
+}
 
 // Members returns the nodes currently subscribed to t.
-func (s *Simulation) Members(t Topic) []NodeID { return s.c.Members(t) }
+func (s *Simulation) Members(t Topic) []NodeID {
+	if s.crt != nil {
+		return s.live.Members(t)
+	}
+	return s.c.Members(t)
+}
 
-// Now returns the current virtual time in timeout intervals.
-func (s *Simulation) Now() float64 { return s.c.Sched.Now() }
+// Now returns the current time in timeout intervals: virtual on
+// RuntimeSim, wall-clock on RuntimeConcurrent.
+func (s *Simulation) Now() float64 {
+	if s.crt != nil {
+		return s.crt.Now()
+	}
+	return s.c.Sched.Now()
+}
 
-// Cluster exposes the underlying harness for advanced experiments.
-func (s *Simulation) Cluster() *cluster.Cluster { return s.c }
+// Cluster exposes the underlying deterministic harness for advanced
+// experiments. Requires RuntimeSim.
+func (s *Simulation) Cluster() *cluster.Cluster {
+	s.requireSim("Cluster")
+	return s.c
+}

@@ -10,6 +10,7 @@ import (
 	"sspubsub/internal/core"
 	"sspubsub/internal/hashdht"
 	"sspubsub/internal/proto"
+	"sspubsub/internal/runtime/concurrent"
 	"sspubsub/internal/sim"
 	"sspubsub/internal/supervisor"
 )
@@ -36,13 +37,18 @@ type Options struct {
 	// than one, topics are spread over the supervisors by consistent
 	// hashing — the scalability extension of Section 1.3.
 	Supervisors int
+	// Transport overrides the execution substrate the nodes run on. When
+	// nil, a concurrent goroutine runtime (internal/runtime/concurrent)
+	// with Interval and Seed is used. The System takes ownership and
+	// closes it on Close.
+	Transport sim.Transport
 }
 
 // System is a running supervised publish-subscribe system: one supervisor
 // plus any number of clients, each a goroutine-backed protocol node.
 type System struct {
 	opts Options
-	rt   *sim.Runtime
+	tr   sim.Transport
 	sups map[sim.NodeID]*supervisor.Supervisor
 	ring *hashdht.Ring
 
@@ -74,19 +80,22 @@ func NewSystem(opts Options) *System {
 	if opts.Supervisors <= 0 {
 		opts.Supervisors = 1
 	}
-	rt := sim.NewRuntime(sim.RuntimeOptions{Interval: opts.Interval, Seed: opts.Seed})
+	tr := opts.Transport
+	if tr == nil {
+		tr = concurrent.NewRuntime(concurrent.Options{Interval: opts.Interval, Seed: opts.Seed})
+	}
 	sups := make(map[sim.NodeID]*supervisor.Supervisor, opts.Supervisors)
 	ring := hashdht.NewRing(64)
 	for i := 0; i < opts.Supervisors; i++ {
 		id := supervisorID + sim.NodeID(i)
-		sup := supervisor.New(id, rt)
-		rt.AddNode(id, sup)
+		sup := supervisor.New(id, tr)
+		tr.AddNode(id, sup)
 		sups[id] = sup
 		ring.Add(id)
 	}
 	return &System{
 		opts:     opts,
-		rt:       rt,
+		tr:       tr,
 		sups:     sups,
 		ring:     ring,
 		topics:   make(map[string]sim.Topic),
@@ -112,7 +121,7 @@ func (s *System) Close() {
 		clients = append(clients, c)
 	}
 	s.mu.Unlock()
-	s.rt.Close()
+	s.tr.Close()
 	for _, c := range clients {
 		c.closeSubs()
 	}
@@ -183,7 +192,7 @@ func (s *System) NewClient(name string) (*Client, error) {
 	s.clients[id] = c
 	s.byName[name] = c
 	s.mu.Unlock()
-	s.rt.AddNode(id, c.cc)
+	s.tr.AddNode(id, c.cc)
 	return c, nil
 }
 
@@ -309,7 +318,7 @@ func (c *Client) Subscribe(topic string) *Subscription {
 	}
 	c.subs[t] = sub
 	c.mu.Unlock()
-	c.sys.rt.Send(sim.Message{To: c.id, From: c.id, Topic: t, Body: core.JoinTopic{}})
+	c.sys.tr.Send(sim.Message{To: c.id, From: c.id, Topic: t, Body: core.JoinTopic{}})
 	return sub
 }
 
@@ -324,7 +333,7 @@ func (c *Client) Publish(topic, payload string) error {
 	if !subscribed {
 		return fmt.Errorf("sspubsub: %s is not subscribed to %q", c.name, topic)
 	}
-	c.sys.rt.Send(sim.Message{To: c.id, From: c.id, Topic: t, Body: core.PublishCmd{Payload: payload}})
+	c.sys.tr.Send(sim.Message{To: c.id, From: c.id, Topic: t, Body: core.PublishCmd{Payload: payload}})
 	return nil
 }
 
@@ -406,7 +415,7 @@ func (s *Subscription) History() []Publication { return s.client.History(s.topic
 // skip ring (Section 4.1) and the delivery channel is closed.
 func (s *Subscription) Unsubscribe() {
 	c := s.client
-	c.sys.rt.Send(sim.Message{To: c.id, From: c.id, Topic: s.tid, Body: core.LeaveTopic{}})
+	c.sys.tr.Send(sim.Message{To: c.id, From: c.id, Topic: s.tid, Body: core.LeaveTopic{}})
 	c.mu.Lock()
 	delete(c.subs, s.tid)
 	c.mu.Unlock()
