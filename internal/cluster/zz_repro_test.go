@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestZZRepro(t *testing.T) {
+	seed := int64(-8243038565506179627)
+	script := []uint8{0x7, 0x1f, 0x7a, 0xef, 0x5d, 0xf0, 0xdc, 0x18, 0x6, 0xe1, 0xd2, 0x7c, 0xae, 0xf7, 0x3d, 0x63, 0x4f, 0xdb, 0x69, 0xcc, 0xf8, 0x1b, 0xb1, 0xe8, 0xfc, 0x54, 0xbc, 0x8b, 0xff, 0x35, 0x99, 0x53, 0xa, 0x8, 0x96, 0xfd, 0x8c, 0x83, 0x36, 0x74, 0xba, 0x9}
+	if len(script) > 24 {
+		script = script[:24]
+	}
+	c := New(Options{Seed: seed})
+	c.AddClients(6)
+	c.JoinAll(topicA)
+	if _, ok := c.RunUntilConverged(topicA, 6, 2000); !ok {
+		t.Fatalf("setup failed: %s", c.Explain(topicA))
+	}
+	live := 6
+	for i, op := range script {
+		members := c.Members(topicA)
+		switch op % 6 {
+		case 0:
+			id := c.AddClient()
+			c.Join(id, topicA)
+			live++
+		case 1:
+			if live > 2 {
+				c.Leave(members[int(op/6)%len(members)], topicA)
+				live--
+			}
+		case 2:
+			if live > 2 {
+				c.Crash(members[int(op/6)%len(members)])
+				live--
+			}
+		case 3:
+			c.Publish(members[int(op/6)%len(members)], topicA, fmt.Sprintf("p-%d-%d", seed, i))
+		case 4:
+			c.CorruptSubscriberStates(topicA)
+		case 5:
+			c.InjectGarbageMessages(topicA, 5)
+		}
+		c.Sched.RunRounds(int(op%3) + 1)
+	}
+	rounds, ok := c.RunUntilConverged(topicA, live, 30000)
+	if !ok {
+		t.Fatalf("no convergence after churn (%d rounds): %s\n%s",
+			rounds, c.Explain(topicA), c.DumpStates(topicA))
+	}
+	if _, ok := c.Sched.RunRoundsUntil(30000, func() bool { return c.TriesEqual(topicA) }); !ok {
+		t.Fatalf("tries never reconciled")
+	}
+}
