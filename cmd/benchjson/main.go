@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact, so CI runs can accumulate a machine-readable performance
+// trajectory (BENCH_<sha>.json files) instead of throwaway logs.
+//
+// Usage:
+//
+//	go test -bench . | go run ./cmd/benchjson -commit $SHA -o BENCH_$SHA.json
+//	go run ./cmd/benchjson -o out.json bench1.txt bench2.txt
+//
+// Every benchmark result line of the form
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   2 allocs/op   3.4 extra/metric
+//
+// becomes one JSON object with the benchmark name, iteration count and a
+// metrics map keyed by unit. Non-benchmark lines are ignored, so raw `go
+// test` output can be piped in unfiltered. When the same benchmark name
+// appears more than once (e.g. a 1x smoke pass and a dedicated
+// high-iteration pass of the same package), the last occurrence wins, so
+// feed inputs lowest-fidelity first.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the artifact schema.
+type Report struct {
+	Commit  string   `json:"commit,omitempty"`
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	commit := flag.String("commit", "", "commit SHA to stamp into the artifact")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := Report{Commit: *commit}
+	readers := []io.Reader{}
+	if flag.NArg() == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+	for _, r := range readers {
+		parse(r, &rep)
+	}
+	rep.Results = dedupeKeepLast(rep.Results)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// dedupeKeepLast collapses repeated benchmark names to their final
+// measurement, preserving first-appearance order.
+func dedupeKeepLast(results []Result) []Result {
+	last := make(map[string]Result, len(results))
+	for _, r := range results {
+		last[r.Name] = r
+	}
+	out := make([]Result, 0, len(last))
+	seen := make(map[string]bool, len(last))
+	for _, r := range results {
+		if !seen[r.Name] {
+			seen[r.Name] = true
+			out = append(out, last[r.Name])
+		}
+	}
+	return out
+}
+
+func parse(r io.Reader, rep *Report) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			rep.Results = append(rep.Results, res)
+		}
+	}
+}

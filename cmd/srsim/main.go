@@ -1,27 +1,35 @@
-// Command srsim runs simulations of the self-stabilizing supervised
-// publish-subscribe system: pick an execution substrate, an initial-state
-// scenario, a size and a seed, and watch the system converge (or trace
-// every message with -trace).
+// Command srsim runs the self-stabilizing supervised publish-subscribe
+// system: single-process simulations on any execution substrate, and real
+// multi-process deployments over TCP.
 //
-// Usage:
+// One-shot simulation:
 //
 //	srsim -n 32 -scenario corrupted-states [-seed 7] [-rounds 20000] [-trace]
 //	srsim -n 32 -runtime concurrent [-interval 2ms] [-churn]
-//	srsim -scenarios                     # list scenarios
+//	srsim -n 16 -runtime net [-pubs 8]      # every message crosses TCP loopback
+//	srsim -scenarios                        # list scenarios
 //
 // With -runtime=sim (the default) the run is a deterministic
 // discrete-event simulation and every corruption scenario is available.
 // With -runtime=concurrent the same protocol code runs on the live
-// goroutine-per-node runtime with jittered real-time timeouts; only the
-// fresh-join scenario applies (live state cannot be corrupted in place),
-// and -churn additionally runs a crash/restart fault injector during
-// stabilization.
+// goroutine-per-node runtime; -churn additionally runs a crash/restart
+// fault injector. With -runtime=net the live nodes exchange every message
+// as binary wire frames over a loopback TCP socket.
+//
+// Networked deployment across processes:
+//
+//	srsim serve -listen 127.0.0.1:7411 -topic news -local 2 -expect 5 -pubs 3
+//	srsim join  -hub 127.0.0.1:7411 -topic news -local 3 -pubs 2 -waitpubs 5
+//
+// The serve process hosts the supervisor and relays traffic; each join
+// process receives a node-ID block and runs its own subscribers. All
+// processes converge onto one skip ring and disseminate each other's
+// publications.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
@@ -29,16 +37,38 @@ import (
 	"sspubsub/internal/core"
 	"sspubsub/internal/experiments"
 	"sspubsub/internal/runtime/concurrent"
+	"sspubsub/internal/runtime/nettransport"
 	"sspubsub/internal/sim"
 )
 
 const topic sim.Topic = 1
 
+// fail prints a usage error and exits non-zero: invalid flag combinations
+// must be loud, not silently ignored.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "srsim: "+format+"\n", args...)
+	os.Exit(2)
+}
+
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "join":
+			runJoin(os.Args[2:])
+			return
+		}
+	}
+	runOneShot()
+}
+
+func runOneShot() {
 	n := flag.Int("n", 32, "number of subscribers")
 	seed := flag.Int64("seed", 1, "random seed (sim runs are reproducible)")
-	runtime := flag.String("runtime", "sim", "execution substrate: sim | concurrent")
-	interval := flag.Duration("interval", 2*time.Millisecond, "timeout interval (concurrent runtime)")
+	runtime := flag.String("runtime", "sim", "execution substrate: sim | concurrent | net")
+	interval := flag.Duration("interval", 2*time.Millisecond, "timeout interval (concurrent/net runtimes)")
 	churn := flag.Bool("churn", false, "run a crash/restart injector during stabilization (concurrent runtime)")
 	scenario := flag.String("scenario", "fresh-join-burst", "initial state scenario")
 	rounds := flag.Int("rounds", 20000, "max rounds before giving up")
@@ -55,17 +85,57 @@ func main() {
 		return
 	}
 
+	// Validate flag combinations before anything starts: a silently
+	// ignored flag makes the operator believe they measured something
+	// they did not.
+	if *n <= 0 {
+		fail("-n must be positive, got %d", *n)
+	}
+	if *crash < 0 || *crash >= 1 {
+		fail("-crash must be in [0, 1), got %g", *crash)
+	}
+	sc := experiments.E5Scenario(*scenario)
+	known := false
+	for _, s := range experiments.AllScenarios {
+		if s == sc {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fail("unknown scenario %q (use -scenarios to list)", *scenario)
+	}
 	switch *runtime {
 	case "sim":
-		runSim(*n, *seed, *scenario, *rounds, *trace, *pubs, *crash)
-	case "concurrent":
-		if sc := experiments.E5Scenario(*scenario); sc != experiments.ScenarioFresh {
-			log.Fatalf("scenario %q requires -runtime=sim (live state cannot be corrupted in place)", *scenario)
+		if *churn {
+			fail("-churn requires -runtime=concurrent (the deterministic scheduler has its own scripted fault scenarios; see -scenarios)")
 		}
-		runConcurrent(*n, *seed, *interval, *rounds, *churn, *pubs, *crash)
+	case "concurrent":
+		if sc != experiments.ScenarioFresh {
+			fail("scenario %q requires -runtime=sim (live state cannot be corrupted in place)", *scenario)
+		}
+		if *trace {
+			fail("-trace requires -runtime=sim (live runs have no deterministic event order to trace)")
+		}
+	case "net":
+		if sc != experiments.ScenarioFresh {
+			fail("scenario %q requires -runtime=sim (live state cannot be corrupted in place)", *scenario)
+		}
+		if *trace {
+			fail("-trace requires -runtime=sim")
+		}
+		if *churn {
+			fail("-churn requires -runtime=concurrent (the injector drives the in-process runtime directly)")
+		}
 	default:
-		log.Fatalf("unknown -runtime %q (use sim or concurrent)", *runtime)
+		fail("unknown -runtime %q (use sim, concurrent or net)", *runtime)
 	}
+
+	if *runtime == "sim" {
+		runSim(*n, *seed, *scenario, *rounds, *trace, *pubs, *crash)
+		return
+	}
+	runLive(*runtime, *n, *seed, *interval, *rounds, *churn, *pubs, *crash)
 }
 
 func runSim(n int, seed int64, scenario string, rounds int, trace bool, pubs int, crash float64) {
@@ -82,7 +152,7 @@ func runSim(n int, seed int64, scenario string, rounds int, trace bool, pubs int
 	sc := experiments.E5Scenario(scenario)
 	if sc != experiments.ScenarioFresh {
 		if _, ok := c.RunUntilConverged(topic, n, 5000); !ok {
-			log.Fatalf("setup convergence failed: %s", c.Explain(topic))
+			fatalf("setup convergence failed: %s", c.Explain(topic))
 		}
 		fmt.Printf("setup: legitimate SR(%d) built; injecting %s\n", n, sc)
 		switch sc {
@@ -95,14 +165,14 @@ func runSim(n int, seed int64, scenario string, rounds int, trace bool, pubs int
 		case experiments.ScenarioGarbageMsg:
 			c.InjectGarbageMessages(topic, 5*n)
 		default:
-			log.Fatalf("unknown scenario %q (use -scenarios)", scenario)
+			fail("unknown scenario %q (use -scenarios)", scenario)
 		}
 	}
 
 	start := c.Sched.Now()
 	r, ok := c.RunUntilConverged(topic, n, rounds)
 	if !ok {
-		log.Fatalf("NOT converged after %d rounds: %s", r, c.Explain(topic))
+		fatalf("NOT converged after %d rounds: %s", r, c.Explain(topic))
 	}
 	fmt.Printf("converged to legitimate SR(%d) in %d rounds (%.0f messages, %.1f per node per round)\n",
 		n, r, float64(c.Sched.Delivered()),
@@ -117,7 +187,7 @@ func runSim(n int, seed int64, scenario string, rounds int, trace bool, pubs int
 		fmt.Printf("crashed %d nodes; waiting for recovery…\n", k)
 		r, ok := c.RunUntilConverged(topic, n-k, rounds)
 		if !ok {
-			log.Fatalf("no recovery: %s", c.Explain(topic))
+			fatalf("no recovery: %s", c.Explain(topic))
 		}
 		fmt.Printf("recovered to legitimate SR(%d) in %d rounds\n", n-k, r)
 	}
@@ -131,7 +201,7 @@ func runSim(n int, seed int64, scenario string, rounds int, trace bool, pubs int
 			return c.AllHavePubs(topic, pubs) && c.TriesEqual(topic)
 		})
 		if !ok {
-			log.Fatal("publications never converged")
+			fatalf("publications never converged")
 		}
 		fmt.Printf("%d publications disseminated to all %d subscribers in %d rounds\n",
 			pubs, len(members), r)
@@ -144,10 +214,38 @@ func runSim(n int, seed int64, scenario string, rounds int, trace bool, pubs int
 	})
 }
 
-func runConcurrent(n int, seed int64, interval time.Duration, rounds int, churn bool, pubs int, crash float64) {
-	rt := concurrent.NewRuntime(concurrent.Options{Interval: interval, Seed: seed})
-	defer rt.Close()
-	l := cluster.NewLive(rt, core.Options{})
+// quiescer is the live-substrate surface runLive needs beyond
+// sim.Transport; both the concurrent runtime and the net transport
+// provide it.
+type quiescer interface {
+	Quiesce(timeout time.Duration, f func()) bool
+	Delivered() int64
+}
+
+// runLive executes the fresh-join scenario on a live substrate:
+// goroutine nodes exchanging Go values (concurrent) or wire frames over
+// loopback TCP (net).
+func runLive(kind string, n int, seed int64, interval time.Duration, rounds int, churn bool, pubs int, crash float64) {
+	var (
+		tr sim.Transport
+		q  quiescer
+		rt *concurrent.Runtime
+		nt *nettransport.Transport
+	)
+	switch kind {
+	case "concurrent":
+		rt = concurrent.NewRuntime(concurrent.Options{Interval: interval, Seed: seed})
+		tr, q = rt, rt
+	case "net":
+		var err error
+		nt, err = nettransport.NewLoopback(nettransport.Options{Interval: interval, Seed: seed})
+		if err != nil {
+			fatalf("loopback transport: %v", err)
+		}
+		tr, q = nt, nt
+	}
+	defer tr.Close()
+	l := cluster.NewLive(tr, core.Options{})
 	l.AddClients(n)
 	l.JoinAll(topic)
 
@@ -165,13 +263,13 @@ func runConcurrent(n int, seed int64, interval time.Duration, rounds int, churn 
 		in.Stop()
 		fmt.Printf("churn: %d crashes, %d restarts survived\n", in.Crashes(), in.Restarts())
 	}
-	ok := waitConverged(rt, l, n, time.Duration(rounds)*interval, interval)
+	ok := waitConverged(q, l, n, time.Duration(rounds)*interval, interval)
 	if !ok {
-		log.Fatalf("NOT converged within %d intervals: %s", rounds, quietExplain(rt, l))
+		fatalf("NOT converged within %d intervals: %s", rounds, quietExplain(q, l))
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("converged to legitimate SR(%d) in %s (%.1f intervals, %d messages delivered)\n",
-		n, elapsed.Round(time.Millisecond), float64(elapsed)/float64(interval), rt.Delivered())
+		n, elapsed.Round(time.Millisecond), float64(elapsed)/float64(interval), q.Delivered())
 
 	if crash > 0 {
 		members := l.Members(topic)
@@ -180,8 +278,8 @@ func runConcurrent(n int, seed int64, interval time.Duration, rounds int, churn 
 			l.Crash(members[i*len(members)/k])
 		}
 		fmt.Printf("crashed %d nodes; waiting for recovery…\n", k)
-		if !waitConverged(rt, l, n-k, time.Duration(rounds)*interval, interval) {
-			log.Fatalf("no recovery: %s", quietExplain(rt, l))
+		if !waitConverged(q, l, n-k, time.Duration(rounds)*interval, interval) {
+			fatalf("no recovery: %s", quietExplain(q, l))
 		}
 		fmt.Printf("recovered to legitimate SR(%d)\n", n-k)
 	}
@@ -194,20 +292,23 @@ func runConcurrent(n int, seed int64, interval time.Duration, rounds int, churn 
 		deadline := time.Now().Add(time.Duration(rounds) * interval)
 		for {
 			done := false
-			rt.Quiesce(time.Second, func() { done = l.AllHavePubs(topic, pubs) && l.TriesEqual(topic) })
+			q.Quiesce(time.Second, func() { done = l.AllHavePubs(topic, pubs) && l.TriesEqual(topic) })
 			if done {
 				break
 			}
 			if time.Now().After(deadline) {
-				log.Fatal("publications never converged")
+				fatalf("publications never converged")
 			}
 			time.Sleep(interval)
 		}
 		fmt.Printf("%d publications disseminated to all %d subscribers\n", pubs, len(members))
 	}
 
+	if nt != nil {
+		fmt.Printf("wire: %d frames garbage, %d frames lost\n", nt.GarbageFrames(), nt.LostFrames())
+	}
 	fmt.Println("\nfinal state:")
-	rt.Quiesce(time.Second, func() {
+	q.Quiesce(time.Second, func() {
 		printStates(l.Members(topic), func(id sim.NodeID) (stateLike, bool) {
 			s, ok2 := l.Clients[id].StateOf(topic)
 			return stateLike{s.Label.String(), s.Left.String(), s.Right.String(), s.Ring.String(), len(s.Shortcuts)}, ok2
@@ -217,17 +318,17 @@ func runConcurrent(n int, seed int64, interval time.Duration, rounds int, churn 
 
 // quietExplain reads the first legitimacy violation under the quiesce
 // barrier, so the report is an exact snapshot rather than a torn one.
-func quietExplain(rt *concurrent.Runtime, l *cluster.Live) string {
+func quietExplain(q quiescer, l *cluster.Live) string {
 	out := "system did not quiesce"
-	rt.Quiesce(time.Second, func() { out = l.Explain(topic) })
+	q.Quiesce(time.Second, func() { out = l.Explain(topic) })
 	return out
 }
 
-func waitConverged(rt *concurrent.Runtime, l *cluster.Live, n int, timeout, interval time.Duration) bool {
+func waitConverged(q quiescer, l *cluster.Live, n int, timeout, interval time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
 		ok := false
-		rt.Quiesce(time.Second, func() { ok = l.ConvergedWith(topic, n) })
+		q.Quiesce(time.Second, func() { ok = l.ConvergedWith(topic, n) })
 		if ok {
 			return true
 		}
@@ -236,6 +337,13 @@ func waitConverged(rt *concurrent.Runtime, l *cluster.Live, n int, timeout, inte
 		}
 		time.Sleep(interval)
 	}
+}
+
+// fatalf reports a runtime failure (as opposed to a usage error) and
+// exits 1.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "srsim: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 // stateLike is the subset of a subscriber state the summary prints.

@@ -68,25 +68,30 @@ func runConvergenceScenario(t *testing.T, kind RuntimeKind, n int, seed int64) c
 	return res
 }
 
-// TestCrossSubstrateConformance runs the scenario on both substrates and
-// requires identical outcomes.
+// TestCrossSubstrateConformance runs the scenario on all three substrates
+// — deterministic scheduler, concurrent goroutines, and the networked
+// loopback transport (every message through the wire codec and a real TCP
+// socket) — and requires identical outcomes.
 func TestCrossSubstrateConformance(t *testing.T) {
 	const n = 10
 	simRes := runConvergenceScenario(t, RuntimeSim, n, 5)
-	concRes := runConvergenceScenario(t, RuntimeConcurrent, n, 5)
-
-	if got, want := fmt.Sprint(concRes.labels), fmt.Sprint(simRes.labels); got != want {
-		t.Errorf("converged labels differ: concurrent %s, sim %s", got, want)
+	for _, kind := range []RuntimeKind{RuntimeConcurrent, RuntimeNet} {
+		res := runConvergenceScenario(t, kind, n, 5)
+		if got, want := fmt.Sprint(res.labels), fmt.Sprint(simRes.labels); got != want {
+			t.Errorf("converged labels differ: %s %s, sim %s", kind, got, want)
+		}
+		if got, want := fmt.Sprint(res.afterCrash), fmt.Sprint(simRes.afterCrash); got != want {
+			t.Errorf("post-crash labels differ: %s %s, sim %s", kind, got, want)
+		}
+		if got, want := fmt.Sprint(res.payloads), fmt.Sprint(simRes.payloads); got != want {
+			t.Errorf("publication sets differ: %s %s, sim %s", kind, got, want)
+		}
+		if res.memberCount != n-1 {
+			t.Errorf("[%s] member count %d, want %d", kind, res.memberCount, n-1)
+		}
 	}
-	if got, want := fmt.Sprint(concRes.afterCrash), fmt.Sprint(simRes.afterCrash); got != want {
-		t.Errorf("post-crash labels differ: concurrent %s, sim %s", got, want)
-	}
-	if got, want := fmt.Sprint(concRes.payloads), fmt.Sprint(simRes.payloads); got != want {
-		t.Errorf("publication sets differ: concurrent %s, sim %s", got, want)
-	}
-	if concRes.memberCount != n-1 || simRes.memberCount != n-1 {
-		t.Errorf("member counts: concurrent %d, sim %d, want %d",
-			concRes.memberCount, simRes.memberCount, n-1)
+	if simRes.memberCount != n-1 {
+		t.Errorf("[sim] member count %d, want %d", simRes.memberCount, n-1)
 	}
 }
 
@@ -143,4 +148,14 @@ func TestSimulationFacadeGuards(t *testing.T) {
 	}
 	mustPanic("StartChurn", func() { d.StartChurn(1) })
 	d.Close() // no-op on sim
+
+	nt := NewSimulation(SimOptions{Runtime: RuntimeNet, Interval: time.Millisecond})
+	defer nt.Close()
+	if nt.Runtime() != RuntimeNet {
+		t.Errorf("net Runtime() = %s", nt.Runtime())
+	}
+	// The injectors need in-place access to state and the scheduler — the
+	// net transport has neither.
+	mustPanic("CorruptSubscriberStates/net", func() { nt.CorruptSubscriberStates(1) })
+	mustPanic("StartChurn/net", func() { nt.StartChurn(1) })
 }

@@ -28,7 +28,7 @@
 //     execution substrate (SimOptions.Runtime).
 //
 // Protocol nodes are substrate-agnostic: they implement sim.Handler
-// against sim.Context, and any sim.Transport can execute them. Two
+// against sim.Context, and any sim.Transport can execute them. Three
 // transports ship with the package:
 //
 //   - RuntimeSim, the deterministic discrete-event scheduler
@@ -42,10 +42,28 @@
 //     the system so convergence predicates read one consistent cross-node
 //     snapshot. Use it to exercise true parallelism; System runs on it by
 //     default.
+//   - RuntimeNet, the networked transport (internal/runtime/nettransport
+//     over the internal/wire binary codec): the same goroutine nodes, but
+//     every message is a length-prefixed wire frame crossing a real TCP
+//     socket. In-process it runs as a loopback (SimOptions.Runtime "net");
+//     across processes a hub grants node-ID blocks to joiners and relays
+//     their traffic, so one skip ring spans address spaces. Undecodable
+//     frames are counted and dropped — corruption becomes message loss,
+//     which the protocol self-stabilizes through — and dropped links
+//     redial with exponential backoff.
+//
+// Networked deployment: the serve process creates a System over
+// nettransport.NewHub (it hosts the supervisor); every other process
+// attaches with Options.Attach and Options.FirstClientID set from its
+// nettransport.NewJoiner's granted ID block. See cmd/srsim's serve and
+// join subcommands for a complete two-process walkthrough, and
+// Subscription.Dropped for observing consumers that lag behind their
+// event buffer.
 //
 // The cross-substrate conformance tests run the same BuildSR scenario on
-// both transports and require identical outcomes, which is well-defined
-// because the legitimate state is unique for every member count.
+// all three transports and require identical outcomes, which is
+// well-defined because the legitimate state is unique for every member
+// count.
 //
 // The packages under internal/ hold the building blocks (label algebra,
 // the BuildSR subscriber and supervisor protocols, the Patricia trie, the

@@ -2,6 +2,7 @@ package hashdht
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -149,5 +150,101 @@ func TestDirectoryRebalance(t *testing.T) {
 		if id != 3 {
 			t.Errorf("topic %s moved to %d, but only supervisor 3 is new", tp, id)
 		}
+	}
+}
+
+// TestChurnNeverOrphansTopics drives a long random add/remove sequence of
+// supervisors and checks the core placement invariant after every step:
+// while any supervisor is alive, every topic has exactly one owner and
+// that owner is a live member. (A topic without a responsible supervisor
+// would strand its subscribers forever — the multi-supervisor extension's
+// worst failure mode.)
+func TestChurnNeverOrphansTopics(t *testing.T) {
+	r := NewRing(32)
+	ts := topics(200)
+	alive := map[sim.NodeID]bool{}
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 200; step++ {
+		id := sim.NodeID(1 + rng.Intn(12))
+		if alive[id] && len(alive) > 1 && rng.Intn(2) == 0 {
+			r.Remove(id)
+			delete(alive, id)
+		} else {
+			r.Add(id)
+			alive[id] = true
+		}
+		for _, tp := range ts {
+			owner, ok := r.Owner(tp)
+			if !ok {
+				t.Fatalf("step %d: topic %s orphaned with %d supervisors alive", step, tp, len(alive))
+			}
+			if !alive[owner] {
+				t.Fatalf("step %d: topic %s owned by dead supervisor %d", step, tp, owner)
+			}
+		}
+	}
+}
+
+// TestPlacementIndependentOfHistory: two rings holding the same supervisor
+// set must agree on every topic's owner, regardless of the insertion order
+// or intermediate churn that produced them. This is what lets a restarted
+// process rebuild routing from the member list alone.
+func TestPlacementIndependentOfHistory(t *testing.T) {
+	a := NewRing(32)
+	for _, id := range []sim.NodeID{1, 2, 3, 4, 5} {
+		a.Add(id)
+	}
+	a.Remove(2)
+	a.Remove(4)
+
+	b := NewRing(32)
+	b.Add(5)
+	b.Add(1)
+	b.Add(3)
+
+	for _, tp := range topics(300) {
+		ao, aok := a.Owner(tp)
+		bo, bok := b.Owner(tp)
+		if !aok || !bok || ao != bo {
+			t.Fatalf("placement differs for %s: %d (churned) vs %d (fresh)", tp, ao, bo)
+		}
+	}
+}
+
+// TestRebalanceMinimality: when a supervisor joins, only topics that now
+// hash to it may move — every other topic keeps its owner (the consistent
+// hashing guarantee that makes supervisor elasticity affordable).
+func TestRebalanceMinimality(t *testing.T) {
+	r := NewRing(32)
+	r.Add(1)
+	r.Add(2)
+	d := NewDirectory(r)
+	ts := topics(300)
+	before := map[string]sim.NodeID{}
+	for _, tp := range ts {
+		id, ok := d.Lookup(tp)
+		if !ok {
+			t.Fatal("lookup failed on populated ring")
+		}
+		before[tp] = id
+	}
+	r.Add(3)
+	moved := d.Rebalance()
+	for tp, now := range moved {
+		if now != 3 {
+			t.Errorf("topic %s moved to %d, not to the new supervisor", tp, now)
+		}
+	}
+	for _, tp := range ts {
+		now, _ := r.Owner(tp)
+		if _, didMove := moved[tp]; !didMove && now != before[tp] {
+			t.Errorf("topic %s silently moved %d→%d without being reported", tp, before[tp], now)
+		}
+	}
+	if len(moved) == 0 {
+		t.Error("adding a third supervisor moved no topics at all (suspicious with 300 topics)")
+	}
+	if len(moved) > len(ts)/2 {
+		t.Errorf("adding one of three supervisors moved %d/%d topics — not minimal", len(moved), len(ts))
 	}
 }

@@ -51,6 +51,15 @@ type Options struct {
 	// answering "alive", modelling the eventually-correct detector of
 	// Section 3.3. Default 2·Interval.
 	DetectorGrace time.Duration
+	// Redirect, when non-nil, is consulted on every Send after the
+	// accounting step. Returning true means an external carrier (a network
+	// transport) has taken the message and will re-enter it through Inject
+	// once it arrives; returning false delivers locally as usual.
+	Redirect func(m sim.Message) bool
+	// ExtraPending, when non-nil, reports in-flight work held outside the
+	// runtime (frames queued in a socket writer or sitting in the kernel).
+	// Quiesce only declares the system drained once it returns zero.
+	ExtraPending func() int64
 }
 
 // Runtime executes sim.Handlers live, one goroutine per node. It implements
@@ -76,6 +85,11 @@ type Runtime struct {
 
 	delivered atomic.Int64
 	dropped   atomic.Int64
+	// injects counts every mailbox entry attempt. Quiesce requires it to be
+	// stable across a drain check: a carried frame can hop from ExtraPending
+	// into pending between two counter reads, and the hop is only visible as
+	// an inject.
+	injects atomic.Int64
 
 	acctMu sync.Mutex
 	byType map[string]int64
@@ -116,11 +130,11 @@ func NewRuntime(opts Options) *Runtime {
 		opts.DetectorGrace = 2 * opts.Interval
 	}
 	return &Runtime{
-		opts:       opts,
-		start:      time.Now(),
-		nodes:      make(map[sim.NodeID]*node),
-		crashed:    make(map[sim.NodeID]time.Time),
-		seedC:      opts.Seed,
+		opts:    opts,
+		start:   time.Now(),
+		nodes:   make(map[sim.NodeID]*node),
+		crashed: make(map[sim.NodeID]time.Time),
+		seedC:   opts.Seed,
 		byType:  make(map[string]int64),
 		sentBy:  make(map[sim.NodeID]int64),
 		recvBy:  make(map[sim.NodeID]*atomic.Int64),
@@ -227,6 +241,22 @@ func (r *Runtime) Send(m sim.Message) {
 	r.byType[fmt.Sprintf("%T", m.Body)]++
 	r.sentBy[m.From]++
 	r.acctMu.Unlock()
+	if r.opts.Redirect != nil && r.opts.Redirect(m) {
+		return
+	}
+	r.Inject(m)
+}
+
+// Inject delivers a message to a local mailbox, bypassing the Redirect
+// hook and the send-side accounting: it is the re-entry point for messages
+// a network transport carried over a socket (Send already counted them on
+// the sending side). Messages to ⊥, crashed or unknown nodes are dropped.
+func (r *Runtime) Inject(m sim.Message) {
+	r.injects.Add(1)
+	if m.To == sim.None {
+		r.dropped.Add(1)
+		return
+	}
 	r.mu.RLock()
 	n, ok := r.nodes[m.To]
 	r.mu.RUnlock()
@@ -288,8 +318,18 @@ func (r *Runtime) Quiesce(timeout time.Duration, f func()) bool {
 		// Order matters: busy is read before pending. A running message
 		// handler keeps pending ≥ 1 until it returns, and once paused is
 		// set no new Timeout handler can start, so busy == 0 followed by
-		// pending == 0 implies the system is fully drained.
-		if r.busy.Load() == 0 && r.pending.Load() == 0 {
+		// pending == 0 implies the system is fully drained. ExtraPending
+		// extends the barrier over messages an external carrier still
+		// holds. A frame's only way from the carrier back into pending is
+		// an Inject, so requiring the inject counter to be identical
+		// before and after the three reads rules out a frame hopping
+		// between counters mid-check: with no inject in the window, a
+		// token observed absent from pending cannot reappear there, and
+		// new tokens would need a running handler (busy/pending ≥ 1).
+		t0 := r.injects.Load()
+		if r.busy.Load() == 0 && r.pending.Load() == 0 &&
+			(r.opts.ExtraPending == nil || r.opts.ExtraPending() == 0) &&
+			r.injects.Load() == t0 {
 			r.inQuiesce.Store(true)
 			f()
 			r.inQuiesce.Store(false)

@@ -1,0 +1,314 @@
+package nettransport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"bufio"
+
+	"sspubsub/internal/sim"
+	"sspubsub/internal/wire"
+)
+
+// peerQueueDepth bounds the frames buffered toward one link. A full queue
+// drops (message loss, which the protocol tolerates) rather than blocking
+// a protocol handler.
+const peerQueueDepth = 4096
+
+// peer is one link: a frame queue, a writer that batches queued frames
+// into coalesced flushes, and a reader that dispatches arriving frames.
+// Dial-side peers (addr != "") redial with exponential backoff when the
+// link drops; accepted peers live exactly as long as their connection.
+type peer struct {
+	t    *Transport
+	addr string // dial target; "" for accepted connections
+	q    chan sim.Message
+	stop chan struct{}
+	once sync.Once
+
+	mu   sync.Mutex
+	conn net.Conn
+	down time.Time // zero while the link is up
+}
+
+// newDialPeer starts a link that dials addr and keeps redialing.
+func (t *Transport) newDialPeer(addr string) *peer {
+	p := &peer{
+		t:    t,
+		addr: addr,
+		q:    make(chan sim.Message, peerQueueDepth),
+		stop: make(chan struct{}),
+		down: time.Now(), // down until the first dial succeeds
+	}
+	t.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// newAcceptedPeer wraps an accepted connection.
+func (t *Transport) newAcceptedPeer(conn net.Conn) *peer {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	p := &peer{
+		t:    t,
+		q:    make(chan sim.Message, peerQueueDepth),
+		stop: make(chan struct{}),
+	}
+	p.conn = conn
+	t.accepted = append(t.accepted, p)
+	t.wg.Add(2)
+	t.mu.Unlock()
+	dead := make(chan struct{})
+	go func() {
+		defer t.wg.Done()
+		p.writeLoop(conn, dead)
+	}()
+	go func() {
+		defer t.wg.Done()
+		p.readLoop(conn)
+		close(dead)
+		conn.Close()
+		p.markDown()
+		// The peer stays reachable through any block that points at it (so
+		// the failure detector can time its absence), but drop it from the
+		// accepted list: a reconnecting joiner creates a fresh peer every
+		// time, and retaining dead ones would leak.
+		t.dropAccepted(p)
+	}()
+	return p
+}
+
+// run is the dial-side lifecycle: dial, handshake, pump, redial.
+func (p *peer) run() {
+	defer p.t.wg.Done()
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
+		if err != nil {
+			p.t.opts.logf("nettransport: dial %s: %v (retry in %s)", p.addr, err, backoff)
+			select {
+			case <-p.stop:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > p.t.opts.MaxBackoff {
+				backoff = p.t.opts.MaxBackoff
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		if !p.setConn(conn) {
+			// shutdown() ran while we were dialing: the connection it
+			// closed was the old one, so close this one and leave before
+			// readLoop can block on a healthy socket forever.
+			conn.Close()
+			return
+		}
+		if p.t.role == roleJoiner {
+			// (Re-)introduce ourselves before any queued data flows: Base ⊥
+			// requests a fresh ID block, a previous base reclaims it.
+			hello := wire.Hello{Base: p.t.BaseID(), Slots: p.t.opts.Slots}
+			if err := wire.WriteFrame(conn, sim.Message{Body: hello}); err != nil {
+				conn.Close()
+				continue
+			}
+		}
+		p.markUp()
+		dead := make(chan struct{})
+		p.t.wg.Add(1)
+		go func() {
+			defer p.t.wg.Done()
+			p.writeLoop(conn, dead)
+		}()
+		p.readLoop(conn)
+		conn.Close()
+		close(dead)
+		p.markDown()
+		p.t.opts.logf("nettransport: link to %s lost; reconnecting", p.addr)
+	}
+}
+
+// readLoop dispatches frames until the connection fails. Garbage frames
+// are counted and skipped — the stream stays aligned; only framing-level
+// corruption or I/O failure ends the connection.
+func (p *peer) readLoop(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		m, err := wire.ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, wire.ErrGarbage) {
+				p.t.garbage.Add(1)
+				p.t.opts.logf("nettransport: dropped garbage frame: %v", err)
+				continue
+			}
+			return
+		}
+		p.t.dispatch(m, p)
+	}
+}
+
+// writeLoop drains the frame queue into the connection, coalescing every
+// frame queued within one FlushEvery window into a single flush.
+func (p *peer) writeLoop(conn net.Conn, dead chan struct{}) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	flush := time.NewTicker(p.t.opts.FlushEvery)
+	defer flush.Stop()
+	dirty := false
+	write := func(m sim.Message) bool {
+		if err := wire.WriteFrame(bw, m); err != nil {
+			// Whatever the cause — unencodable body, oversize frame, or an
+			// I/O failure killing the stream — the frame in hand will never
+			// arrive; release its in-flight hold so Quiesce cannot wedge.
+			p.frameLost()
+			if errors.Is(err, wire.ErrFrameTooLarge) || isMarshalErr(err) {
+				return true // only this frame is bad; the stream is fine
+			}
+			return false // I/O failure: let the reader's error path reconnect
+		}
+		dirty = true
+		return true
+	}
+	for {
+		select {
+		case <-p.stop:
+			bw.Flush()
+			return
+		case <-dead:
+			return
+		case m := <-p.q:
+			if !write(m) {
+				conn.Close()
+				return
+			}
+			// Coalesce the burst that is already queued.
+			for burst := true; burst; {
+				select {
+				case m2 := <-p.q:
+					if !write(m2) {
+						conn.Close()
+						return
+					}
+				default:
+					burst = false
+				}
+			}
+		case <-flush.C:
+			if dirty {
+				if bw.Flush() != nil {
+					conn.Close()
+					return
+				}
+				dirty = false
+			}
+		}
+	}
+}
+
+// isMarshalErr reports whether the WriteFrame failure happened before any
+// bytes hit the socket (an unencodable body), as opposed to an I/O error.
+func isMarshalErr(err error) bool {
+	var ne net.Error
+	return !errors.As(err, &ne) && !errors.Is(err, net.ErrClosed)
+}
+
+// frameLost records one frame that will never arrive, releasing its
+// loopback in-flight hold so the quiesce barrier cannot wedge on it.
+func (p *peer) frameLost() {
+	p.t.lost.Add(1)
+	if p.t.role == roleLoopback {
+		p.t.inflight.Add(-1)
+	}
+}
+
+// enqueue queues a frame for the link, dropping when the queue is full or
+// the peer is shut down.
+func (p *peer) enqueue(m sim.Message) bool {
+	select {
+	case <-p.stop:
+		return false
+	default:
+	}
+	select {
+	case p.q <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// setConn installs the current connection. It reports false — without
+// installing — when the peer has been shut down, so a dial racing
+// shutdown cannot resurrect the link.
+func (p *peer) setConn(c net.Conn) bool {
+	select {
+	case <-p.stop:
+		return false
+	default:
+	}
+	p.mu.Lock()
+	p.conn = c
+	p.mu.Unlock()
+	// Re-check: shutdown may have read the old conn just before we
+	// installed this one.
+	select {
+	case <-p.stop:
+		return false
+	default:
+		return true
+	}
+}
+
+func (p *peer) markUp() {
+	p.mu.Lock()
+	p.down = time.Time{}
+	p.mu.Unlock()
+}
+
+func (p *peer) markDown() {
+	p.mu.Lock()
+	if p.down.IsZero() {
+		p.down = time.Now()
+	}
+	p.mu.Unlock()
+}
+
+// downFor reports whether the link has been down for at least grace.
+func (p *peer) downFor(grace time.Duration) bool {
+	if p == nil {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.down.IsZero() && time.Since(p.down) >= grace
+}
+
+// shutdown permanently stops the peer and closes its connection.
+func (p *peer) shutdown() {
+	p.once.Do(func() { close(p.stop) })
+	p.mu.Lock()
+	c := p.conn
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+func (p *peer) describe() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return p.conn.RemoteAddr().String()
+	}
+	return p.addr
+}

@@ -1,0 +1,346 @@
+package nettransport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/wire"
+)
+
+// echoNode counts deliveries and, when pingTo is set, replies to every
+// message with one send back.
+type echoNode struct {
+	got    atomic.Int64
+	pingTo sim.NodeID
+}
+
+func (e *echoNode) OnMessage(ctx sim.Context, m sim.Message) {
+	e.got.Add(1)
+	if e.pingTo != sim.None {
+		ctx.Send(e.pingTo, m.Topic, m.Body)
+	}
+}
+func (e *echoNode) OnTimeout(ctx sim.Context) {}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLoopbackDelivery: messages between nodes of one process cross the
+// socket and still arrive; the quiesce barrier covers frames in flight.
+func TestLoopbackDelivery(t *testing.T) {
+	tr, err := NewLoopback(Options{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	a, b := &echoNode{}, &echoNode{}
+	tr.AddNode(1, a)
+	tr.AddNode(2, b)
+	for i := 0; i < 100; i++ {
+		tr.Send(sim.Message{To: 2, From: 1, Topic: 1, Body: proto.Subscribe{V: sim.NodeID(i)}})
+	}
+	waitFor(t, 5*time.Second, "loopback delivery", func() bool { return b.got.Load() == 100 })
+	ok := tr.Quiesce(2*time.Second, func() {
+		if got := b.got.Load(); got != 100 {
+			t.Errorf("under quiesce: %d delivered", got)
+		}
+	})
+	if !ok {
+		t.Fatal("quiesce timed out")
+	}
+	if g := tr.GarbageFrames(); g != 0 {
+		t.Errorf("%d garbage frames on a clean run", g)
+	}
+}
+
+// TestLoopbackPingPong exercises handler-originated sends (the Redirect
+// hook on node goroutines) under load, race-detector friendly.
+func TestLoopbackPingPong(t *testing.T) {
+	tr, err := NewLoopback(Options{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	a := &echoNode{pingTo: 2}
+	b := &echoNode{}
+	tr.AddNode(1, a)
+	tr.AddNode(2, b)
+	for i := 0; i < 50; i++ {
+		tr.Send(sim.Message{To: 1, From: 2, Topic: 1, Body: proto.Subscribe{}})
+	}
+	waitFor(t, 5*time.Second, "ping-pong", func() bool { return b.got.Load() == 50 })
+}
+
+// TestHubJoinerRouting runs a hub and two joiners as separate transports
+// over real sockets: hub↔joiner and joiner↔joiner (relayed) traffic.
+func TestHubJoinerRouting(t *testing.T) {
+	hub, err := NewHub(Options{Listen: "127.0.0.1:0", Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	j1, err := NewJoiner(Options{Hub: hub.Addr(), Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j1.Close()
+	j2, err := NewJoiner(Options{Hub: hub.Addr(), Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+
+	if j1.BaseID() == j2.BaseID() || j1.BaseID() == sim.None {
+		t.Fatalf("bad block grants: %d and %d", j1.BaseID(), j2.BaseID())
+	}
+
+	hubNode := &echoNode{}
+	hub.AddNode(1, hubNode)
+	n1 := &echoNode{}
+	id1 := j1.BaseID()
+	j1.AddNode(id1, n1)
+	n2 := &echoNode{}
+	id2 := j2.BaseID()
+	j2.AddNode(id2, n2)
+
+	// Joiner → hub.
+	j1.Send(sim.Message{To: 1, From: id1, Topic: 1, Body: proto.Subscribe{V: 7}})
+	waitFor(t, 5*time.Second, "joiner→hub", func() bool { return hubNode.got.Load() == 1 })
+
+	// Hub → joiner.
+	hub.Send(sim.Message{To: id1, From: 1, Topic: 1, Body: proto.Subscribe{V: 8}})
+	waitFor(t, 5*time.Second, "hub→joiner", func() bool { return n1.got.Load() == 1 })
+
+	// Joiner → joiner, relayed through the hub.
+	j1.Send(sim.Message{To: id2, From: id1, Topic: 1, Body: proto.Subscribe{V: 9}})
+	waitFor(t, 5*time.Second, "joiner→joiner relay", func() bool { return n2.got.Load() == 1 })
+
+	// Unroutable: silently dropped, counted, no crash.
+	before := hub.LostFrames()
+	hub.Send(sim.Message{To: 99999, From: 1, Topic: 1, Body: proto.Subscribe{}})
+	waitFor(t, 5*time.Second, "unroutable counted", func() bool { return hub.LostFrames() > before })
+}
+
+// TestGarbageFramesDropped writes raw garbage into the hub's listener:
+// the frames must be counted and dropped without wedging the transport.
+func TestGarbageFramesDropped(t *testing.T) {
+	hub, err := NewHub(Options{Listen: "127.0.0.1:0", Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	hubNode := &echoNode{}
+	hub.AddNode(1, hubNode)
+
+	conn, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Three well-delimited garbage frames (unknown tag / bad magic), then a
+	// valid one: the reader must survive the garbage and deliver the rest.
+	bad1 := []byte{0, 0, 0, 3, 'S', 'R', 99}      // bad version
+	bad2 := []byte{0, 0, 0, 4, 'S', 'R', 1, 0xFF} // truncated envelope
+	bad3 := []byte{0, 0, 0, 5, 'X', 'Y', 1, 0, 0} // bad magic
+	good, err := wire.Marshal(sim.Message{To: 1, From: 5, Topic: 1, Body: wire.Hello{Base: 1, Slots: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]byte{bad1, bad2, bad3, good} {
+		if _, err := conn.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "garbage counted", func() bool { return hub.GarbageFrames() == 3 })
+	// The valid frame was a Hello: the hub must still answer with a Welcome.
+	m, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Body.(wire.Welcome); !ok {
+		t.Fatalf("expected Welcome after garbage, got %T", m.Body)
+	}
+}
+
+// TestJoinerReconnect kills the joiner's first hub and brings up a new hub
+// on the same address: the joiner must redial with backoff, re-present its
+// block, and traffic must flow again. Link downtime must look like message
+// loss, not an error.
+func TestJoinerReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	hub1, err := NewHub(Options{Listen: addr, Interval: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJoiner(Options{Hub: addr, Interval: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond})
+	if err != nil {
+		hub1.Close()
+		t.Fatal(err)
+	}
+	defer j.Close()
+	base := j.BaseID()
+	nid := base
+	n := &echoNode{}
+	j.AddNode(nid, n)
+
+	hub1.Close() // link drops; joiner enters backoff
+
+	// Sends while the link is down are lost, not fatal.
+	j.Send(sim.Message{To: 1, From: nid, Topic: 1, Body: proto.Subscribe{}})
+
+	hub2, err := NewHub(Options{Listen: addr, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub2.Close()
+	hubNode := &echoNode{}
+	hub2.AddNode(1, hubNode)
+
+	// After reconnect the joiner re-greets with its old base; the new hub
+	// grants it afresh and routing works both ways again.
+	var delivered bool
+	deadline := time.Now().Add(10 * time.Second)
+	for !delivered && time.Now().Before(deadline) {
+		j.Send(sim.Message{To: 1, From: nid, Topic: 1, Body: proto.Subscribe{V: 1}})
+		time.Sleep(20 * time.Millisecond)
+		delivered = hubNode.got.Load() > 0
+	}
+	if !delivered {
+		t.Fatal("joiner never reached the new hub")
+	}
+	hub2.Send(sim.Message{To: nid, From: 1, Topic: 1, Body: proto.Subscribe{V: 2}})
+	waitFor(t, 5*time.Second, "hub2→joiner", func() bool { return n.got.Load() > 0 })
+}
+
+// TestWriteCoalescing: many frames sent within one flush window arrive in
+// far fewer socket flushes than frames (observable only indirectly —
+// assert they all arrive and the test's real value is the race detector
+// over the batching path).
+func TestWriteCoalescing(t *testing.T) {
+	tr, err := NewLoopback(Options{Interval: 5 * time.Millisecond, FlushEvery: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	n := &echoNode{}
+	tr.AddNode(1, n)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				tr.Send(sim.Message{To: 1, From: 2, Topic: 1, Body: proto.Subscribe{V: sim.NodeID(g*1000 + i)}})
+			}
+		}(g)
+	}
+	wg.Wait()
+	waitFor(t, 10*time.Second, "coalesced burst", func() bool { return n.got.Load() == 1000 })
+}
+
+// TestLoopbackCrashDropsInFlight: frames addressed to a crashed node are
+// dropped on re-injection and the quiesce barrier still settles.
+func TestLoopbackCrashDropsInFlight(t *testing.T) {
+	tr, err := NewLoopback(Options{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	a, b := &echoNode{}, &echoNode{}
+	tr.AddNode(1, a)
+	tr.AddNode(2, b)
+	for i := 0; i < 20; i++ {
+		tr.Send(sim.Message{To: 2, From: 1, Topic: 1, Body: proto.Subscribe{}})
+	}
+	tr.Crash(2)
+	if !tr.Quiesce(2*time.Second, func() {}) {
+		t.Fatal("quiesce did not settle after crash")
+	}
+	if !tr.Suspects(2) {
+		// DetectorGrace for the embedded runtime defaults to 2·Interval.
+		time.Sleep(15 * time.Millisecond)
+		if !tr.Suspects(2) {
+			t.Error("crashed node never suspected")
+		}
+	}
+	if tr.Suspects(1) {
+		t.Error("live node suspected")
+	}
+}
+
+// TestHubRestartBlockReclaim reproduces the two-joiner hub-restart
+// scenario: after the hub loses its grant table, each reconnecting joiner
+// must get back exactly the base it claims — never a different one (the
+// joiner's node IDs are fixed), and never one that captures another
+// joiner's block.
+func TestHubRestartBlockReclaim(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	hub1, err := NewHub(Options{Listen: addr, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkJoiner := func() *Transport {
+		j, err := NewJoiner(Options{Hub: addr, Interval: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	jA, jB := mkJoiner(), mkJoiner()
+	defer jA.Close()
+	defer jB.Close()
+	baseA, baseB := jA.BaseID(), jB.BaseID()
+	if baseA == baseB {
+		t.Fatalf("grants collide: %d", baseA)
+	}
+
+	hub1.Close() // grant table lost
+	hub2, err := NewHub(Options{Listen: addr, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub2.Close()
+	hubNode := &echoNode{}
+	hub2.AddNode(1, hubNode)
+	nA, nB := &echoNode{}, &echoNode{}
+	jA.AddNode(baseA, nA)
+	jB.AddNode(baseB, nB)
+
+	// Both joiners redial in arbitrary order and reclaim their old bases;
+	// after that, hub→joiner routing must hit the right process for both.
+	waitFor(t, 10*time.Second, "both joiners reachable again", func() bool {
+		hub2.Send(sim.Message{To: baseA, From: 1, Topic: 1, Body: proto.Subscribe{V: 1}})
+		hub2.Send(sim.Message{To: baseB, From: 1, Topic: 1, Body: proto.Subscribe{V: 2}})
+		time.Sleep(10 * time.Millisecond)
+		return nA.got.Load() > 0 && nB.got.Load() > 0
+	})
+	if jA.BaseID() != baseA || jB.BaseID() != baseB {
+		t.Errorf("bases changed across hub restart: A %d→%d, B %d→%d",
+			baseA, jA.BaseID(), baseB, jB.BaseID())
+	}
+}

@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+)
+
+// benchMessages are the shapes that dominate live traffic: Check is the
+// steady-state ring heartbeat, SetData the supervisor's answer, and
+// PublishBatch the anti-entropy bulk path.
+func benchMessages() map[string]sim.Message {
+	batch := proto.PublishBatch{}
+	for i := 0; i < 16; i++ {
+		batch.Pubs = append(batch.Pubs, proto.Publication{
+			Key:     proto.Key{Bits: uint64(i) * 0x9e3779b97f4a7c15, Len: 64},
+			Origin:  sim.NodeID(i + 2),
+			Payload: fmt.Sprintf("payload-%d-with-some-realistic-length", i),
+		})
+	}
+	return map[string]sim.Message{
+		"Check": {To: 5, From: 9, Topic: 1, Body: proto.Check{
+			Sender:    proto.Tuple{L: label.MustParse("011"), Ref: 9},
+			YourLabel: label.MustParse("01"),
+			Flag:      proto.CYC,
+		}},
+		"SetData": {To: 9, From: 1, Topic: 1, Body: proto.SetData{
+			Pred:  proto.Tuple{L: label.MustParse("01"), Ref: 4},
+			Label: label.MustParse("011"),
+			Succ:  proto.Tuple{L: label.MustParse("11"), Ref: 7},
+		}},
+		"PublishBatch16": {To: 5, From: 9, Topic: 1, Body: batch},
+	}
+}
+
+// BenchmarkWireMarshal measures encode throughput per message shape.
+func BenchmarkWireMarshal(b *testing.B) {
+	for name, m := range benchMessages() {
+		b.Run(name, func(b *testing.B) {
+			frame, err := Marshal(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			buf := make([]byte, 0, len(frame))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = AppendFrame(buf[:0], m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireUnmarshal measures decode throughput per message shape.
+func BenchmarkWireUnmarshal(b *testing.B) {
+	for name, m := range benchMessages() {
+		b.Run(name, func(b *testing.B) {
+			frame, err := Marshal(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Unmarshal(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireRoundTrip is the end-to-end codec cost per message — the
+// number that bounds the net transport's per-frame CPU overhead.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	for name, m := range benchMessages() {
+		b.Run(name, func(b *testing.B) {
+			frame, _ := Marshal(m)
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			buf := make([]byte, 0, len(frame))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf, _ = AppendFrame(buf[:0], m)
+				if _, err := Unmarshal(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

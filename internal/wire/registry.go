@@ -1,0 +1,346 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"sspubsub/internal/core"
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+)
+
+// Type tags. Tags are part of the wire format: never renumber an existing
+// tag, only append. Gaps are reserved for the message families they sit in.
+const (
+	// Supervisor-bound (Algorithm 3).
+	tagSubscribe        = 1
+	tagUnsubscribe      = 2
+	tagGetConfiguration = 3
+	// Supervisor → subscriber.
+	tagSetData = 4
+	// Ring maintenance (Algorithms 1, 2, 4).
+	tagCheck             = 5
+	tagIntroduce         = 6
+	tagLinearize         = 7
+	tagRemoveConnections = 8
+	tagIntroduceShortcut = 9
+	// Publication protocol (Algorithm 5).
+	tagCheckTrie       = 10
+	tagCheckAndPublish = 11
+	tagPublishBatch    = 12
+	tagPublishNew      = 13
+	// Token-passing supervisor variant.
+	tagToken       = 14
+	tagTokenReturn = 15
+	tagRegister    = 16
+	// Client self-commands (package core): a node's application plane
+	// talks to its protocol plane through the same channels, so these
+	// cross the wire whenever a driver steers a remote node.
+	tagJoinTopic  = 17
+	tagLeaveTopic = 18
+	tagPublishCmd = 19
+	// Transport control (package nettransport): connection handshake.
+	tagHello   = 32
+	tagWelcome = 33
+)
+
+// Hello is the first frame on a dialed connection: the joiner asks the hub
+// for a block of Slots node IDs. Base ⊥ requests a fresh block; a non-⊥
+// Base reclaims the block granted before a reconnect.
+type Hello struct {
+	Base  sim.NodeID
+	Slots uint32
+}
+
+// Welcome answers a Hello: node IDs [Base, Base+Slots) now belong to the
+// dialing process.
+type Welcome struct {
+	Base  sim.NodeID
+	Slots uint32
+}
+
+// entry is one registered message type. dec returns the zero body on
+// failure; the latched dec.err carries the diagnosis.
+type entry struct {
+	name string
+	zero any
+	enc  func(*enc, any)
+	dec  func(*dec) any
+}
+
+var registry = map[uint64]entry{
+	tagSubscribe: {"proto.Subscribe", proto.Subscribe{},
+		func(e *enc, b any) { e.node(b.(proto.Subscribe).V) },
+		func(d *dec) any { return proto.Subscribe{V: d.node()} }},
+	tagUnsubscribe: {"proto.Unsubscribe", proto.Unsubscribe{},
+		func(e *enc, b any) { e.node(b.(proto.Unsubscribe).V) },
+		func(d *dec) any { return proto.Unsubscribe{V: d.node()} }},
+	tagGetConfiguration: {"proto.GetConfiguration", proto.GetConfiguration{},
+		func(e *enc, b any) { e.node(b.(proto.GetConfiguration).V) },
+		func(d *dec) any { return proto.GetConfiguration{V: d.node()} }},
+	tagSetData: {"proto.SetData", proto.SetData{},
+		func(e *enc, b any) {
+			m := b.(proto.SetData)
+			e.tuple(m.Pred)
+			e.label(m.Label)
+			e.tuple(m.Succ)
+		},
+		func(d *dec) any {
+			return proto.SetData{Pred: d.tuple(), Label: d.labelv(), Succ: d.tuple()}
+		}},
+	tagCheck: {"proto.Check", proto.Check{},
+		func(e *enc, b any) {
+			m := b.(proto.Check)
+			e.tuple(m.Sender)
+			e.label(m.YourLabel)
+			e.u8(uint8(m.Flag))
+		},
+		func(d *dec) any {
+			return proto.Check{Sender: d.tuple(), YourLabel: d.labelv(), Flag: d.flag()}
+		}},
+	tagIntroduce: {"proto.Introduce", proto.Introduce{},
+		func(e *enc, b any) {
+			m := b.(proto.Introduce)
+			e.tuple(m.C)
+			e.u8(uint8(m.Flag))
+		},
+		func(d *dec) any { return proto.Introduce{C: d.tuple(), Flag: d.flag()} }},
+	tagLinearize: {"proto.Linearize", proto.Linearize{},
+		func(e *enc, b any) { e.tuple(b.(proto.Linearize).V) },
+		func(d *dec) any { return proto.Linearize{V: d.tuple()} }},
+	tagRemoveConnections: {"proto.RemoveConnections", proto.RemoveConnections{},
+		func(e *enc, b any) { e.node(b.(proto.RemoveConnections).V) },
+		func(d *dec) any { return proto.RemoveConnections{V: d.node()} }},
+	tagIntroduceShortcut: {"proto.IntroduceShortcut", proto.IntroduceShortcut{},
+		func(e *enc, b any) { e.tuple(b.(proto.IntroduceShortcut).T) },
+		func(d *dec) any { return proto.IntroduceShortcut{T: d.tuple()} }},
+	tagCheckTrie: {"proto.CheckTrie", proto.CheckTrie{},
+		func(e *enc, b any) {
+			m := b.(proto.CheckTrie)
+			e.node(m.Sender)
+			e.summaries(m.Nodes)
+		},
+		func(d *dec) any { return proto.CheckTrie{Sender: d.node(), Nodes: d.summaries()} }},
+	tagCheckAndPublish: {"proto.CheckAndPublish", proto.CheckAndPublish{},
+		func(e *enc, b any) {
+			m := b.(proto.CheckAndPublish)
+			e.node(m.Sender)
+			e.summaries(m.Nodes)
+			e.key(m.Prefix)
+		},
+		func(d *dec) any {
+			return proto.CheckAndPublish{Sender: d.node(), Nodes: d.summaries(), Prefix: d.key()}
+		}},
+	tagPublishBatch: {"proto.PublishBatch", proto.PublishBatch{},
+		func(e *enc, b any) {
+			m := b.(proto.PublishBatch)
+			e.uvarint(uint64(len(m.Pubs)))
+			for _, p := range m.Pubs {
+				e.publication(p)
+			}
+		},
+		func(d *dec) any {
+			n := d.sliceLen(3) // key ≥ 2 bytes, origin ≥ 1, payload len ≥ 1 — conservative floor
+			var pubs []proto.Publication
+			for i := 0; i < n && d.err == nil; i++ {
+				pubs = append(pubs, d.publication())
+			}
+			return proto.PublishBatch{Pubs: pubs}
+		}},
+	tagPublishNew: {"proto.PublishNew", proto.PublishNew{},
+		func(e *enc, b any) { e.publication(b.(proto.PublishNew).Pub) },
+		func(d *dec) any { return proto.PublishNew{Pub: d.publication()} }},
+	tagToken: {"proto.Token", proto.Token{},
+		func(e *enc, b any) {
+			m := b.(proto.Token)
+			e.uvarint(m.Epoch)
+			e.uvarint(m.N)
+			e.uvarint(m.Pos)
+			e.tuple(m.Prev)
+			e.tuple(m.First)
+			e.uvarint(uint64(len(m.Pending)))
+			for _, t := range m.Pending {
+				e.tuple(t)
+			}
+			e.tuple(m.NextHop)
+		},
+		func(d *dec) any {
+			m := proto.Token{
+				Epoch: d.uvarint(), N: d.uvarint(), Pos: d.uvarint(),
+				Prev: d.tuple(), First: d.tuple(),
+			}
+			n := d.sliceLen(3) // tuple: label ≥ 2 bytes + ref ≥ 1
+			for i := 0; i < n && d.err == nil; i++ {
+				m.Pending = append(m.Pending, d.tuple())
+			}
+			m.NextHop = d.tuple()
+			return m
+		}},
+	tagTokenReturn: {"proto.TokenReturn", proto.TokenReturn{},
+		func(e *enc, b any) {
+			m := b.(proto.TokenReturn)
+			e.uvarint(m.Epoch)
+			e.boolean(m.Complete)
+			e.tuple(m.First)
+			e.tuple(m.Last)
+		},
+		func(d *dec) any {
+			return proto.TokenReturn{
+				Epoch: d.uvarint(), Complete: d.boolean(),
+				First: d.tuple(), Last: d.tuple(),
+			}
+		}},
+	tagRegister: {"proto.Register", proto.Register{},
+		func(e *enc, b any) {
+			m := b.(proto.Register)
+			e.node(m.V)
+			e.label(m.Label)
+		},
+		func(d *dec) any { return proto.Register{V: d.node(), Label: d.labelv()} }},
+	tagJoinTopic: {"core.JoinTopic", core.JoinTopic{},
+		func(e *enc, b any) {},
+		func(d *dec) any { return core.JoinTopic{} }},
+	tagLeaveTopic: {"core.LeaveTopic", core.LeaveTopic{},
+		func(e *enc, b any) {},
+		func(d *dec) any { return core.LeaveTopic{} }},
+	tagPublishCmd: {"core.PublishCmd", core.PublishCmd{},
+		func(e *enc, b any) { e.str(b.(core.PublishCmd).Payload) },
+		func(d *dec) any { return core.PublishCmd{Payload: d.str()} }},
+	tagHello: {"wire.Hello", Hello{},
+		func(e *enc, b any) {
+			m := b.(Hello)
+			e.node(m.Base)
+			e.uvarint(uint64(m.Slots))
+		},
+		func(d *dec) any { return Hello{Base: d.node(), Slots: d.u32()} }},
+	tagWelcome: {"wire.Welcome", Welcome{},
+		func(e *enc, b any) {
+			m := b.(Welcome)
+			e.node(m.Base)
+			e.uvarint(uint64(m.Slots))
+		},
+		func(d *dec) any { return Welcome{Base: d.node(), Slots: d.u32()} }},
+}
+
+// tagOf maps a body's concrete type to its tag, built once from registry.
+var tagOf = func() map[reflect.Type]uint64 {
+	m := make(map[reflect.Type]uint64, len(registry))
+	for tag, ent := range registry {
+		t := reflect.TypeOf(ent.zero)
+		if _, dup := m[t]; dup {
+			panic(fmt.Sprintf("wire: type %v registered twice", t))
+		}
+		m[t] = tag
+	}
+	return m
+}()
+
+func lookupBody(body any) (uint64, entry, error) {
+	if body == nil {
+		return 0, entry{}, fmt.Errorf("wire: nil message body")
+	}
+	tag, ok := tagOf[reflect.TypeOf(body)]
+	if !ok {
+		return 0, entry{}, fmt.Errorf("wire: unregistered body type %T", body)
+	}
+	return tag, registry[tag], nil
+}
+
+// Registered returns "tag name" lines for every registered type, sorted by
+// tag — the codec's self-description (used by docs and tests).
+func Registered() []string {
+	tags := make([]uint64, 0, len(registry))
+	for t := range registry {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	out := make([]string, len(tags))
+	for i, t := range tags {
+		out[i] = fmt.Sprintf("%d %s", t, registry[t].name)
+	}
+	return out
+}
+
+// ---- shared field codecs ----
+
+func (e *enc) node(id sim.NodeID) { e.svarint(int64(id)) }
+func (d *dec) node() sim.NodeID   { return sim.NodeID(d.svarint()) }
+
+func (d *dec) u32() uint32 {
+	v := d.uvarint()
+	if v > 1<<32-1 {
+		d.fail("uint32 overflow: %d", v)
+		return 0
+	}
+	return uint32(v)
+}
+
+func (e *enc) label(l label.Label) {
+	e.uvarint(l.Bits)
+	e.u8(l.Len)
+}
+
+func (d *dec) labelv() label.Label {
+	return label.Label{Bits: d.uvarint(), Len: d.u8()}
+}
+
+func (e *enc) tuple(t proto.Tuple) {
+	e.label(t.L)
+	e.node(t.Ref)
+}
+
+func (d *dec) tuple() proto.Tuple {
+	return proto.Tuple{L: d.labelv(), Ref: d.node()}
+}
+
+func (e *enc) key(k proto.Key) {
+	e.uvarint(k.Bits)
+	e.u8(k.Len)
+}
+
+func (d *dec) key() proto.Key {
+	return proto.Key{Bits: d.uvarint(), Len: d.u8()}
+}
+
+func (d *dec) flag() proto.Flag {
+	switch v := d.u8(); v {
+	case uint8(proto.LIN), uint8(proto.CYC):
+		return proto.Flag(v)
+	default:
+		d.fail("bad flag %d", v)
+		return proto.LIN
+	}
+}
+
+func (e *enc) publication(p proto.Publication) {
+	e.key(p.Key)
+	e.node(p.Origin)
+	e.str(p.Payload)
+}
+
+func (d *dec) publication() proto.Publication {
+	return proto.Publication{Key: d.key(), Origin: d.node(), Payload: d.str()}
+}
+
+func (e *enc) summaries(ns []proto.NodeSummary) {
+	e.uvarint(uint64(len(ns)))
+	for _, n := range ns {
+		e.key(n.Label)
+		e.raw(n.Hash[:]...)
+	}
+}
+
+func (d *dec) summaries() []proto.NodeSummary {
+	n := d.sliceLen(2 + 16) // key ≥ 2 bytes + 16-byte hash
+	var out []proto.NodeSummary
+	for i := 0; i < n && d.err == nil; i++ {
+		s := proto.NodeSummary{Label: d.key()}
+		for j := range s.Hash {
+			s.Hash[j] = d.u8()
+		}
+		out = append(out, s)
+	}
+	return out
+}

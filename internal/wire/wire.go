@@ -1,0 +1,284 @@
+// Package wire defines the canonical binary representation of every
+// message in the system: a length-prefixed, versioned frame carrying the
+// sim.Message envelope (To, From, Topic) and one tagged protocol body.
+// It is the boundary between the in-memory protocol (packages proto, core,
+// sim) and anything that moves messages between address spaces — the TCP
+// transport in internal/runtime/nettransport, and any future persistence
+// or replay tooling.
+//
+// Frame layout (all multi-byte integers are varints unless noted):
+//
+//	uint32   payload length, big endian (payload excludes these 4 bytes)
+//	byte[2]  magic "SR"
+//	byte     version (currently 1)
+//	svarint  To    (sim.NodeID)
+//	svarint  From  (sim.NodeID)
+//	svarint  Topic (sim.Topic)
+//	uvarint  body type tag (see registry.go)
+//	[]byte   body, per-type encoding
+//
+// The codec is self-describing through the type registry: a frame whose
+// tag is unregistered, whose body does not parse, or whose payload has
+// trailing bytes is rejected with an error — never a panic. That matters
+// beyond robustness: a corrupted or adversarial frame is exactly the
+// "arbitrary initial state" of the self-stabilization model, so the wire
+// layer's job is to turn garbage into message loss (which the protocol
+// provably absorbs) rather than into crashes.
+//
+// Decoding is canonicalizing: for any bytes b that Unmarshal accepts,
+// Marshal(Unmarshal(b)) re-encodes to a frame that decodes to the same
+// message. Empty slices decode as nil (the canonical form).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sspubsub/internal/sim"
+)
+
+const (
+	// Version is the wire format version carried in every frame.
+	Version = 1
+	// MaxFrame is the maximum payload length the codec accepts. A length
+	// prefix beyond it means the stream is corrupt (or hostile) and cannot
+	// be resynchronized.
+	MaxFrame = 1 << 20
+
+	magic0, magic1 = 'S', 'R'
+)
+
+// ErrGarbage is wrapped by every recoverable decode failure: the frame was
+// delimited correctly but its contents are not a well-formed message. The
+// stream remains aligned and the reader may continue with the next frame.
+var ErrGarbage = errors.New("wire: garbage frame")
+
+// ErrFrameTooLarge reports a length prefix exceeding MaxFrame. Unlike
+// ErrGarbage this poisons the whole stream: the reader cannot skip what it
+// cannot trust the length of.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// Marshal encodes m as one complete frame, length prefix included.
+// It fails only when the body type is not registered.
+func Marshal(m sim.Message) ([]byte, error) { return AppendFrame(nil, m) }
+
+// AppendFrame appends the frame encoding of m to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, m sim.Message) ([]byte, error) {
+	tag, ent, err := lookupBody(m.Body)
+	if err != nil {
+		return dst, err
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	e := &enc{b: dst}
+	e.raw(magic0, magic1, Version)
+	e.svarint(int64(m.To))
+	e.svarint(int64(m.From))
+	e.svarint(int64(m.Topic))
+	e.uvarint(tag)
+	ent.enc(e, m.Body)
+	payload := len(e.b) - start - 4
+	if payload > MaxFrame {
+		return dst[:start], fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, payload)
+	}
+	binary.BigEndian.PutUint32(e.b[start:], uint32(payload))
+	return e.b, nil
+}
+
+// Unmarshal decodes one complete frame (length prefix included). The
+// buffer must contain exactly one frame; trailing bytes are an error.
+func Unmarshal(b []byte) (sim.Message, error) {
+	if len(b) < 4 {
+		return sim.Message{}, fmt.Errorf("%w: short length prefix", ErrGarbage)
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > MaxFrame {
+		return sim.Message{}, ErrFrameTooLarge
+	}
+	if int(n) != len(b)-4 {
+		return sim.Message{}, fmt.Errorf("%w: length prefix %d over %d payload bytes", ErrGarbage, n, len(b)-4)
+	}
+	return decodePayload(b[4:])
+}
+
+// decodePayload decodes the frame contents after the length prefix.
+func decodePayload(p []byte) (sim.Message, error) {
+	if len(p) < 3 {
+		return sim.Message{}, fmt.Errorf("%w: short header", ErrGarbage)
+	}
+	if p[0] != magic0 || p[1] != magic1 {
+		return sim.Message{}, fmt.Errorf("%w: bad magic %#x%#x", ErrGarbage, p[0], p[1])
+	}
+	if p[2] != Version {
+		return sim.Message{}, fmt.Errorf("%w: unsupported version %d", ErrGarbage, p[2])
+	}
+	d := &dec{b: p[3:]}
+	var m sim.Message
+	m.To = sim.NodeID(d.svarint())
+	m.From = sim.NodeID(d.svarint())
+	m.Topic = sim.Topic(d.svarint())
+	tag := d.uvarint()
+	if d.err != nil {
+		return sim.Message{}, d.err
+	}
+	ent, ok := registry[tag]
+	if !ok {
+		return sim.Message{}, fmt.Errorf("%w: unknown type tag %d", ErrGarbage, tag)
+	}
+	m.Body = ent.dec(d)
+	if d.err != nil {
+		return sim.Message{}, fmt.Errorf("decoding %s: %w", ent.name, d.err)
+	}
+	if d.off != len(d.b) {
+		return sim.Message{}, fmt.Errorf("%w: %d trailing bytes after %s", ErrGarbage, len(d.b)-d.off, ent.name)
+	}
+	return m, nil
+}
+
+// WriteFrame writes m to w as one frame.
+func WriteFrame(w io.Writer, m sim.Message) error {
+	b, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrame reads one frame from r. Errors wrapping ErrGarbage are
+// recoverable — the stream is still aligned on a frame boundary and the
+// caller may read the next frame. Any other error (I/O failure,
+// ErrFrameTooLarge) means the stream is unusable.
+func ReadFrame(r io.Reader) (sim.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return sim.Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return sim.Message{}, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return sim.Message{}, err
+	}
+	return decodePayload(buf)
+}
+
+// ---- primitive encoding ----
+
+// enc is an append-only byte writer. Encoding cannot fail (the only
+// failure mode, an unregistered body type, is caught before encoding
+// starts).
+type enc struct{ b []byte }
+
+func (e *enc) raw(bs ...byte)   { e.b = append(e.b, bs...) }
+func (e *enc) u8(v uint8)       { e.b = append(e.b, v) }
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) svarint(v int64)  { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) str(s string) { e.uvarint(uint64(len(s))); e.b = append(e.b, s...) }
+
+// dec is a cursor over one frame payload. The first failure latches in err
+// and turns every later read into a zero-value no-op, so per-type decoders
+// can read field-by-field without checking after each call.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrGarbage, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) svarint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad svarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) boolean() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("bad bool")
+		return false
+	}
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("string length %d exceeds %d remaining bytes", n, len(d.b)-d.off)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// sliceLen validates a decoded element count against the remaining input:
+// every element costs at least minBytes, so a count beyond remaining/min
+// is a lie and must not drive an allocation.
+func (d *dec) sliceLen(minBytes int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64((len(d.b)-d.off)/minBytes) {
+		d.fail("slice length %d exceeds remaining input", n)
+		return 0
+	}
+	return int(n)
+}

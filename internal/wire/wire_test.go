@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sspubsub/internal/core"
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+)
+
+func lbl(s string) label.Label { return label.MustParse(s) }
+
+func tup(l string, id sim.NodeID) proto.Tuple { return proto.Tuple{L: lbl(l), Ref: id} }
+
+// sampleBodies holds one populated value per registered type, so the
+// round-trip table provably covers the whole registry.
+var sampleBodies = []any{
+	proto.Subscribe{V: 7},
+	proto.Unsubscribe{V: 1<<40 + 3},
+	proto.GetConfiguration{V: 2},
+	proto.SetData{Pred: tup("01", 4), Label: lbl("11"), Succ: proto.Tuple{}},
+	proto.Check{Sender: tup("011", 9), YourLabel: lbl("0"), Flag: proto.CYC},
+	proto.Introduce{C: tup("1", 5), Flag: proto.LIN},
+	proto.Linearize{V: tup("001", 8)},
+	proto.RemoveConnections{V: 3},
+	proto.IntroduceShortcut{T: tup("101", 6)},
+	proto.CheckTrie{Sender: 4, Nodes: []proto.NodeSummary{
+		{Label: proto.Key{Bits: 0b101, Len: 3}, Hash: [16]byte{1, 2, 3, 255}},
+		{Label: proto.Key{Bits: 0, Len: 0}},
+	}},
+	proto.CheckAndPublish{Sender: 5, Nodes: []proto.NodeSummary{
+		{Label: proto.Key{Bits: 1, Len: 1}, Hash: [16]byte{9}},
+	}, Prefix: proto.Key{Bits: 0b11, Len: 2}},
+	proto.PublishBatch{Pubs: []proto.Publication{
+		{Key: proto.Key{Bits: 42, Len: 64}, Origin: 7, Payload: "hello"},
+		{Key: proto.Key{Bits: 0, Len: 1}, Origin: 8, Payload: ""},
+	}},
+	proto.PublishNew{Pub: proto.Publication{Key: proto.Key{Bits: 99, Len: 32}, Origin: 2, Payload: "pub-β"}},
+	proto.Token{Epoch: 12, N: 6, Pos: 3, Prev: tup("01", 4), First: tup("0", 2),
+		Pending: []proto.Tuple{tup("11", 9), {}}, NextHop: proto.Tuple{}},
+	proto.TokenReturn{Epoch: 13, Complete: true, First: tup("0", 2), Last: tup("11", 9)},
+	proto.Register{V: 11, Label: lbl("0001")},
+	core.JoinTopic{},
+	core.LeaveTopic{},
+	core.PublishCmd{Payload: "payload with\x00bytes"},
+	Hello{Base: sim.None, Slots: 1024},
+	Welcome{Base: 4096, Slots: 1024},
+}
+
+// TestRoundTripAllTypes checks Unmarshal(Marshal(m)) == m for a populated
+// sample of every registered type, and that the sample set covers the
+// registry exactly.
+func TestRoundTripAllTypes(t *testing.T) {
+	covered := make(map[reflect.Type]bool)
+	for i, body := range sampleBodies {
+		covered[reflect.TypeOf(body)] = true
+		m := sim.Message{To: 3, From: 9, Topic: sim.Topic(i + 1), Body: body}
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", body, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(Marshal(%T)): %v", body, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip %T:\n got %#v\nwant %#v", body, got, m)
+		}
+	}
+	if len(covered) != len(Registered()) {
+		t.Errorf("sampleBodies covers %d types, registry has %d:\n%s",
+			len(covered), len(Registered()), strings.Join(Registered(), "\n"))
+	}
+}
+
+// TestEnvelopeExtremes pins the envelope codec at the edges of the ID and
+// topic domains (negative values must survive, even though the protocol
+// never generates them: the codec must not corrupt what it carries).
+func TestEnvelopeExtremes(t *testing.T) {
+	for _, m := range []sim.Message{
+		{To: sim.None, From: sim.None, Topic: 0, Body: core.JoinTopic{}},
+		{To: 1<<62 - 1, From: -5, Topic: -1, Body: core.JoinTopic{}},
+		{To: -1 << 62, From: 1, Topic: 1<<31 - 1, Body: core.JoinTopic{}},
+	} {
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", m, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%v): %v", m, err)
+		}
+		if got != m {
+			t.Errorf("envelope round trip: got %v want %v", got, m)
+		}
+	}
+}
+
+// TestGarbageRejected feeds the decoder a gallery of malformed frames;
+// every one must fail with an ErrGarbage-class error — and none may panic.
+func TestGarbageRejected(t *testing.T) {
+	valid, err := Marshal(sim.Message{To: 2, From: 3, Topic: 1, Body: proto.Subscribe{V: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trailing := make([]byte, len(valid)+1)
+	copy(trailing, valid)
+	trailing[len(valid)] = 0xFF
+	overrun := append([]byte{}, valid...)
+	overrun[3]++ // prefix claims one more payload byte than present
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"short prefix":     {0, 0},
+		"bad magic":        {0, 0, 0, 3, 'X', 'Y', 1},
+		"bad version":      {0, 0, 0, 3, 'S', 'R', 9},
+		"header only":      {0, 0, 0, 2, 'S', 'R'},
+		"length mismatch":  overrun,
+		"trailing garbage": trailing,
+		"unknown tag":      mustFrame(t, func(e *enc) { e.svarint(1); e.svarint(2); e.svarint(3); e.uvarint(9999) }),
+		"truncated body":   valid[:len(valid)-1],
+		"lying slice len":  mustFrame(t, func(e *enc) { e.svarint(1); e.svarint(2); e.svarint(3); e.uvarint(tagPublishBatch); e.uvarint(1 << 50) }),
+		"bad bool": mustFrame(t, func(e *enc) {
+			e.svarint(1)
+			e.svarint(2)
+			e.svarint(3)
+			e.uvarint(tagTokenReturn)
+			e.uvarint(1)
+			e.u8(7)
+		}),
+		"bad flag": mustFrame(t, func(e *enc) {
+			e.svarint(1)
+			e.svarint(2)
+			e.svarint(3)
+			e.uvarint(tagIntroduce)
+			e.uvarint(0)
+			e.u8(0)
+			e.svarint(0)
+			e.u8(9)
+		}),
+		"huge string len":   mustFrame(t, func(e *enc) { e.svarint(1); e.svarint(2); e.svarint(3); e.uvarint(tagPublishCmd); e.uvarint(1 << 40) }),
+		"nonminimal varint": mustFrame(t, func(e *enc) { e.raw(0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) }),
+		"body after empty":  mustFrame(t, func(e *enc) { e.svarint(1); e.svarint(2); e.svarint(3); e.uvarint(tagJoinTopic); e.u8(0) }),
+	}
+
+	for name, b := range cases {
+		_, err := Unmarshal(b)
+		if err == nil {
+			t.Errorf("%s: decoded successfully, want error", name)
+			continue
+		}
+		if !errors.Is(err, ErrGarbage) {
+			t.Errorf("%s: error %v does not wrap ErrGarbage", name, err)
+		}
+	}
+}
+
+// mustFrame hand-assembles a frame around a raw payload writer, for
+// malformed-input tests the normal Marshal path refuses to produce.
+func mustFrame(t *testing.T, body func(*enc)) []byte {
+	t.Helper()
+	e := &enc{b: []byte{0, 0, 0, 0, 'S', 'R', Version}}
+	body(e)
+	n := len(e.b) - 4
+	e.b[0], e.b[1], e.b[2], e.b[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	return e.b
+}
+
+// TestFrameTooLarge: an oversize length prefix is a stream-poisoning
+// error, distinct from recoverable garbage.
+func TestFrameTooLarge(t *testing.T) {
+	b := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := Unmarshal(b); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("got %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("ReadFrame: got %v, want ErrFrameTooLarge", err)
+	}
+	big := proto.PublishBatch{Pubs: []proto.Publication{{Payload: strings.Repeat("x", MaxFrame+1)}}}
+	if _, err := Marshal(sim.Message{To: 1, Body: big}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("Marshal oversize: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestUnregisteredBody: Marshal refuses types outside the registry (the
+// deterministic scheduler's garbage-injection bodies, for example, have no
+// wire form on purpose).
+func TestUnregisteredBody(t *testing.T) {
+	type notAMessage struct{ X int }
+	if _, err := Marshal(sim.Message{To: 1, Body: notAMessage{}}); err == nil {
+		t.Error("Marshal accepted an unregistered body type")
+	}
+	if _, err := Marshal(sim.Message{To: 1, Body: nil}); err == nil {
+		t.Error("Marshal accepted a nil body")
+	}
+}
+
+// TestStreamReadWrite pushes a mixed sequence of frames through a byte
+// stream, interleaved with one garbage frame that must be skippable.
+func TestStreamReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []sim.Message{
+		{To: 1, From: 2, Topic: 1, Body: proto.Subscribe{V: 2}},
+		{To: 2, From: 1, Topic: 1, Body: proto.SetData{Label: lbl("0")}},
+		{To: 2, From: 3, Topic: 2, Body: proto.PublishNew{Pub: proto.Publication{Key: proto.Key{Bits: 5, Len: 8}, Origin: 3, Payload: "p"}}},
+	}
+	for i, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			// A well-delimited frame with an unknown tag: recoverable garbage.
+			buf.Write(mustFrame(t, func(e *enc) { e.svarint(0); e.svarint(0); e.svarint(0); e.uvarint(500) }))
+		}
+	}
+	var got []sim.Message
+	for {
+		m, err := ReadFrame(&buf)
+		if err != nil {
+			if errors.Is(err, ErrGarbage) {
+				continue // skip, stream stays aligned
+			}
+			break // EOF
+		}
+		got = append(got, m)
+	}
+	if !reflect.DeepEqual(got, msgs) {
+		t.Errorf("stream round trip:\n got %v\nwant %v", got, msgs)
+	}
+}
+
+// TestRegisteredListing pins the registry self-description format.
+func TestRegisteredListing(t *testing.T) {
+	lines := Registered()
+	if len(lines) < 20 {
+		t.Fatalf("registry has only %d entries: %v", len(lines), lines)
+	}
+	if lines[0] != "1 proto.Subscribe" {
+		t.Errorf("first entry = %q", lines[0])
+	}
+	for _, l := range lines {
+		var tag uint64
+		var name string
+		if _, err := fmt.Sscanf(l, "%d %s", &tag, &name); err != nil {
+			t.Errorf("unparseable registry line %q", l)
+		}
+	}
+}

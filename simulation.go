@@ -7,6 +7,7 @@ import (
 	"sspubsub/internal/cluster"
 	"sspubsub/internal/core"
 	"sspubsub/internal/runtime/concurrent"
+	"sspubsub/internal/runtime/nettransport"
 	"sspubsub/internal/sim"
 )
 
@@ -22,7 +23,26 @@ const (
 	// not reproducible, but exercise the protocol under genuine
 	// concurrency.
 	RuntimeConcurrent RuntimeKind = "concurrent"
+	// RuntimeNet is the loopback networked transport: the same goroutine
+	// nodes as RuntimeConcurrent, but every message — including
+	// node-to-node within the process — is encoded with the internal/wire
+	// codec and crosses a real TCP socket. The closest single-process
+	// approximation of a deployed multi-process system.
+	RuntimeNet RuntimeKind = "net"
 )
+
+// liveSubstrate is what the Simulation facade needs from a non-deterministic
+// execution substrate: transport, quiesce barrier and message accounting.
+// Both concurrent.Runtime and nettransport.Transport satisfy it.
+type liveSubstrate interface {
+	sim.Transport
+	Quiesce(timeout time.Duration, f func()) bool
+	Delivered() int64
+	CountByType(name string) int64
+	SentBy(id sim.NodeID) int64
+	ResetCounters()
+	Now() float64
+}
 
 // SimOptions configure a Simulation.
 type SimOptions struct {
@@ -32,11 +52,11 @@ type SimOptions struct {
 	// other controls work on both substrates.
 	Runtime RuntimeKind
 	// Interval is the real-time length of one timeout interval on
-	// RuntimeConcurrent (default 2ms). Ignored by RuntimeSim, where a
-	// round is a unit of virtual time.
+	// RuntimeConcurrent and RuntimeNet (default 2ms). Ignored by
+	// RuntimeSim, where a round is a unit of virtual time.
 	Interval time.Duration
 	// Seed makes RuntimeSim runs fully reproducible and seeds the
-	// per-node randomness on RuntimeConcurrent.
+	// per-node randomness on the live substrates.
 	Seed int64
 	// KeyLen is the publication key width (default 64).
 	KeyLen uint8
@@ -62,16 +82,18 @@ type Topic = sim.Topic
 // goroutines, with convergence checks taken under a quiesce barrier; a
 // "round" is then one wall-clock timeout interval.
 type Simulation struct {
-	c *cluster.Cluster // deterministic substrate (nil on concurrent)
+	c *cluster.Cluster // deterministic substrate (nil on concurrent/net)
 
-	live  *cluster.Live         // concurrent substrate (nil on sim)
-	crt   *concurrent.Runtime   // nil on sim
+	live  *cluster.Live       // live substrate harness (nil on sim)
+	lrt   liveSubstrate       // live substrate (nil on sim)
+	crt   *concurrent.Runtime // non-nil only on RuntimeConcurrent (injectors)
 	ivl   time.Duration
 	churn []*concurrent.Injector // injectors started via StartChurn
 }
 
 // NewSimulation creates an empty system (supervisor only) on the substrate
-// selected by opts.Runtime.
+// selected by opts.Runtime. RuntimeNet panics if the loopback listener
+// cannot be opened (no 127.0.0.1 available).
 func NewSimulation(opts SimOptions) *Simulation {
 	clientOpts := core.Options{
 		KeyLen:             opts.KeyLen,
@@ -79,14 +101,20 @@ func NewSimulation(opts SimOptions) *Simulation {
 		DisableAntiEntropy: opts.DisableAntiEntropy,
 		DisableActionIV:    opts.DisableActionIV,
 	}
+	ivl := opts.Interval
+	if ivl == 0 {
+		ivl = 2 * time.Millisecond
+	}
 	switch opts.Runtime {
 	case RuntimeConcurrent:
-		ivl := opts.Interval
-		if ivl == 0 {
-			ivl = 2 * time.Millisecond
-		}
 		crt := concurrent.NewRuntime(concurrent.Options{Interval: ivl, Seed: opts.Seed})
-		return &Simulation{live: cluster.NewLive(crt, clientOpts), crt: crt, ivl: ivl}
+		return &Simulation{live: cluster.NewLive(crt, clientOpts), lrt: crt, crt: crt, ivl: ivl}
+	case RuntimeNet:
+		nt, err := nettransport.NewLoopback(nettransport.Options{Interval: ivl, Seed: opts.Seed})
+		if err != nil {
+			panic(fmt.Sprintf("sspubsub: loopback transport: %v", err))
+		}
+		return &Simulation{live: cluster.NewLive(nt, clientOpts), lrt: nt, ivl: ivl}
 	case RuntimeSim, "":
 		return &Simulation{c: cluster.New(cluster.Options{Seed: opts.Seed, ClientOpts: clientOpts})}
 	default:
@@ -102,17 +130,21 @@ func (s *Simulation) Close() {
 		in.Stop()
 	}
 	s.churn = nil
-	if s.crt != nil {
-		s.crt.Close()
+	if s.lrt != nil {
+		s.lrt.Close()
 	}
 }
 
 // Runtime returns which substrate the simulation runs on.
 func (s *Simulation) Runtime() RuntimeKind {
-	if s.crt != nil {
+	switch {
+	case s.crt != nil:
 		return RuntimeConcurrent
+	case s.lrt != nil:
+		return RuntimeNet
+	default:
+		return RuntimeSim
 	}
-	return RuntimeSim
 }
 
 // requireSim guards the deterministic-only research controls.
@@ -124,7 +156,7 @@ func (s *Simulation) requireSim(op string) {
 
 // AddSubscribers creates n subscriber nodes and returns their IDs.
 func (s *Simulation) AddSubscribers(n int) []NodeID {
-	if s.crt != nil {
+	if s.lrt != nil {
 		return s.live.AddClients(n)
 	}
 	return s.c.AddClients(n)
@@ -132,7 +164,7 @@ func (s *Simulation) AddSubscribers(n int) []NodeID {
 
 // Join subscribes a node to a topic.
 func (s *Simulation) Join(id NodeID, t Topic) {
-	if s.crt != nil {
+	if s.lrt != nil {
 		s.live.Join(id, t)
 		return
 	}
@@ -141,7 +173,7 @@ func (s *Simulation) Join(id NodeID, t Topic) {
 
 // JoinAll subscribes every node to the topic.
 func (s *Simulation) JoinAll(t Topic) {
-	if s.crt != nil {
+	if s.lrt != nil {
 		s.live.JoinAll(t)
 		return
 	}
@@ -150,7 +182,7 @@ func (s *Simulation) JoinAll(t Topic) {
 
 // Leave starts an unsubscribe handshake.
 func (s *Simulation) Leave(id NodeID, t Topic) {
-	if s.crt != nil {
+	if s.lrt != nil {
 		s.live.Leave(id, t)
 		return
 	}
@@ -159,7 +191,7 @@ func (s *Simulation) Leave(id NodeID, t Topic) {
 
 // Crash fails a node without warning (Section 3.3).
 func (s *Simulation) Crash(id NodeID) {
-	if s.crt != nil {
+	if s.lrt != nil {
 		s.live.Crash(id)
 		return
 	}
@@ -168,7 +200,7 @@ func (s *Simulation) Crash(id NodeID) {
 
 // Publish makes a node publish a payload.
 func (s *Simulation) Publish(id NodeID, t Topic, payload string) {
-	if s.crt != nil {
+	if s.lrt != nil {
 		s.live.Publish(id, t, payload)
 		return
 	}
@@ -178,7 +210,7 @@ func (s *Simulation) Publish(id NodeID, t Topic, payload string) {
 // RunRounds advances by k timeout intervals: virtual on RuntimeSim,
 // wall-clock on RuntimeConcurrent.
 func (s *Simulation) RunRounds(k int) {
-	if s.crt != nil {
+	if s.lrt != nil {
 		time.Sleep(time.Duration(k) * s.ivl)
 		return
 	}
@@ -190,7 +222,7 @@ func (s *Simulation) RunRounds(k int) {
 // RuntimeConcurrent the legitimacy predicate is evaluated under the
 // quiesce barrier once per interval, so the snapshot is exact.
 func (s *Simulation) RunUntilConverged(t Topic, n, maxRounds int) (int, bool) {
-	if s.crt != nil {
+	if s.lrt != nil {
 		start := time.Now()
 		deadline := start.Add(time.Duration(maxRounds) * s.ivl)
 		for {
@@ -210,7 +242,7 @@ func (s *Simulation) RunUntilConverged(t Topic, n, maxRounds int) (int, bool) {
 // elapsed; pred is evaluated between rounds (under the quiesce barrier on
 // RuntimeConcurrent).
 func (s *Simulation) RunUntil(maxRounds int, pred func() bool) (int, bool) {
-	if s.crt != nil {
+	if s.lrt != nil {
 		start := time.Now()
 		deadline := start.Add(time.Duration(maxRounds) * s.ivl)
 		for {
@@ -231,7 +263,7 @@ func (s *Simulation) RunUntil(maxRounds int, pred func() bool) (int, bool) {
 // churn), the check conservatively reports false.
 func (s *Simulation) quiescedCheck(pred func() bool) bool {
 	ok := false
-	s.crt.Quiesce(100*s.ivl, func() { ok = pred() })
+	s.lrt.Quiesce(100*s.ivl, func() { ok = pred() })
 	return ok
 }
 
@@ -241,7 +273,7 @@ func (s *Simulation) elapsedRounds(start time.Time) int {
 
 // Converged reports whether topic t is currently legitimate.
 func (s *Simulation) Converged(t Topic) bool {
-	if s.crt != nil {
+	if s.lrt != nil {
 		return s.quiescedCheck(func() bool { return s.live.Converged(t) })
 	}
 	return s.c.Converged(t)
@@ -249,9 +281,9 @@ func (s *Simulation) Converged(t Topic) bool {
 
 // Explain describes the first legitimacy violation, or returns "".
 func (s *Simulation) Explain(t Topic) string {
-	if s.crt != nil {
+	if s.lrt != nil {
 		out := "system did not quiesce"
-		s.crt.Quiesce(100*s.ivl, func() { out = s.live.Explain(t) })
+		s.lrt.Quiesce(100*s.ivl, func() { out = s.live.Explain(t) })
 		return out
 	}
 	return s.c.Explain(t)
@@ -259,7 +291,7 @@ func (s *Simulation) Explain(t Topic) string {
 
 // TriesEqual reports whether all members hold identical publication sets.
 func (s *Simulation) TriesEqual(t Topic) bool {
-	if s.crt != nil {
+	if s.lrt != nil {
 		return s.quiescedCheck(func() bool { return s.live.TriesEqual(t) })
 	}
 	return s.c.TriesEqual(t)
@@ -267,7 +299,7 @@ func (s *Simulation) TriesEqual(t Topic) bool {
 
 // AllHavePubs reports whether every member knows at least k publications.
 func (s *Simulation) AllHavePubs(t Topic, k int) bool {
-	if s.crt != nil {
+	if s.lrt != nil {
 		return s.quiescedCheck(func() bool { return s.live.AllHavePubs(t, k) })
 	}
 	return s.c.AllHavePubs(t, k)
@@ -310,7 +342,7 @@ func (s *Simulation) Label(id NodeID, t Topic) string {
 }
 
 func (s *Simulation) clientOf(id NodeID) (*core.Client, bool) {
-	if s.crt != nil {
+	if s.lrt != nil {
 		cl, ok := s.live.Clients[id]
 		return cl, ok
 	}
@@ -367,8 +399,8 @@ func (s *Simulation) StartChurn(seed int64) (stop func()) {
 
 // MessagesDelivered returns the total messages delivered so far.
 func (s *Simulation) MessagesDelivered() int64 {
-	if s.crt != nil {
-		return s.crt.Delivered()
+	if s.lrt != nil {
+		return s.lrt.Delivered()
 	}
 	return s.c.Sched.Delivered()
 }
@@ -376,16 +408,16 @@ func (s *Simulation) MessagesDelivered() int64 {
 // MessagesByType returns the count of sends for a protocol message type
 // name, e.g. "proto.GetConfiguration".
 func (s *Simulation) MessagesByType(name string) int64 {
-	if s.crt != nil {
-		return s.crt.CountByType(name)
+	if s.lrt != nil {
+		return s.lrt.CountByType(name)
 	}
 	return s.c.Sched.CountByType(name)
 }
 
 // SentBy returns the number of messages a node has sent.
 func (s *Simulation) SentBy(id NodeID) int64 {
-	if s.crt != nil {
-		return s.crt.SentBy(id)
+	if s.lrt != nil {
+		return s.lrt.SentBy(id)
 	}
 	return s.c.Sched.SentBy(id)
 }
@@ -395,8 +427,8 @@ func (s *Simulation) SupervisorSent() int64 { return s.SentBy(cluster.Supervisor
 
 // ResetCounters zeroes the message accounting (measure steady states).
 func (s *Simulation) ResetCounters() {
-	if s.crt != nil {
-		s.crt.ResetCounters()
+	if s.lrt != nil {
+		s.lrt.ResetCounters()
 		return
 	}
 	s.c.Sched.ResetCounters()
@@ -404,7 +436,7 @@ func (s *Simulation) ResetCounters() {
 
 // Members returns the nodes currently subscribed to t.
 func (s *Simulation) Members(t Topic) []NodeID {
-	if s.crt != nil {
+	if s.lrt != nil {
 		return s.live.Members(t)
 	}
 	return s.c.Members(t)
@@ -413,8 +445,8 @@ func (s *Simulation) Members(t Topic) []NodeID {
 // Now returns the current time in timeout intervals: virtual on
 // RuntimeSim, wall-clock on RuntimeConcurrent.
 func (s *Simulation) Now() float64 {
-	if s.crt != nil {
-		return s.crt.Now()
+	if s.lrt != nil {
+		return s.lrt.Now()
 	}
 	return s.c.Sched.Now()
 }

@@ -2,8 +2,10 @@ package sspubsub
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sspubsub/internal/cluster"
@@ -42,6 +44,16 @@ type Options struct {
 	// with Interval and Seed is used. The System takes ownership and
 	// closes it on Close.
 	Transport sim.Transport
+	// Attach, when true, creates no local supervisors: the system joins an
+	// existing deployment whose supervisor (node 1) lives in another
+	// process, reachable through Transport (typically a
+	// nettransport.NewJoiner). Supervisor-side observability (Stable,
+	// WaitStable, TopicSize) is unavailable; use WaitJoined.
+	Attach bool
+	// FirstClientID sets the first client node ID. Attached systems must
+	// set it to the base of the ID block their transport was granted so
+	// IDs are unique across processes. Default: after the supervisors.
+	FirstClientID sim.NodeID
 }
 
 // System is a running supervised publish-subscribe system: one supervisor
@@ -58,7 +70,6 @@ type System struct {
 	topicSup map[sim.Topic]sim.NodeID
 	clients  map[sim.NodeID]*Client
 	byName   map[string]*Client
-	nextTID  sim.Topic
 	nextID   sim.NodeID
 	closed   bool
 }
@@ -88,10 +99,19 @@ func NewSystem(opts Options) *System {
 	ring := hashdht.NewRing(64)
 	for i := 0; i < opts.Supervisors; i++ {
 		id := supervisorID + sim.NodeID(i)
-		sup := supervisor.New(id, tr)
-		tr.AddNode(id, sup)
-		sups[id] = sup
+		// Attached systems build the same topic→supervisor ring (the IDs
+		// are deterministic, so every process routes a topic to the same
+		// supervisor) but host no supervisor nodes themselves.
 		ring.Add(id)
+		if !opts.Attach {
+			sup := supervisor.New(id, tr)
+			tr.AddNode(id, sup)
+			sups[id] = sup
+		}
+	}
+	firstID := opts.FirstClientID
+	if firstID == sim.None {
+		firstID = supervisorID + sim.NodeID(opts.Supervisors)
 	}
 	return &System{
 		opts:     opts,
@@ -103,8 +123,7 @@ func NewSystem(opts Options) *System {
 		topicSup: make(map[sim.Topic]sim.NodeID),
 		clients:  make(map[sim.NodeID]*Client),
 		byName:   make(map[string]*Client),
-		nextTID:  1,
-		nextID:   supervisorID + sim.NodeID(opts.Supervisors),
+		nextID:   firstID,
 	}
 }
 
@@ -127,15 +146,33 @@ func (s *System) Close() {
 	}
 }
 
-// topicID assigns a stable small integer to a topic name.
+// topicIDFor derives the wire identity of a topic name. Every process of
+// a networked deployment must agree on it without coordination (frames
+// carry the ID, not the name), so it is a hash of the name — never an
+// allocation counter, which would depend on per-process first-use order.
+func topicIDFor(name string) sim.Topic {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	t := sim.Topic(h.Sum32() & 0x7fffffff)
+	if t == 0 {
+		return 1
+	}
+	return t
+}
+
+// topicID resolves (and caches) the stable ID of a topic name.
 func (s *System) topicID(name string) sim.Topic {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t, ok := s.topics[name]; ok {
 		return t
 	}
-	t := s.nextTID
-	s.nextTID++
+	t := topicIDFor(name)
+	if prev, taken := s.names[t]; taken && prev != name {
+		// A 32-bit collision between live topic names (≈1 in 4 billion per
+		// pair). Conflating two topics would corrupt both rings; refuse.
+		panic(fmt.Sprintf("sspubsub: topic ID collision between %q and %q", prev, name))
+	}
 	s.topics[name] = t
 	s.names[t] = name
 	if owner, ok := s.ring.Owner(name); ok {
@@ -258,6 +295,9 @@ func (s *System) explain(topic string) string {
 		states[c.id] = st
 	}
 	sup := s.supFor(t)
+	if sup == nil {
+		return "supervisor is not local to this process (attached system)"
+	}
 	if sup.Corrupted(t) {
 		return "supervisor database corrupted"
 	}
@@ -270,8 +310,49 @@ func (s *System) WaitStable(topic string, n int, timeout time.Duration) bool {
 	t := s.topicID(topic)
 	deadline := time.Now().Add(timeout)
 	sup := s.supFor(t)
+	if sup == nil {
+		return false // attached system: the supervisor is remote
+	}
 	for time.Now().Before(deadline) {
 		if sup.N(t) == n && len(s.Members(topic)) == n && s.Stable(topic) {
+			return true
+		}
+		time.Sleep(s.opts.Interval)
+	}
+	return false
+}
+
+// TopicSize returns the member count recorded by the topic's supervisor —
+// across all processes of a networked deployment, since remote
+// subscribers register with the same supervisor. It returns -1 on
+// attached systems, where the supervisor is remote.
+func (s *System) TopicSize(topic string) int {
+	t := s.topicID(topic)
+	sup := s.supFor(t)
+	if sup == nil {
+		return -1
+	}
+	return sup.N(t)
+}
+
+// WaitJoined polls until n of this process's clients hold a live,
+// labelled instance of the topic, or the timeout expires. Unlike
+// WaitStable it needs no local supervisor, so it is the join barrier for
+// attached (multi-process) systems: a client only obtains a label once
+// the remote supervisor has integrated it.
+func (s *System) WaitJoined(topic string, n int, timeout time.Duration) bool {
+	t := s.topicID(topic)
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		joined := 0
+		s.mu.Lock()
+		for _, c := range s.clients {
+			if st, ok := c.cc.StateOf(t); ok && !st.Label.IsBottom() {
+				joined++
+			}
+		}
+		s.mu.Unlock()
+		if joined >= n {
 			return true
 		}
 		time.Sleep(s.opts.Interval)
@@ -395,6 +476,8 @@ type Subscription struct {
 	tid    sim.Topic
 	events chan Publication
 
+	dropped atomic.Int64
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -404,9 +487,15 @@ func (s *Subscription) Topic() string { return s.topic }
 
 // Events returns the delivery channel. Every publication that becomes
 // known to this subscriber (via flooding or anti-entropy) is sent exactly
-// once; when the buffer overflows the oldest entries are dropped (use
-// History for the complete set).
+// once; when the buffer overflows the oldest entries are dropped — each
+// drop is counted (Dropped) and the full set stays available via History.
 func (s *Subscription) Events() <-chan Publication { return s.events }
+
+// Dropped returns how many buffered events have been discarded because
+// the consumer lagged behind the delivery rate. A growing value means the
+// reader of Events is too slow for its EventBuffer; the events themselves
+// are not lost to the system — History still has them.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
 
 // History returns all publications currently known for the topic.
 func (s *Subscription) History() []Publication { return s.client.History(s.topic) }
@@ -438,6 +527,7 @@ func (s *Subscription) push(pub Publication) {
 		default:
 			select {
 			case <-s.events:
+				s.dropped.Add(1)
 			default:
 			}
 		}

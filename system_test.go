@@ -240,3 +240,97 @@ func TestSystemMultiSupervisor(t *testing.T) {
 	}
 	t.Fatal("publication never reached the last client")
 }
+
+// TestSubscriptionDroppedCounter forces event-buffer overflow with a tiny
+// buffer and verifies the loss is counted instead of silent, while History
+// keeps the full set.
+func TestSubscriptionDroppedCounter(t *testing.T) {
+	sys := NewSystem(Options{Interval: 2 * time.Millisecond, Seed: 7, EventBuffer: 2})
+	t.Cleanup(sys.Close)
+	pub := sys.MustClient("pub")
+	lag := sys.MustClient("lag")
+	_ = pub.Subscribe("hot")
+	sub := lag.Subscribe("hot")
+	if !sys.WaitStable("hot", 2, 5*time.Second) {
+		t.Fatalf("overlay never stabilized: %s", sys.explain("hot"))
+	}
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := pub.Publish("hot", string(rune('a'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sub.History()) < total && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := len(sub.History()); got != total {
+		t.Fatalf("history has %d publications, want %d", got, total)
+	}
+	// Nobody consumed lag's channel (capacity 2): 8 of the 10 events must
+	// have displaced older ones, each counted.
+	if got := sub.Dropped(); got != total-2 {
+		t.Errorf("Dropped() = %d, want %d", got, total-2)
+	}
+	consumed := 0
+	for {
+		select {
+		case <-sub.Events():
+			consumed++
+			continue
+		default:
+		}
+		break
+	}
+	if consumed != 2 {
+		t.Errorf("consumed %d buffered events, want 2", consumed)
+	}
+}
+
+// TestSystemAttachOptions pins the attach-mode API surface without a real
+// second process: no local supervisors, client IDs from FirstClientID, and
+// the supervisor-side observers degrade explicitly instead of panicking.
+func TestSystemAttachOptions(t *testing.T) {
+	sys := NewSystem(Options{Interval: 2 * time.Millisecond, Attach: true, FirstClientID: 5000})
+	t.Cleanup(sys.Close)
+	c := sys.MustClient("solo")
+	if c.id != 5000 {
+		t.Errorf("first client ID = %d, want 5000", c.id)
+	}
+	if sys.TopicSize("x") != -1 {
+		t.Errorf("TopicSize on attached system = %d, want -1", sys.TopicSize("x"))
+	}
+	if sys.Stable("x") {
+		t.Error("Stable must be false when the supervisor is remote")
+	}
+	if sys.WaitStable("x", 1, 10*time.Millisecond) {
+		t.Error("WaitStable must fail fast when the supervisor is remote")
+	}
+	// With no transport to a real supervisor the client can never join;
+	// WaitJoined must time out rather than hang or lie.
+	if sys.WaitJoined("x", 1, 20*time.Millisecond) {
+		t.Error("WaitJoined reported success without a supervisor")
+	}
+}
+
+// TestTopicIDsProcessIndependent: topic IDs are the cross-process wire
+// identity of a topic, so they must not depend on the order in which a
+// process first touches the names (a per-process allocation counter would
+// make two processes disagree about which ring a frame belongs to).
+func TestTopicIDsProcessIndependent(t *testing.T) {
+	a := newTestSystem(t)
+	b := newTestSystem(t)
+	a.topicID("alpha")
+	a.topicID("beta")
+	// Opposite first-use order in the "other process".
+	b.topicID("beta")
+	b.topicID("alpha")
+	for _, name := range []string{"alpha", "beta"} {
+		if got, want := b.topicID(name), a.topicID(name); got != want {
+			t.Errorf("topic %q: ID %d in one process, %d in another", name, got, want)
+		}
+	}
+	if a.topicID("alpha") == a.topicID("beta") {
+		t.Error("distinct topics share an ID")
+	}
+}
