@@ -407,15 +407,22 @@ func BenchmarkLiveSystemPublish(b *testing.B) {
 	}
 }
 
-// ---- cross-substrate benches (sim scheduler vs concurrent runtime) ----
+// ---- cross-substrate benches (sim scheduler vs concurrent vs net) ----
+
+// crossSubstrateKinds are the three execution substrates every hot-path
+// benchmark covers: the deterministic scheduler, the goroutine runtime,
+// and the loopback TCP transport (every message through the wire codec).
+var crossSubstrateKinds = []RuntimeKind{RuntimeSim, RuntimeConcurrent, RuntimeNet}
 
 // BenchmarkCrossSubstratePublishThroughput measures end-to-end publish
-// dissemination on both substrates: b.N publications are issued into a
+// fan-out on all three substrates: b.N publications are issued into a
 // converged 16-node ring and the benchmark runs until every subscriber
 // holds every publication (flooding + anti-entropy). pubs/s is the
-// sustained system throughput.
+// sustained system throughput; allocs/op and B/op are the whole-system
+// allocation cost per publication, the series the zero-allocation hot
+// path is pinned against.
 func BenchmarkCrossSubstratePublishThroughput(b *testing.B) {
-	for _, kind := range []RuntimeKind{RuntimeSim, RuntimeConcurrent} {
+	for _, kind := range crossSubstrateKinds {
 		b.Run(string(kind), func(b *testing.B) {
 			s := NewSimulation(SimOptions{Runtime: kind, Seed: 11, Interval: time.Millisecond})
 			defer s.Close()
@@ -426,6 +433,7 @@ func BenchmarkCrossSubstratePublishThroughput(b *testing.B) {
 				b.Fatalf("setup: no convergence: %s", s.Explain(benchTopic))
 			}
 			members := s.Members(benchTopic)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.Publish(members[i%len(members)], benchTopic, fmt.Sprintf("p%d", i))
@@ -440,12 +448,54 @@ func BenchmarkCrossSubstratePublishThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkCrossSubstrateStabilization measures wall-time from a fresh
-// join burst to the unique legitimate SR(n) on both substrates (ns/op is
-// the stabilization time).
-func BenchmarkCrossSubstrateStabilization(b *testing.B) {
-	for _, kind := range []RuntimeKind{RuntimeSim, RuntimeConcurrent} {
+// BenchmarkHotPathPublishFanout isolates the publish fan-out hot path —
+// the O(log n) delivery layer of Section 4.3 — on all three substrates.
+// Anti-entropy is disabled so every measured allocation belongs to
+// publish → send → (encode → socket → decode →) deliver → forward, with
+// no wall-clock-dependent background reconciliation in the series. This
+// is the benchmark the zero-allocation acceptance gate pins: allocs/op
+// here is the whole-system allocation cost of delivering one publication
+// to all 16 subscribers.
+func BenchmarkHotPathPublishFanout(b *testing.B) {
+	for _, kind := range crossSubstrateKinds {
 		b.Run(string(kind), func(b *testing.B) {
+			s := NewSimulation(SimOptions{
+				Runtime: kind, Seed: 11, Interval: time.Millisecond,
+				DisableAntiEntropy: true,
+			})
+			defer s.Close()
+			const n = 16
+			s.AddSubscribers(n)
+			s.JoinAll(benchTopic)
+			if _, ok := s.RunUntilConverged(benchTopic, n, 5000); !ok {
+				b.Fatalf("setup: no convergence: %s", s.Explain(benchTopic))
+			}
+			members := s.Members(benchTopic)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Publish(members[i%len(members)], benchTopic, fmt.Sprintf("p%d", i))
+				// Drain in small batches so queues stay bounded and the
+				// flooding itself (not queue growth) dominates.
+				if (i+1)%32 == 0 || i == b.N-1 {
+					if _, ok := s.RunUntil(200000, func() bool {
+						return s.AllHavePubs(benchTopic, i+1)
+					}); !ok {
+						b.Fatalf("flood of publication %d never completed", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrossSubstrateStabilization measures wall-time from a fresh
+// join burst to the unique legitimate SR(n) on all three substrates
+// (ns/op is the stabilization time).
+func BenchmarkCrossSubstrateStabilization(b *testing.B) {
+	for _, kind := range crossSubstrateKinds {
+		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
 			const n = 24
 			for i := 0; i < b.N; i++ {
 				s := NewSimulation(SimOptions{Runtime: kind, Seed: int64(i)*31 + 7, Interval: time.Millisecond})

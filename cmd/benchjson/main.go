@@ -1,22 +1,39 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // artifact, so CI runs can accumulate a machine-readable performance
-// trajectory (BENCH_<sha>.json files) instead of throwaway logs.
+// trajectory (BENCH_<sha>.json files) instead of throwaway logs, and
+// compares two artifacts as a regression gate.
 //
 // Usage:
 //
-//	go test -bench . | go run ./cmd/benchjson -commit $SHA -o BENCH_$SHA.json
+//	go test -bench . -benchmem | go run ./cmd/benchjson -commit $SHA -o BENCH_$SHA.json
 //	go run ./cmd/benchjson -o out.json bench1.txt bench2.txt
+//	go run ./cmd/benchjson -compare BENCH_old.json -o out.json bench1.txt
+//	go run ./cmd/benchjson -compare BENCH_old.json BENCH_new.json
 //
 // Every benchmark result line of the form
 //
 //	BenchmarkName-8   1234   5678 ns/op   90 B/op   2 allocs/op   3.4 extra/metric
 //
 // becomes one JSON object with the benchmark name, iteration count and a
-// metrics map keyed by unit. Non-benchmark lines are ignored, so raw `go
-// test` output can be piped in unfiltered. When the same benchmark name
-// appears more than once (e.g. a 1x smoke pass and a dedicated
-// high-iteration pass of the same package), the last occurrence wins, so
-// feed inputs lowest-fidelity first.
+// metrics map keyed by unit (run benchmarks with -benchmem, or with
+// b.ReportAllocs() in the benchmark, so B/op and allocs/op are part of
+// every series). Non-benchmark lines are ignored, so raw `go test`
+// output can be piped in unfiltered. Inputs ending in .json are loaded
+// as previously written artifacts and merged, so two artifacts can be
+// compared directly. When the same benchmark name appears more than once
+// (e.g. a 1x smoke pass and a dedicated high-iteration pass of the same
+// package), the last occurrence wins, so feed inputs lowest-fidelity
+// first.
+//
+// With -compare OLD.json the assembled report is diffed against the
+// baseline artifact: a markdown delta table goes to stdout (ready for a
+// CI job summary), and the process exits with status 2 if any gated
+// series regressed by more than -threshold (default 0.15 = 15%). The
+// gate defaults to the allocation metrics (allocs/op, B/op), which are
+// stable across machines; pass -gate all to also gate wall-clock and
+// custom series, or -gate "ns/op,allocs/op" to pick your own. Series
+// whose unit ends in "/s" are rates (higher is better); every other
+// metric counts lower as better.
 package main
 
 import (
@@ -25,7 +42,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -47,25 +66,33 @@ type Report struct {
 
 func main() {
 	commit := flag.String("commit", "", "commit SHA to stamp into the artifact")
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "output file (default stdout; suppressed in -compare mode unless set)")
+	compareWith := flag.String("compare", "", "baseline artifact (.json) to diff against; exits 2 on regression")
+	threshold := flag.Float64("threshold", 0.15, "relative regression beyond which a gated series fails")
+	gate := flag.String("gate", "allocs/op,B/op", `comma-separated metric units to gate on, or "all"`)
 	flag.Parse()
 
 	rep := Report{Commit: *commit}
-	readers := []io.Reader{}
 	if flag.NArg() == 0 {
-		readers = append(readers, os.Stdin)
+		parse(os.Stdin, &rep)
 	}
 	for _, path := range flag.Args() {
+		if strings.HasSuffix(path, ".json") {
+			old, err := loadReport(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Results = append(rep.Results, old.Results...)
+			continue
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		readers = append(readers, f)
-	}
-	for _, r := range readers {
-		parse(r, &rep)
+		parse(f, &rep)
+		f.Close()
 	}
 	rep.Results = dedupeKeepLast(rep.Results)
 
@@ -75,15 +102,123 @@ func main() {
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	switch {
+	case *out != "":
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+	case *compareWith == "":
 		os.Stdout.Write(enc)
-		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+
+	if *compareWith != "" {
+		base, err := loadReport(*compareWith)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		regressions := compare(os.Stdout, base, rep, *threshold, *gate)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d series regressed beyond %.0f%%:\n", len(regressions), *threshold*100)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no gated series regressed beyond %.0f%%\n", *threshold*100)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// higherIsBetter classifies a metric's direction: throughput rates
+// (anything per second) improve upward, every other series — times,
+// bytes, allocations, rounds, hops, messages — improves downward.
+func higherIsBetter(unit string) bool { return strings.HasSuffix(unit, "/s") }
+
+// compare writes a markdown delta table for every series present in both
+// reports and returns a description of each gated series that regressed
+// beyond threshold. Series appearing in only one report are listed but
+// never gate (a renamed or new benchmark is not a regression).
+func compare(w io.Writer, old, cur Report, threshold float64, gate string) []string {
+	gateAll := gate == "all"
+	gated := map[string]bool{}
+	for _, u := range strings.Split(gate, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			gated[u] = true
+		}
+	}
+	oldBy := map[string]Result{}
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	var regressions, added []string
+	fmt.Fprintf(w, "| benchmark | metric | old | new | delta | |\n|---|---|---:|---:|---:|---|\n")
+	for _, nr := range cur.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			added = append(added, nr.Name)
+			continue
+		}
+		delete(oldBy, nr.Name)
+		units := make([]string, 0, len(nr.Metrics))
+		for u := range nr.Metrics {
+			if _, both := or.Metrics[u]; both {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			ov, nv := or.Metrics[u], nr.Metrics[u]
+			var delta float64
+			switch {
+			case ov == nv:
+				delta = 0
+			case ov == 0:
+				delta = math.Inf(1) // 0 → nonzero: treat as unbounded growth
+			default:
+				delta = nv/ov - 1
+			}
+			worse := delta > 0
+			if higherIsBetter(u) {
+				worse = delta < 0
+			}
+			mark := ""
+			if worse && math.Abs(delta) > threshold {
+				mark = "⚠"
+				if gateAll || gated[u] {
+					mark = "❌"
+					regressions = append(regressions,
+						fmt.Sprintf("%s %s: %.4g → %.4g (%+.1f%%)", nr.Name, u, ov, nv, delta*100))
+				}
+			}
+			fmt.Fprintf(w, "| %s | %s | %.4g | %.4g | %+.1f%% | %s |\n", nr.Name, u, ov, nv, delta*100, mark)
+		}
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "| %s | | | | | new |\n", name)
+	}
+	removed := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "| %s | | | | | removed |\n", name)
+	}
+	return regressions
 }
 
 // dedupeKeepLast collapses repeated benchmark names to their final

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(results ...Result) Report { return Report{Results: results} }
+
+func res(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Iterations: 1000, Metrics: metrics}
+}
+
+// TestParseRecordsAllocMetrics: a -benchmem result line yields B/op and
+// allocs/op series alongside ns/op and custom metrics.
+func TestParseRecordsAllocMetrics(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+BenchmarkHotPathPublishFanout/net-8   1000   249800 ns/op   19007 B/op   114 allocs/op   7.5 extra/metric
+some unrelated line
+`
+	var r Report
+	parse(strings.NewReader(text), &r)
+	if len(r.Results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(r.Results))
+	}
+	got := r.Results[0]
+	if got.Name != "BenchmarkHotPathPublishFanout/net-8" || got.Iterations != 1000 {
+		t.Fatalf("parsed %+v", got)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 249800, "B/op": 19007, "allocs/op": 114, "extra/metric": 7.5,
+	} {
+		if got.Metrics[unit] != want {
+			t.Errorf("metric %s = %v, want %v", unit, got.Metrics[unit], want)
+		}
+	}
+	if r.GoOS != "linux" || r.GoArch != "amd64" {
+		t.Errorf("platform = %s/%s", r.GoOS, r.GoArch)
+	}
+}
+
+// TestCompareGating pins the regression gate: only gated units fail,
+// direction respects rate units, and the threshold is relative.
+func TestCompareGating(t *testing.T) {
+	old := rep(
+		res("BenchA", map[string]float64{"allocs/op": 100, "ns/op": 1000, "pubs/s": 500}),
+		res("BenchGone", map[string]float64{"allocs/op": 1}),
+	)
+	cases := []struct {
+		name       string
+		cur        Report
+		gate       string
+		wantHits   int
+		wantSubstr string
+	}{
+		{"within threshold", rep(res("BenchA", map[string]float64{"allocs/op": 110})), "allocs/op", 0, ""},
+		{"alloc regression", rep(res("BenchA", map[string]float64{"allocs/op": 120})), "allocs/op", 1, "allocs/op"},
+		{"improvement never gates", rep(res("BenchA", map[string]float64{"allocs/op": 10})), "allocs/op", 0, ""},
+		{"ungated unit ignored", rep(res("BenchA", map[string]float64{"ns/op": 5000})), "allocs/op", 0, ""},
+		{"gate all", rep(res("BenchA", map[string]float64{"ns/op": 5000})), "all", 1, "ns/op"},
+		{"rate drop is a regression", rep(res("BenchA", map[string]float64{"pubs/s": 100})), "all", 1, "pubs/s"},
+		{"rate rise is fine", rep(res("BenchA", map[string]float64{"pubs/s": 900})), "all", 0, ""},
+		{"new series never gates", rep(res("BenchNew", map[string]float64{"allocs/op": 9999})), "all", 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			regs := compare(&sb, old, tc.cur, 0.15, tc.gate)
+			if len(regs) != tc.wantHits {
+				t.Fatalf("regressions = %v, want %d", regs, tc.wantHits)
+			}
+			if tc.wantHits > 0 && !strings.Contains(regs[0], tc.wantSubstr) {
+				t.Fatalf("regression %q does not mention %q", regs[0], tc.wantSubstr)
+			}
+			if !strings.Contains(sb.String(), "| benchmark |") {
+				t.Fatal("no markdown table emitted")
+			}
+			if !strings.Contains(sb.String(), "BenchGone") || !strings.Contains(sb.String(), "removed") {
+				t.Fatal("removed series not listed")
+			}
+		})
+	}
+}
+
+// TestCompareZeroBaseline: growing from a zero baseline counts as
+// unbounded regression rather than dividing by zero.
+func TestCompareZeroBaseline(t *testing.T) {
+	old := rep(res("BenchA", map[string]float64{"allocs/op": 0}))
+	var sb strings.Builder
+	regs := compare(&sb, old, rep(res("BenchA", map[string]float64{"allocs/op": 3})), 0.15, "allocs/op")
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want 1", regs)
+	}
+}

@@ -1,0 +1,50 @@
+package sspubsub
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestPublishFanoutAllocGuard enforces the zero-allocation hot-path
+// budget end to end on the deterministic substrate: one publication,
+// flooded to all 16 subscribers, must stay within a fixed allocation
+// budget. The pre-optimization cost of this exact loop was ~394
+// allocations; the measured cost after the hot-path work is ~44 (trie
+// leaf nodes, one boxed body per forwarding hop, and the convergence
+// predicate's bookkeeping). The budget of 80 leaves room for Go-version
+// drift while still failing loudly if a per-message allocation sneaks
+// back into the scheduler, codec or flooding layers.
+func TestPublishFanoutAllocGuard(t *testing.T) {
+	s := NewSimulation(SimOptions{Runtime: RuntimeSim, Seed: 11, Interval: time.Millisecond, DisableAntiEntropy: true})
+	defer s.Close()
+	const n = 16
+	s.AddSubscribers(n)
+	s.JoinAll(benchTopic)
+	if _, ok := s.RunUntilConverged(benchTopic, n, 5000); !ok {
+		t.Fatalf("setup: no convergence: %s", s.Explain(benchTopic))
+	}
+	members := s.Members(benchTopic)
+	seq := 0
+	// Publish in batches of 32 and drain once per batch, exactly like the
+	// pinned benchmark: draining after every single publication would
+	// charge each one several whole rounds of ring maintenance (every
+	// node's periodic Check/SetData traffic), swamping the fan-out cost
+	// under measurement.
+	const batch = 32
+	publishBatch := func() {
+		for i := 0; i < batch; i++ {
+			s.Publish(members[seq%len(members)], benchTopic, fmt.Sprintf("g%d", seq))
+			seq++
+		}
+		want := seq
+		if _, ok := s.RunUntil(5000, func() bool { return s.AllHavePubs(benchTopic, want) }); !ok {
+			t.Fatalf("flood of publication %d never completed", want)
+		}
+	}
+	publishBatch() // warm caches, heap capacity, accounting maps
+	avg := testing.AllocsPerRun(10, publishBatch) / batch
+	if avg > 80 {
+		t.Errorf("publish fan-out allocates %.1f objects per publication, budget 80", avg)
+	}
+}

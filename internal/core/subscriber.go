@@ -50,6 +50,18 @@ type Subscriber struct {
 	// shortcuts); the closure experiment asserts it stays constant.
 	version uint64
 
+	// ftCache / rnCache memoize FloodTargets and RingNeighbors, keyed by
+	// version (stored +1 so the zero value means "never built"). Both are
+	// on the publication fan-out path — FloodTargets used to rebuild a
+	// map, a sorted slice and a closure on every PublishNew hop — and in
+	// a converged overlay the neighbourhood is static, so the steady
+	// state is a version compare and a slice return with no allocations.
+	ftCache   []sim.NodeID
+	ftSlots   []label.Label // scratch for deterministic shortcut ordering
+	ftVersion uint64
+	rnCache   []proto.Tuple
+	rnVersion uint64
+
 	// DisableActionIV switches off the locally-minimal probe (ablation).
 	DisableActionIV bool
 	// ProbeProb overrides the action (ii) probability schedule 1/(2^k·k²);
@@ -122,41 +134,69 @@ func (s *Subscriber) Shortcuts() map[label.Label]sim.NodeID {
 }
 
 // RingNeighbors returns the non-⊥ direct ring neighbours (left, right,
-// ring), the peers the publication protocol gossips with.
+// ring), the peers the publication protocol gossips with. The returned
+// slice is a cache shared with later calls: it is valid until the next
+// state mutation and must not be modified or retained.
 func (s *Subscriber) RingNeighbors() []proto.Tuple {
-	var out []proto.Tuple
-	for _, t := range []proto.Tuple{s.left, s.right, s.ring} {
+	if s.rnVersion == s.version+1 {
+		return s.rnCache
+	}
+	out := s.rnCache[:0]
+	for _, t := range [3]proto.Tuple{s.left, s.right, s.ring} {
 		if !t.IsBottom() {
 			out = append(out, t)
 		}
 	}
+	s.rnCache, s.rnVersion = out, s.version+1
 	return out
 }
 
 // FloodTargets returns every known neighbour reference (ring plus resolved
 // shortcuts), deduplicated — the edge set ER ∪ ES used by PublishNew
-// flooding (Section 4.3).
+// flooding (Section 4.3). Like RingNeighbors, the returned slice is a
+// cache: valid until the next state mutation, not to be modified or
+// retained.
 func (s *Subscriber) FloodTargets() []sim.NodeID {
-	seen := map[sim.NodeID]bool{s.self: true}
-	var out []sim.NodeID
+	if s.ftVersion == s.version+1 {
+		return s.ftCache
+	}
+	out := s.ftCache[:0]
 	add := func(id sim.NodeID) {
-		if id != sim.None && !seen[id] {
-			seen[id] = true
-			out = append(out, id)
+		if id == sim.None || id == s.self {
+			return
 		}
+		for _, seen := range out { // the degree is O(log n); linear dedup beats a map
+			if seen == id {
+				return
+			}
+		}
+		out = append(out, id)
 	}
 	add(s.left.Ref)
 	add(s.right.Ref)
 	add(s.ring.Ref)
-	// Deterministic order over the map.
-	slots := make([]label.Label, 0, len(s.shortcuts))
+	// Deterministic order over the map: sort the slots by ring position,
+	// with the raw label breaking Frac ties so equal-position slots (which
+	// occur only in corrupted states) cannot reintroduce map-iteration
+	// nondeterminism.
+	slots := s.ftSlots[:0]
 	for l := range s.shortcuts {
 		slots = append(slots, l)
 	}
-	sort.Slice(slots, func(i, j int) bool { return slots[i].Frac() < slots[j].Frac() })
+	sort.Slice(slots, func(i, j int) bool {
+		if fi, fj := slots[i].Frac(), slots[j].Frac(); fi != fj {
+			return fi < fj
+		}
+		if slots[i].Bits != slots[j].Bits {
+			return slots[i].Bits < slots[j].Bits
+		}
+		return slots[i].Len < slots[j].Len
+	})
 	for _, l := range slots {
 		add(s.shortcuts[l])
 	}
+	s.ftSlots = slots
+	s.ftCache, s.ftVersion = out, s.version+1
 	return out
 }
 

@@ -66,8 +66,11 @@ func (e *Engine) Publish(ctx sim.Context, payload string) proto.Publication {
 	p := trie.NewPublication(e.cfg.KeyLen, e.cfg.Self, payload)
 	e.insert(p)
 	if !e.cfg.DisableFlooding {
+		// Box the body once: every flood target receives the same value,
+		// so the per-edge interface conversion would be pure allocation.
+		var body any = proto.PublishNew{Pub: p}
 		for _, id := range e.cfg.FloodTargets() {
-			ctx.Send(id, e.cfg.Topic, proto.PublishNew{Pub: p})
+			ctx.Send(id, e.cfg.Topic, body)
 		}
 	}
 	return p
@@ -121,9 +124,11 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) bool {
 		}
 	case proto.PublishNew:
 		if e.insert(b.Pub) && !e.cfg.DisableFlooding {
+			// Forward the received body as-is: m.Body is already boxed, so
+			// the whole fan-out costs zero allocations.
 			for _, id := range e.cfg.FloodTargets() {
 				if id != m.From {
-					ctx.Send(id, e.cfg.Topic, proto.PublishNew{Pub: b.Pub})
+					ctx.Send(id, e.cfg.Topic, m.Body)
 				}
 			}
 		}

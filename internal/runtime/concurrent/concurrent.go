@@ -238,7 +238,7 @@ func (r *Runtime) Send(m sim.Message) {
 	// the deterministic Scheduler (which also counts at send time and
 	// drops at delivery).
 	r.acctMu.Lock()
-	r.byType[fmt.Sprintf("%T", m.Body)]++
+	r.byType[sim.TypeName(m.Body)]++
 	r.sentBy[m.From]++
 	r.acctMu.Unlock()
 	if r.opts.Redirect != nil && r.opts.Redirect(m) {
@@ -448,9 +448,7 @@ func (n *node) loop() {
 			return
 		case m := <-n.mbox.ch:
 			n.deliver(ctx, m)
-			for _, om := range n.mbox.takeOverflow() {
-				n.deliver(ctx, om)
-			}
+			n.drainOverflow(ctx)
 		case <-timer.C:
 			// A crash may have raced the timer: never run a spontaneous
 			// action after Crash() returned (Section 3.3, "stops executing
@@ -463,9 +461,7 @@ func (n *node) loop() {
 			// Overflow can only be non-empty while the channel is (or was
 			// momentarily) full, but drain it here too so a tick never
 			// races a spilled message.
-			for _, om := range n.mbox.takeOverflow() {
-				n.deliver(ctx, om)
-			}
+			n.drainOverflow(ctx)
 			// busy is raised before paused is checked; with sequentially
 			// consistent atomics this closes the window in which Quiesce
 			// could observe an idle system while a tick slips through.
@@ -484,6 +480,21 @@ func (n *node) nextTick(interval time.Duration) time.Duration {
 	j := n.rt.opts.Jitter
 	scale := 1 + j*(2*n.rng.Float64()-1)
 	return time.Duration(float64(interval) * scale)
+}
+
+// drainOverflow delivers the messages that were spilled at the moment the
+// drain starts. Bounding the drain by the observed length (rather than
+// popping until empty) keeps a sustained overload from starving the
+// channel tier and the Timeout action, matching the snapshot semantics of
+// the slice-based queue this replaced.
+func (n *node) drainOverflow(ctx *nodeCtx) {
+	for left := n.mbox.overflowLen(); left > 0; left-- {
+		om, ok := n.mbox.popOverflow()
+		if !ok {
+			return
+		}
+		n.deliver(ctx, om)
+	}
 }
 
 func (n *node) deliver(ctx *nodeCtx, m sim.Message) {

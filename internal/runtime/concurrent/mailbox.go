@@ -6,6 +6,100 @@ import (
 	"sspubsub/internal/sim"
 )
 
+// segCap is the number of messages one pooled overflow segment holds. 64
+// envelopes ≈ 4KB per segment: large enough that a sustained burst costs
+// one pool round-trip per 64 spills, small enough that an idle pool holds
+// no meaningful memory.
+const segCap = 64
+
+// seg is one fixed-size chunk of an overflow queue. Segments are recycled
+// through segPool; every consumed slot is zeroed before the segment goes
+// back, so a pooled segment never retains message bodies.
+type seg struct {
+	buf  [segCap]sim.Message
+	next *seg
+}
+
+var segPool = sync.Pool{New: func() any { return new(seg) }}
+
+// overflowQueue is a FIFO of messages backed by a linked list of pooled
+// fixed-size segments. Unlike the append/re-slice queue it replaces, its
+// steady state allocates nothing: segments come from and return to
+// segPool, and a queue that drains hands all its memory back. Not
+// goroutine-safe; the owning mailbox's lock guards it.
+type overflowQueue struct {
+	head, tail *seg
+	hi, ti     int // head read index, tail write index
+	n          int
+}
+
+func (q *overflowQueue) len() int { return q.n }
+
+func (q *overflowQueue) push(m sim.Message) {
+	switch {
+	case q.tail == nil:
+		s := segPool.Get().(*seg)
+		q.head, q.tail = s, s
+		q.hi, q.ti = 0, 0
+	case q.ti == segCap:
+		s := segPool.Get().(*seg)
+		q.tail.next = s
+		q.tail = s
+		q.ti = 0
+	}
+	q.tail.buf[q.ti] = m
+	q.ti++
+	q.n++
+}
+
+func (q *overflowQueue) peek() (sim.Message, bool) {
+	if q.n == 0 {
+		return sim.Message{}, false
+	}
+	return q.head.buf[q.hi], true
+}
+
+func (q *overflowQueue) pop() (sim.Message, bool) {
+	if q.n == 0 {
+		return sim.Message{}, false
+	}
+	s := q.head
+	m := s.buf[q.hi]
+	s.buf[q.hi] = sim.Message{} // release the Body reference
+	q.hi++
+	q.n--
+	switch {
+	case q.hi == segCap:
+		q.head = s.next
+		s.next = nil
+		segPool.Put(s)
+		q.hi = 0
+		if q.head == nil {
+			q.tail, q.ti = nil, 0
+		}
+	case q.n == 0:
+		// Single partially consumed segment: all written slots have been
+		// popped (and zeroed), so recycle it rather than letting the
+		// read index creep toward a premature segment change.
+		q.head, q.tail = nil, nil
+		s.next = nil
+		segPool.Put(s)
+		q.hi, q.ti = 0, 0
+	}
+	return m, true
+}
+
+// reset discards all queued messages, returning how many there were and
+// every segment to the pool.
+func (q *overflowQueue) reset() int {
+	dropped := q.n
+	for {
+		if _, ok := q.pop(); !ok {
+			return dropped
+		}
+	}
+}
+
 // mailbox is the loss-free channel of one node: a buffered Go channel as
 // the fast path plus an unbounded overflow queue behind a mutex, so push
 // never blocks and never drops (the paper's channels "store any finite
@@ -21,7 +115,7 @@ type mailbox struct {
 	ch chan sim.Message
 
 	mu     sync.Mutex
-	over   []sim.Message
+	over   overflowQueue
 	closed bool
 }
 
@@ -37,25 +131,42 @@ func (b *mailbox) push(m sim.Message) bool {
 	if b.closed {
 		return false
 	}
-	b.over = append(b.over, m)
-	for len(b.over) > 0 {
+	if b.over.len() == 0 {
+		// Fast path: nothing spilled, so FIFO within the channel tier is
+		// preserved by sending directly.
 		select {
-		case b.ch <- b.over[0]:
-			b.over = b.over[1:]
+		case b.ch <- m:
+			return true
+		default:
+		}
+	}
+	b.over.push(m)
+	for {
+		front, ok := b.over.peek()
+		if !ok {
+			return true
+		}
+		select {
+		case b.ch <- front:
+			b.over.pop()
 		default:
 			return true
 		}
 	}
-	return true
 }
 
-// takeOverflow removes and returns all spilled messages.
-func (b *mailbox) takeOverflow() []sim.Message {
+// overflowLen returns the number of currently spilled messages.
+func (b *mailbox) overflowLen() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := b.over
-	b.over = nil
-	return out
+	return b.over.len()
+}
+
+// popOverflow removes and returns the oldest spilled message.
+func (b *mailbox) popOverflow() (sim.Message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.over.pop()
 }
 
 // close marks the mailbox closed, discards the overflow and returns how
@@ -64,7 +175,5 @@ func (b *mailbox) close() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.closed = true
-	nOver := len(b.over)
-	b.over = nil
-	return nOver
+	return b.over.reset()
 }

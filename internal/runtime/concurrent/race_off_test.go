@@ -1,0 +1,5 @@
+//go:build !race
+
+package concurrent
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package concurrent
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where sync.Pool deliberately drops items to widen race
+// coverage — the pooled segments then allocate by design, so the
+// exact-zero allocation guards do not apply.
+const raceEnabled = true

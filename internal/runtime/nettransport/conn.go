@@ -141,11 +141,16 @@ func (p *peer) run() {
 
 // readLoop dispatches frames until the connection fails. Garbage frames
 // are counted and skipped — the stream stays aligned; only framing-level
-// corruption or I/O failure ends the connection.
+// corruption or I/O failure ends the connection. One frame buffer is
+// reused for the whole life of the connection (decoded messages never
+// reference it), so the steady-state read path allocates only what the
+// decoded bodies themselves need.
 func (p *peer) readLoop(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
 	for {
-		m, err := wire.ReadFrame(br)
+		m, b, err := wire.ReadFrameBuf(br, buf)
+		buf = b
 		if err != nil {
 			if errors.Is(err, wire.ErrGarbage) {
 				p.t.garbage.Add(1)
@@ -154,31 +159,117 @@ func (p *peer) readLoop(conn net.Conn) {
 			}
 			return
 		}
+		if batch, ok := m.Body.(wire.Batch); ok {
+			for _, im := range batch.Msgs {
+				p.t.dispatch(im, p)
+			}
+			continue
+		}
 		p.t.dispatch(m, p)
 	}
 }
 
-// writeLoop drains the frame queue into the connection, coalescing every
-// frame queued within one FlushEvery window into a single flush.
+// maxBatch bounds the messages per Batch frame. 64 messages keeps a
+// typical batch far below wire.MaxFrame while still amortizing the frame
+// header and the encode/dispatch bookkeeping across a whole coalescing
+// window.
+const maxBatch = 64
+
+// writeLoop drains the frame queue into the connection, gathering every
+// message queued within one coalescing window into Batch frames of up to
+// maxBatch messages, and flushing the socket once per FlushEvery window.
+// Frames are encoded into a scratch buffer reused across the connection's
+// lifetime, so the steady-state write path performs no allocations.
 func (p *peer) writeLoop(conn net.Conn, dead chan struct{}) {
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	flush := time.NewTicker(p.t.opts.FlushEvery)
 	defer flush.Stop()
 	dirty := false
-	write := func(m sim.Message) bool {
-		if err := wire.WriteFrame(bw, m); err != nil {
-			// Whatever the cause — unencodable body, oversize frame, or an
-			// I/O failure killing the stream — the frame in hand will never
-			// arrive; release its in-flight hold so Quiesce cannot wedge.
+	scratch := make([]byte, 0, 4096)
+	batch := make([]sim.Message, 0, maxBatch)
+
+	// writeOne emits a single-message frame. It reports false only on an
+	// I/O failure; an unencodable or oversize message is shed as counted
+	// loss and the stream continues.
+	writeOne := func(m sim.Message) bool {
+		var err error
+		scratch, err = wire.AppendFrame(scratch[:0], m)
+		if err != nil {
 			p.frameLost()
-			if errors.Is(err, wire.ErrFrameTooLarge) || isMarshalErr(err) {
-				return true // only this frame is bad; the stream is fine
-			}
+			return true // only this message is bad; the stream is fine
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			p.frameLost()
 			return false // I/O failure: let the reader's error path reconnect
 		}
 		dirty = true
 		return true
 	}
+
+	// keepScratch caps the frame buffer capacity retained across flushes:
+	// an occasional giant batch (up to maxBatch members of up to
+	// wire.MaxFrame each) may balloon scratch transiently, but must not
+	// pin that memory for the connection's lifetime.
+	const keepScratch = 1 << 20
+
+	// flushBatch emits the gathered messages: a plain frame for a single
+	// message, one Batch frame otherwise. A batch that cannot be encoded
+	// as one frame (oversize) falls back to per-message frames so one
+	// bad member costs only itself. Resets batch in all paths; every
+	// gathered message ends in exactly one of delivered-to-bw or
+	// frameLost, so loopback in-flight holds cannot leak.
+	flushBatch := func() bool {
+		defer func() {
+			for i := range batch {
+				batch[i] = sim.Message{} // release Body references
+			}
+			batch = batch[:0]
+			if cap(scratch) > keepScratch {
+				scratch = make([]byte, 0, 4096)
+			}
+		}()
+		switch len(batch) {
+		case 0:
+			return true
+		case 1:
+			return writeOne(batch[0])
+		}
+		var err error
+		scratch, err = wire.AppendFrame(scratch[:0], sim.Message{Body: wire.Batch{Msgs: batch}})
+		if err != nil {
+			for i, m := range batch {
+				if !writeOne(m) {
+					// I/O failure mid-fallback: the rest of the batch is
+					// already dequeued and will never be written.
+					for range batch[i+1:] {
+						p.frameLost()
+					}
+					return false
+				}
+			}
+			return true
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			for range batch {
+				p.frameLost()
+			}
+			return false
+		}
+		dirty = true
+		return true
+	}
+
+	// gather appends m to the current batch, shedding messages the codec
+	// cannot carry (as counted loss) before they can poison a whole
+	// batch's encode.
+	gather := func(m sim.Message) {
+		if !wire.Encodable(m.Body) {
+			p.frameLost()
+			return
+		}
+		batch = append(batch, m)
+	}
+
 	for {
 		select {
 		case <-p.stop:
@@ -187,21 +278,28 @@ func (p *peer) writeLoop(conn net.Conn, dead chan struct{}) {
 		case <-dead:
 			return
 		case m := <-p.q:
-			if !write(m) {
-				conn.Close()
-				return
-			}
-			// Coalesce the burst that is already queued.
-			for burst := true; burst; {
-				select {
-				case m2 := <-p.q:
-					if !write(m2) {
-						conn.Close()
-						return
+			for {
+				gather(m)
+				for more := true; more && len(batch) < maxBatch; {
+					select {
+					case m2 := <-p.q:
+						gather(m2)
+					default:
+						more = false
 					}
-				default:
-					burst = false
 				}
+				if !flushBatch() {
+					conn.Close()
+					return
+				}
+				// A burst larger than one batch: keep chunking while the
+				// queue stays non-empty.
+				select {
+				case m = <-p.q:
+					continue
+				default:
+				}
+				break
 			}
 		case <-flush.C:
 			if dirty {
@@ -213,13 +311,6 @@ func (p *peer) writeLoop(conn net.Conn, dead chan struct{}) {
 			}
 		}
 	}
-}
-
-// isMarshalErr reports whether the WriteFrame failure happened before any
-// bytes hit the socket (an unencodable body), as opposed to an I/O error.
-func isMarshalErr(err error) bool {
-	var ne net.Error
-	return !errors.As(err, &ne) && !errors.Is(err, net.ErrClosed)
 }
 
 // frameLost records one frame that will never arrive, releasing its

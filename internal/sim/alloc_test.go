@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+type nopHandler struct{}
+
+func (nopHandler) OnMessage(Context, Message) {}
+func (nopHandler) OnTimeout(Context)          {}
+
+// testBody is deliberately NOT in the wire registry: it exercises the
+// lazily-cached branch of TypeName.
+type testBody struct{ X int }
+
+// TestSchedulerHotPathAllocFree pins the scheduler's per-message cost at
+// zero allocations: with the body pre-boxed and the event heap warm,
+// Send + Step (schedule, deliver, account) must not touch the allocator.
+// This is the deterministic substrate's share of the zero-allocation
+// hot-path contract.
+func TestSchedulerHotPathAllocFree(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 1})
+	s.AddNode(1, nopHandler{})
+	s.AddNode(2, nopHandler{})
+	var body any = testBody{X: 7}
+	m := Message{To: 2, From: 1, Topic: 1, Body: body}
+	// Warm: grow the event heap and the accounting maps, cache the type
+	// name, and run a few timeout cycles.
+	for i := 0; i < 256; i++ {
+		s.Send(m)
+	}
+	s.RunRounds(3)
+	avg := testing.AllocsPerRun(500, func() {
+		s.Send(m)
+		for s.InFlight() > 0 {
+			s.Step()
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Send+Step allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestTypeNameMatchesReflection: TypeName must render exactly what
+// fmt.Sprintf("%T", …) renders, for registered and unregistered types,
+// pointers, and nil.
+func TestTypeNameMatchesReflection(t *testing.T) {
+	for _, body := range []any{testBody{}, &testBody{}, nil, "str", 42} {
+		want := fmt.Sprintf("%T", body)
+		if got := TypeName(body); got != want {
+			t.Errorf("TypeName(%v) = %q, want %q", body, got, want)
+		}
+		// Second call exercises the cached branch.
+		if got := TypeName(body); got != want {
+			t.Errorf("cached TypeName(%v) = %q, want %q", body, got, want)
+		}
+	}
+}
+
+// TestCountByTypeAndTypeNames pins the accounting semantics across the
+// type-tag refactor: counts key on the %T rendering of the body's
+// concrete type, count at send time (even if delivery later drops), and
+// TypeNames returns every name seen, sorted.
+func TestCountByTypeAndTypeNames(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 2})
+	s.AddNode(1, nopHandler{})
+	send := func(body any, times int) {
+		for i := 0; i < times; i++ {
+			s.Send(Message{To: 1, From: 1, Topic: 1, Body: body})
+		}
+	}
+	send(testBody{}, 3)
+	send(&testBody{}, 2)
+	send("corrupted-string-body", 1)
+	s.Send(Message{To: 99, From: 1, Topic: 1, Body: testBody{}}) // dropped at delivery, still counted
+	s.RunRounds(2)
+
+	for name, want := range map[string]int64{
+		"sim.testBody":  4,
+		"*sim.testBody": 2,
+		"string":        1,
+		"sim.neverSeen": 0,
+	} {
+		if got := s.CountByType(name); got != want {
+			t.Errorf("CountByType(%q) = %d, want %d", name, got, want)
+		}
+	}
+
+	names := s.TypeNames()
+	want := []string{"*sim.testBody", "sim.testBody", "string"}
+	if len(names) != len(want) {
+		t.Fatalf("TypeNames = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("TypeNames = %v, want %v (sorted)", names, want)
+		}
+	}
+
+	s.ResetCounters()
+	if got := s.CountByType("sim.testBody"); got != 0 {
+		t.Errorf("after ResetCounters, CountByType = %d, want 0", got)
+	}
+	if got := s.TypeNames(); len(got) != 0 {
+		t.Errorf("after ResetCounters, TypeNames = %v, want empty", got)
+	}
+}

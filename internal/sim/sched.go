@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -43,6 +42,12 @@ type Scheduler struct {
 
 	inFlight int // message events currently queued
 
+	// ctx is the single Context handed to every handler invocation; only
+	// its node binding changes per event. Handlers must not retain it
+	// beyond the call (the Context contract), so reusing one value keeps
+	// the delivery path free of per-event allocations.
+	ctx schedCtx
+
 	// accounting
 	delivered  int64
 	dropped    int64
@@ -73,19 +78,62 @@ type event struct {
 	node NodeID
 }
 
+func (e event) before(o event) bool {
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a binary min-heap laid out directly in a slice. It
+// deliberately does not implement container/heap: that interface forces
+// every Push and Pop through an `any` conversion, which boxes the event
+// struct on the heap once per scheduled message. Operating on the slice
+// in place keeps entries pooled in the slice's capacity, so the
+// steady-state schedule/deliver cycle performs no allocations at all.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any         { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 func (h eventHeap) peekTime() float64 { return h[0].t }
+
+func (h *eventHeap) pushEvent(e event) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].before(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *eventHeap) popEvent() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the Body reference held in the vacated slot
+	s = s[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s[c+1].before(s[c]) {
+			c++
+		}
+		if !s[c].before(s[i]) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	*h = s
+	return top
+}
 
 // NewScheduler creates an empty deterministic simulation.
 func NewScheduler(opts SchedulerOptions) *Scheduler {
@@ -163,7 +211,7 @@ func (s *Scheduler) Now() float64 { return s.now }
 func (s *Scheduler) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.pushEvent(e)
 }
 
 // Send queues a message with a random delay. It is also usable directly by
@@ -174,7 +222,7 @@ func (s *Scheduler) Send(m Message) {
 		return
 	}
 	s.sentBy[m.From]++
-	s.byType[fmt.Sprintf("%T", m.Body)]++
+	s.byType[TypeName(m.Body)]++
 	delay := s.opts.MinDelay + s.rng.Float64()*(s.opts.MaxDelay-s.opts.MinDelay)
 	s.inFlight++
 	s.push(event{t: s.now + delay, kind: evDeliver, msg: m})
@@ -191,10 +239,10 @@ func (s *Scheduler) InjectAt(t float64, m Message) {
 // Step executes the next event. It returns false when no events remain
 // (which cannot happen while any node is registered, since timeouts renew).
 func (s *Scheduler) Step() bool {
-	if s.events.Len() == 0 {
+	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
+	e := s.events.popEvent()
 	if e.t > s.now {
 		s.now = e.t
 	}
@@ -211,7 +259,8 @@ func (s *Scheduler) Step() bool {
 		if s.opts.Trace != nil {
 			s.opts.Trace("%.3f deliver %s", s.now, e.msg)
 		}
-		n.h.OnMessage(&schedCtx{s: s, id: e.msg.To}, e.msg)
+		s.ctx = schedCtx{s: s, id: e.msg.To}
+		n.h.OnMessage(&s.ctx, e.msg)
 	case evTimeout:
 		n, ok := s.nodes[e.node]
 		if !ok {
@@ -220,7 +269,8 @@ func (s *Scheduler) Step() bool {
 		if s.opts.Trace != nil {
 			s.opts.Trace("%.3f timeout %d", s.now, e.node)
 		}
-		n.h.OnTimeout(&schedCtx{s: s, id: e.node})
+		s.ctx = schedCtx{s: s, id: e.node}
+		n.h.OnTimeout(&s.ctx)
 		n.next += 1
 		s.push(event{t: n.next, kind: evTimeout, node: e.node})
 	}
@@ -229,7 +279,7 @@ func (s *Scheduler) Step() bool {
 
 // RunUntil advances virtual time to t (exclusive of later events).
 func (s *Scheduler) RunUntil(t float64) {
-	for s.events.Len() > 0 && s.events.peekTime() <= t {
+	for len(s.events) > 0 && s.events.peekTime() <= t {
 		s.Step()
 	}
 	if s.now < t {

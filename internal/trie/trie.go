@@ -24,7 +24,13 @@ type Node struct {
 	Child [2]*Node
 	// Pub is the stored publication (leaves only).
 	Pub proto.Publication
+	// leaves counts the publications stored in this subtree, so prefix
+	// collection can size its result exactly instead of growing it.
+	leaves int
 }
+
+// Leaves returns the number of publications stored under n.
+func (n *Node) Leaves() int { return n.leaves }
 
 // IsLeaf reports whether n stores a publication.
 func (n *Node) IsLeaf() bool { return n.Child[0] == nil }
@@ -103,13 +109,15 @@ func (t *Trie) Insert(p proto.Publication) bool {
 		panic(fmt.Sprintf("trie: key width %d, trie width %d", p.Key.Len, t.keyLen))
 	}
 	if t.root == nil {
-		t.root = &Node{Label: p.Key, Pub: p}
+		t.root = &Node{Label: p.Key, Pub: p, leaves: 1}
 		t.root.rehash()
 		t.size++
 		return true
 	}
-	// Walk down, remembering the path for rehash.
-	path := make([]*Node, 0, 16)
+	// Walk down, remembering the path for rehash. Keys are at most 64 bits
+	// wide, so the path fits a fixed stack buffer — no per-insert slice.
+	var pathBuf [64]*Node
+	path := pathBuf[:0]
 	cur := t.root
 	var parent *Node
 	var parentIdx uint8
@@ -126,10 +134,14 @@ func (t *Trie) Insert(p proto.Publication) bool {
 			continue
 		}
 		// Diverged inside cur.Label: split with a new inner node labelled
-		// with the common prefix.
-		leaf := &Node{Label: p.Key, Pub: p}
+		// with the common prefix. The two nodes are born and die together,
+		// so one allocation carries both.
+		pair := &[2]Node{
+			{Label: p.Key, Pub: p, leaves: 1},
+			{Label: lcp, leaves: cur.leaves + 1},
+		}
+		leaf, inner := &pair[0], &pair[1]
 		leaf.rehash()
-		inner := &Node{Label: lcp}
 		inner.Child[KeyBit(p.Key, lcp.Len)] = leaf
 		inner.Child[KeyBit(cur.Label, lcp.Len)] = cur
 		inner.rehash()
@@ -140,6 +152,7 @@ func (t *Trie) Insert(p proto.Publication) bool {
 		}
 		for i := len(path) - 1; i >= 0; i-- {
 			path[i].rehash()
+			path[i].leaves++
 		}
 		t.size++
 		return true
@@ -197,13 +210,13 @@ func (t *Trie) FindAtOrBelow(l Key) *Node {
 }
 
 // CollectPrefix returns all stored publications whose key starts with l,
-// in key order.
+// in key order. The result is sized exactly from the subtree's leaf count.
 func (t *Trie) CollectPrefix(l Key) []proto.Publication {
 	n := t.FindAtOrBelow(l)
 	if n == nil {
 		return nil
 	}
-	var out []proto.Publication
+	out := make([]proto.Publication, 0, n.leaves)
 	n.walk(func(leaf *Node) { out = append(out, leaf.Pub) })
 	return out
 }
@@ -262,10 +275,17 @@ func (t *Trie) CheckInvariants() string {
 			if n.Hash != leafHash(n.Label) {
 				return "stale leaf hash"
 			}
+			if n.leaves != 1 {
+				return fmt.Sprintf("leaf %s has leaf count %d", KeyString(n.Label), n.leaves)
+			}
 			return ""
 		}
 		if n.Child[1] == nil {
 			return "inner node with one child"
+		}
+		if n.leaves != n.Child[0].leaves+n.Child[1].leaves {
+			return fmt.Sprintf("inner %s leaf count %d ≠ %d + %d", KeyString(n.Label),
+				n.leaves, n.Child[0].leaves, n.Child[1].leaves)
 		}
 		for b := 0; b < 2; b++ {
 			c := n.Child[b]

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+)
+
+// These guards pin the zero-allocation contract of the codec hot path.
+// They are deliberately strict: a regression that re-introduces a
+// per-frame allocation (an escaping cursor, a lost buffer reuse) fails
+// here immediately instead of eroding the benchmark trajectory silently.
+
+func allocCheckMsg() sim.Message {
+	return sim.Message{To: 5, From: 9, Topic: 1, Body: proto.Check{
+		Sender:    proto.Tuple{L: label.MustParse("011"), Ref: 9},
+		YourLabel: label.MustParse("01"),
+		Flag:      proto.CYC,
+	}}
+}
+
+// TestAppendFrameAllocFree: encoding into a buffer with capacity performs
+// no allocations at all, for both a fixed-size body and one with slices.
+func TestAppendFrameAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	msgs := []sim.Message{
+		allocCheckMsg(),
+		{To: 9, From: 1, Topic: 1, Body: proto.CheckTrie{Sender: 4, Nodes: []proto.NodeSummary{
+			{Label: proto.Key{Bits: 0b101, Len: 3}, Hash: [16]byte{1, 2, 3}},
+		}}},
+	}
+	for _, m := range msgs {
+		buf, err := Marshal(m) // warm: size the buffer, fault in the pools
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			var err error
+			buf, err = AppendFrame(buf[:0], m)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("AppendFrame(%T) allocates %.2f objects/op, want 0", m.Body, avg)
+		}
+	}
+}
+
+// TestWriteFrameAllocFree: the compatibility wrapper recycles its frame
+// buffer through the pool, so the steady state allocates nothing.
+func TestWriteFrameAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	m := allocCheckMsg()
+	if err := WriteFrame(io.Discard, m); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := WriteFrame(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("WriteFrame allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestReadFrameBufAllocs: with a reused frame buffer, decoding a
+// fixed-size body costs exactly the one unavoidable allocation — boxing
+// the decoded body into the message's `any` field.
+func TestReadFrameBufAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	frame, err := Marshal(allocCheckMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(frame)
+	var buf []byte
+	if _, buf, err = ReadFrameBuf(r, buf); err != nil { // warm: grow buf, fault in pools
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		m, b, err := ReadFrameBuf(r, buf)
+		buf = b
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.Body.(proto.Check); !ok {
+			t.Fatalf("decoded %T", m.Body)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("ReadFrameBuf(Check) allocates %.2f objects/op, want ≤ 1 (body boxing)", avg)
+	}
+}
+
+// TestRegistryNamesMatchReflection: the registry's canonical names seed
+// the shared accounting name table (sim.TypeName), so each must equal the
+// %T rendering it replaces — otherwise CountByType keys would silently
+// change meaning. Compared against a fresh Sprintf, not TypeName, since
+// the latter would just echo the seeded value back.
+func TestRegistryNamesMatchReflection(t *testing.T) {
+	for tag, ent := range registry {
+		if want := fmt.Sprintf("%T", ent.zero); ent.name != want {
+			t.Errorf("tag %d: registry name %q, %%T renders %q", tag, ent.name, want)
+		}
+		if got := sim.TypeName(ent.zero); got != ent.name {
+			t.Errorf("tag %d: TypeName %q diverges from registry name %q", tag, got, ent.name)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where sync.Pool deliberately drops items to widen race
+// coverage — the pooled paths then allocate by design, so the
+// exact-zero allocation guards do not apply.
+const raceEnabled = true

@@ -44,6 +44,8 @@ const (
 	// Transport control (package nettransport): connection handshake.
 	tagHello   = 32
 	tagWelcome = 33
+	// Transport batching: one frame carrying many messages.
+	tagBatch = 34
 )
 
 // Hello is the first frame on a dialed connection: the joiner asks the hub
@@ -60,6 +62,32 @@ type Welcome struct {
 	Base  sim.NodeID
 	Slots uint32
 }
+
+// Batch is the multi-message envelope the networked transport uses to
+// carry one coalesced flush window as a single frame: one length prefix,
+// one header, then every message's own (To, From, Topic, tag, body)
+// encoding back to back. Batches do not nest — a Batch body inside a
+// Batch is rejected on both encode and decode — and a batch with any
+// undecodable member is garbage as a whole (its messages become counted
+// message loss, like any other garbage frame).
+type Batch struct {
+	Msgs []sim.Message
+}
+
+// checkBatchable reports why a body may not ride inside a Batch: it must
+// be a registered type and must not itself be a Batch.
+func checkBatchable(body any) error {
+	if _, isBatch := body.(Batch); isBatch {
+		return fmt.Errorf("wire: batch inside batch")
+	}
+	_, _, err := lookupBody(body)
+	return err
+}
+
+// Encodable reports whether a message with this body can be encoded as a
+// frame of its own and inside a Batch. The transport uses it to shed
+// unencodable messages (as counted loss) before building a batch.
+func Encodable(body any) bool { return checkBatchable(body) == nil }
 
 // entry is one registered message type. dec returns the zero body on
 // failure; the latched dec.err carries the diagnosis.
@@ -144,6 +172,9 @@ var registry = map[uint64]entry{
 		func(d *dec) any {
 			n := d.sliceLen(3) // key ≥ 2 bytes, origin ≥ 1, payload len ≥ 1 — conservative floor
 			var pubs []proto.Publication
+			if n > 0 {
+				pubs = make([]proto.Publication, 0, n)
+			}
 			for i := 0; i < n && d.err == nil; i++ {
 				pubs = append(pubs, d.publication())
 			}
@@ -172,6 +203,9 @@ var registry = map[uint64]entry{
 				Prev: d.tuple(), First: d.tuple(),
 			}
 			n := d.sliceLen(3) // tuple: label ≥ 2 bytes + ref ≥ 1
+			if n > 0 {
+				m.Pending = make([]proto.Tuple, 0, n)
+			}
 			for i := 0; i < n && d.err == nil; i++ {
 				m.Pending = append(m.Pending, d.tuple())
 			}
@@ -224,18 +258,48 @@ var registry = map[uint64]entry{
 		func(d *dec) any { return Welcome{Base: d.node(), Slots: d.u32()} }},
 }
 
-// tagOf maps a body's concrete type to its tag, built once from registry.
-var tagOf = func() map[reflect.Type]uint64 {
-	m := make(map[reflect.Type]uint64, len(registry))
+// tagOf maps a body's concrete type to its tag; init builds it once the
+// registry is complete.
+var tagOf map[reflect.Type]uint64
+
+// init completes the registry with the Batch entry (whose encoding
+// recurses through lookupBody, so defining it inside the registry literal
+// would be an initialization cycle), builds the type→tag table, and
+// mirrors the canonical type names into the accounting name cache
+// (sim.TypeName) so the scheduler's and runtimes' CountByType keys come
+// from this table instead of a per-send fmt.Sprintf. A registry test
+// asserts every name equals the %T rendering it replaces.
+func init() {
+	registry[tagBatch] = entry{"wire.Batch", Batch{},
+		func(e *enc, b any) {
+			m := b.(Batch)
+			e.uvarint(uint64(len(m.Msgs)))
+			for _, im := range m.Msgs {
+				e.message(im)
+			}
+		},
+		func(d *dec) any {
+			// Cheapest possible member: three 1-byte svarints + 1-byte tag.
+			n := d.sliceLen(4)
+			var msgs []sim.Message
+			if n > 0 {
+				msgs = make([]sim.Message, 0, n)
+			}
+			for i := 0; i < n && d.err == nil; i++ {
+				msgs = append(msgs, d.message())
+			}
+			return Batch{Msgs: msgs}
+		}}
+	tagOf = make(map[reflect.Type]uint64, len(registry))
 	for tag, ent := range registry {
 		t := reflect.TypeOf(ent.zero)
-		if _, dup := m[t]; dup {
+		if _, dup := tagOf[t]; dup {
 			panic(fmt.Sprintf("wire: type %v registered twice", t))
 		}
-		m[t] = tag
+		tagOf[t] = tag
+		sim.RegisterTypeName(ent.zero, ent.name)
 	}
-	return m
-}()
+}
 
 func lookupBody(body any) (uint64, entry, error) {
 	if body == nil {
@@ -324,6 +388,52 @@ func (d *dec) publication() proto.Publication {
 	return proto.Publication{Key: d.key(), Origin: d.node(), Payload: d.str()}
 }
 
+// message encodes one Batch member: the sim.Message envelope followed by
+// its tagged body, exactly as in a standalone frame but without the
+// length prefix and header. AppendFrame pre-validates every member with
+// checkBatchable, so the lookups here cannot fail.
+func (e *enc) message(m sim.Message) {
+	tag, ent, err := lookupBody(m.Body)
+	if err != nil || tag == tagBatch {
+		// Unreachable by construction; panicking here would turn an
+		// internal invariant slip into a transport crash, so encode the
+		// member as a GetConfiguration to ⊥ instead — the receiver drops
+		// sends to ⊥, making it plain message loss.
+		m = sim.Message{Body: proto.GetConfiguration{}}
+		tag, ent, _ = lookupBody(m.Body)
+	}
+	e.svarint(int64(m.To))
+	e.svarint(int64(m.From))
+	e.svarint(int64(m.Topic))
+	e.uvarint(tag)
+	ent.enc(e, m.Body)
+}
+
+// message decodes one Batch member. A nested batch or unknown tag fails
+// the whole frame: the stream is still aligned (the outer length prefix
+// delimits it), so the damage is bounded to this batch.
+func (d *dec) message() sim.Message {
+	var m sim.Message
+	m.To = sim.NodeID(d.svarint())
+	m.From = sim.NodeID(d.svarint())
+	m.Topic = sim.Topic(d.svarint())
+	tag := d.uvarint()
+	if d.err != nil {
+		return sim.Message{}
+	}
+	if tag == tagBatch {
+		d.fail("nested batch")
+		return sim.Message{}
+	}
+	ent, ok := registry[tag]
+	if !ok {
+		d.fail("unknown type tag %d in batch", tag)
+		return sim.Message{}
+	}
+	m.Body = ent.dec(d)
+	return m
+}
+
 func (e *enc) summaries(ns []proto.NodeSummary) {
 	e.uvarint(uint64(len(ns)))
 	for _, n := range ns {
@@ -335,11 +445,12 @@ func (e *enc) summaries(ns []proto.NodeSummary) {
 func (d *dec) summaries() []proto.NodeSummary {
 	n := d.sliceLen(2 + 16) // key ≥ 2 bytes + 16-byte hash
 	var out []proto.NodeSummary
+	if n > 0 {
+		out = make([]proto.NodeSummary, 0, n)
+	}
 	for i := 0; i < n && d.err == nil; i++ {
 		s := proto.NodeSummary{Label: d.key()}
-		for j := range s.Hash {
-			s.Hash[j] = d.u8()
-		}
+		d.bytes(s.Hash[:])
 		out = append(out, s)
 	}
 	return out

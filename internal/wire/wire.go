@@ -28,6 +28,14 @@
 // Decoding is canonicalizing: for any bytes b that Unmarshal accepts,
 // Marshal(Unmarshal(b)) re-encodes to a frame that decodes to the same
 // message. Empty slices decode as nil (the canonical form).
+//
+// The codec is built for an allocation-free steady state: AppendFrame
+// encodes into a caller-held buffer (and WriteFrame into a pooled one),
+// ReadFrameBuf reuses one frame buffer per connection, and the encoder/
+// decoder cursors are recycled through sync.Pools. The Batch envelope
+// (tag 34) lets a transport carry a whole coalescing window of messages
+// in one frame; see the type's documentation for its layout and
+// garbage semantics.
 package wire
 
 import (
@@ -35,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"sspubsub/internal/sim"
 )
@@ -61,31 +70,57 @@ var ErrGarbage = errors.New("wire: garbage frame")
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
 
 // Marshal encodes m as one complete frame, length prefix included.
-// It fails only when the body type is not registered.
+// It fails only when the body type is not registered. It allocates a
+// fresh slice per call; hot paths should hold a buffer and use
+// AppendFrame, or let WriteFrame recycle one from the frame pool.
 func Marshal(m sim.Message) ([]byte, error) { return AppendFrame(nil, m) }
 
+// encPool recycles the encoder cursors AppendFrame threads through the
+// per-type encoding funcs. The cursor escapes into those (dynamically
+// dispatched) calls, so without the pool every frame encoded would heap-
+// allocate one.
+var encPool = sync.Pool{New: func() any { return new(enc) }}
+
+// decPool is encPool's decode-side twin.
+var decPool = sync.Pool{New: func() any { return new(dec) }}
+
 // AppendFrame appends the frame encoding of m to dst and returns the
-// extended slice.
+// extended slice. When dst has sufficient capacity, the call performs no
+// allocations.
 func AppendFrame(dst []byte, m sim.Message) ([]byte, error) {
 	tag, ent, err := lookupBody(m.Body)
 	if err != nil {
 		return dst, err
 	}
+	if b, ok := m.Body.(Batch); ok {
+		// Validate every nested body up front: the per-type encoding funcs
+		// cannot fail mid-frame, so a batch with an unencodable or nested-
+		// batch member must be rejected before any byte is written.
+		for _, bm := range b.Msgs {
+			if err := checkBatchable(bm.Body); err != nil {
+				return dst, err
+			}
+		}
+	}
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
-	e := &enc{b: dst}
+	e := encPool.Get().(*enc)
+	e.b = dst
 	e.raw(magic0, magic1, Version)
 	e.svarint(int64(m.To))
 	e.svarint(int64(m.From))
 	e.svarint(int64(m.Topic))
 	e.uvarint(tag)
 	ent.enc(e, m.Body)
-	payload := len(e.b) - start - 4
+	out := e.b
+	e.b = nil
+	encPool.Put(e)
+	payload := len(out) - start - 4
 	if payload > MaxFrame {
-		return dst[:start], fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, payload)
+		return out[:start], fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, payload)
 	}
-	binary.BigEndian.PutUint32(e.b[start:], uint32(payload))
-	return e.b, nil
+	binary.BigEndian.PutUint32(out[start:], uint32(payload))
+	return out, nil
 }
 
 // Unmarshal decodes one complete frame (length prefix included). The
@@ -115,7 +150,12 @@ func decodePayload(p []byte) (sim.Message, error) {
 	if p[2] != Version {
 		return sim.Message{}, fmt.Errorf("%w: unsupported version %d", ErrGarbage, p[2])
 	}
-	d := &dec{b: p[3:]}
+	d := decPool.Get().(*dec)
+	*d = dec{b: p[3:]}
+	defer func() {
+		*d = dec{}
+		decPool.Put(d)
+	}()
 	var m sim.Message
 	m.To = sim.NodeID(d.svarint())
 	m.From = sim.NodeID(d.svarint())
@@ -138,13 +178,31 @@ func decodePayload(p []byte) (sim.Message, error) {
 	return m, nil
 }
 
-// WriteFrame writes m to w as one frame.
+// framePool recycles whole-frame scratch buffers for the convenience
+// wrappers (WriteFrame). Buffers that ballooned past keepFrame bytes are
+// dropped rather than pooled, so one oversized frame does not pin a
+// megabyte per P forever.
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+type frameBuf struct{ b []byte }
+
+const keepFrame = 64 << 10
+
+// WriteFrame writes m to w as one frame. It encodes into a pooled scratch
+// buffer, so the steady-state call allocates nothing beyond what the body
+// encoding itself requires (which is nothing).
 func WriteFrame(w io.Writer, m sim.Message) error {
-	b, err := Marshal(m)
-	if err != nil {
-		return err
+	fb := framePool.Get().(*frameBuf)
+	b, err := AppendFrame(fb.b[:0], m)
+	if err == nil {
+		_, err = w.Write(b)
 	}
-	_, err = w.Write(b)
+	if cap(b) <= keepFrame {
+		fb.b = b
+	} else {
+		fb.b = nil
+	}
+	framePool.Put(fb)
 	return err
 }
 
@@ -152,20 +210,51 @@ func WriteFrame(w io.Writer, m sim.Message) error {
 // recoverable — the stream is still aligned on a frame boundary and the
 // caller may read the next frame. Any other error (I/O failure,
 // ErrFrameTooLarge) means the stream is unusable.
+//
+// ReadFrame allocates a fresh buffer per frame; loop readers should hold
+// a buffer across calls and use ReadFrameBuf.
 func ReadFrame(r io.Reader) (sim.Message, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return sim.Message{}, err
+	m, _, err := ReadFrameBuf(r, nil)
+	return m, err
+}
+
+// ReadFrameBuf reads one frame from r into the caller-supplied buffer,
+// growing it only when a frame exceeds its capacity, and returns the
+// (possibly re-grown) buffer for the next call. The decoded message
+// never references the buffer — strings and slices are copied out — so
+// the same buffer can back every frame of a connection:
+//
+//	var buf []byte
+//	for {
+//		m, buf, err = wire.ReadFrameBuf(r, buf)
+//		...
+//	}
+//
+// Error semantics match ReadFrame.
+func ReadFrameBuf(r io.Reader, buf []byte) (sim.Message, []byte, error) {
+	// The header is read through buf as well: a local array would escape
+	// through the io.Reader interface call and cost one allocation per
+	// frame.
+	if cap(buf) < 4 {
+		buf = make([]byte, 4, 512)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return sim.Message{}, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxFrame {
-		return sim.Message{}, ErrFrameTooLarge
+		return sim.Message{}, buf, ErrFrameTooLarge
 	}
-	buf := make([]byte, n)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return sim.Message{}, err
+		return sim.Message{}, buf, err
 	}
-	return decodePayload(buf)
+	m, err := decodePayload(buf)
+	return m, buf, err
 }
 
 // ---- primitive encoding ----
@@ -252,6 +341,19 @@ func (d *dec) boolean() bool {
 		d.fail("bad bool")
 		return false
 	}
+}
+
+// bytes fills dst from the input, or fails if fewer bytes remain.
+func (d *dec) bytes(dst []byte) {
+	if d.err != nil {
+		return
+	}
+	if len(dst) > len(d.b)-d.off {
+		d.fail("truncated %d-byte field", len(dst))
+		return
+	}
+	copy(dst, d.b[d.off:])
+	d.off += len(dst)
 }
 
 func (d *dec) str() string {

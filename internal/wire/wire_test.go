@@ -51,6 +51,11 @@ var sampleBodies = []any{
 	core.PublishCmd{Payload: "payload with\x00bytes"},
 	Hello{Base: sim.None, Slots: 1024},
 	Welcome{Base: 4096, Slots: 1024},
+	Batch{Msgs: []sim.Message{
+		{To: 5, From: 9, Topic: 1, Body: proto.Check{Sender: tup("011", 9), YourLabel: lbl("01"), Flag: proto.LIN}},
+		{To: 9, From: 1, Topic: 1, Body: proto.SetData{Pred: tup("01", 4), Label: lbl("011"), Succ: tup("11", 7)}},
+		{To: 2, From: 3, Topic: 2, Body: core.PublishCmd{Payload: "batched"}},
+	}},
 }
 
 // TestRoundTripAllTypes checks Unmarshal(Marshal(m)) == m for a populated
