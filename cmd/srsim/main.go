@@ -52,13 +52,24 @@ func fail(format string, args ...any) {
 
 func main() {
 	if len(os.Args) > 1 {
-		switch os.Args[1] {
+		switch arg := os.Args[1]; arg {
 		case "serve":
 			runServe(os.Args[2:])
 			return
 		case "join":
 			runJoin(os.Args[2:])
 			return
+		case "chaos":
+			runChaos(os.Args[2:])
+			return
+		default:
+			// Anything that is not a flag must be a known subcommand: a typo
+			// like `srsim chaso` silently running the one-shot simulation
+			// would make the operator believe they ran something they did
+			// not.
+			if len(arg) > 0 && arg[0] != '-' {
+				fail("unknown subcommand %q (subcommands: serve, join, chaos; run without a subcommand for a one-shot simulation)", arg)
+			}
 		}
 	}
 	runOneShot()

@@ -87,6 +87,18 @@
 // README's Performance section for the measured table and the exact
 // reproduction commands.
 //
+// # Chaos testing
+//
+// Simulation.Restart brings a crashed subscriber back with its stale
+// state (an arbitrary initial configuration, Theorem 8's premise) and
+// Simulation.SetMessageFault installs a transport-layer fault filter
+// (loss, duplication, reordering, partitions) on any substrate. The full
+// chaos machinery — declarative scenarios, seed-reproducible random
+// generation, invariant probes, convergence-time measurement and a
+// failure shrinker — lives in internal/chaos and is exposed as
+// `srsim chaos`; see the README's "Chaos & self-stabilization testing"
+// section.
+//
 // The packages under internal/ hold the building blocks (label algebra,
 // the BuildSR subscriber and supervisor protocols, the Patricia trie, the
 // static topology oracle and the baseline overlays used by the

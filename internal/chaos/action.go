@@ -1,0 +1,131 @@
+package chaos
+
+import "fmt"
+
+// Kind enumerates the fault-action vocabulary.
+type Kind uint8
+
+const (
+	// Settle runs the system for Rounds timeout intervals with whatever
+	// faults are currently installed.
+	Settle Kind = iota
+	// CrashBurst crashes Count random members without warning (never the
+	// supervisor; at least two members always survive).
+	CrashBurst
+	// RestartAll restarts every crashed member with the stale state it
+	// crashed with (Count > 0 restarts at most Count of them).
+	RestartAll
+	// JoinBurst adds Count fresh clients and subscribes them.
+	JoinBurst
+	// LeaveBurst starts the unsubscribe handshake for Count random members
+	// (at least two members always remain).
+	LeaveBurst
+	// Partition splits supervisor + members into K groups; messages
+	// crossing group boundaries are dropped until Heal.
+	Partition
+	// Heal removes all installed channel faults (partition, loss,
+	// duplication, reordering, wire corruption).
+	Heal
+	// Loss drops each non-local message with probability Rate until Heal.
+	Loss
+	// Duplicate delivers each message twice with probability Rate until
+	// Heal.
+	Duplicate
+	// Reorder delays each message by several intervals with probability
+	// Rate until Heal, letting newer traffic overtake it.
+	Reorder
+	// WireGarbage corrupts outgoing wire frames with probability Rate on
+	// the networked substrate (the receiver sees undecodable garbage); on
+	// the other substrates it degrades to GarbageTraffic with Count
+	// messages, so the scenario stays meaningful everywhere.
+	WireGarbage
+	// GarbageTraffic sends Count corrupted protocol messages (stale
+	// tuples, wrong labels, bogus trie summaries) to random members.
+	GarbageTraffic
+	// CorruptStates overwrites every member's ring/shortcut state with
+	// pseudo-random garbage (Section 3.2's arbitrary states).
+	CorruptStates
+	// CorruptDB injects the four supervisor-database corruption cases of
+	// Section 3.1.
+	CorruptDB
+	// CorruptTries inserts Count fabricated publications directly into
+	// random members' tries, forcing divergence only anti-entropy can heal.
+	CorruptTries
+	// SplitStates forces members into K self-consistent unrecorded chains
+	// and wipes the database (the hard case of Section 3.2.1).
+	SplitStates
+	// Publish makes Count random members publish mid-scenario (the
+	// payloads may be lost to crashes; agreement is still enforced by the
+	// trie probe).
+	Publish
+	// CorruptToken scrambles the token-passing supervisor's O(1) state
+	// (token-mode scenarios only; a no-op on the database stack).
+	CorruptToken
+
+	kindCount // sentinel
+)
+
+var kindNames = [...]string{
+	Settle:         "settle",
+	CrashBurst:     "crash",
+	RestartAll:     "restart",
+	JoinBurst:      "join",
+	LeaveBurst:     "leave",
+	Partition:      "partition",
+	Heal:           "heal",
+	Loss:           "loss",
+	Duplicate:      "dup",
+	Reorder:        "reorder",
+	WireGarbage:    "wire-garbage",
+	GarbageTraffic: "garbage",
+	CorruptStates:  "corrupt-states",
+	CorruptDB:      "corrupt-db",
+	CorruptTries:   "corrupt-tries",
+	SplitStates:    "split-states",
+	Publish:        "publish",
+	CorruptToken:   "corrupt-token",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Action is one step of a scenario script. Which fields matter depends on
+// the kind; unused fields are ignored.
+type Action struct {
+	Kind   Kind
+	Count  int     // crash/join/leave/garbage/trie/publish volume
+	K      int     // partition / split-states group count
+	Rate   float64 // loss/dup/reorder/wire-garbage probability
+	Rounds int     // settle duration in timeout intervals
+}
+
+// String renders the action compactly for logs and shrink reports.
+func (a Action) String() string {
+	switch a.Kind {
+	case Settle:
+		return fmt.Sprintf("settle(%d)", a.Rounds)
+	case Partition, SplitStates:
+		return fmt.Sprintf("%s(k=%d)", a.Kind, a.K)
+	case Loss, Duplicate, Reorder, WireGarbage:
+		return fmt.Sprintf("%s(%.2f)", a.Kind, a.Rate)
+	case Heal, CorruptStates, CorruptDB, CorruptToken:
+		return a.Kind.String()
+	default:
+		return fmt.Sprintf("%s(%d)", a.Kind, a.Count)
+	}
+}
+
+// isFault reports whether the action perturbs the system (everything
+// except pacing actions); the stopwatch records fault times from these.
+func (a Action) isFault() bool {
+	switch a.Kind {
+	case Settle, Publish, Heal, RestartAll:
+		return false
+	}
+	return true
+}

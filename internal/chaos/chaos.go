@@ -1,0 +1,559 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sspubsub/internal/cluster"
+	"sspubsub/internal/core"
+	"sspubsub/internal/metrics"
+	"sspubsub/internal/runtime/concurrent"
+	"sspubsub/internal/runtime/nettransport"
+	"sspubsub/internal/sim"
+)
+
+// Substrate selects the execution substrate a scenario runs on.
+type Substrate string
+
+const (
+	// SubstrateSim is the deterministic discrete-event scheduler; runs are
+	// bit-for-bit reproducible from the seed.
+	SubstrateSim Substrate = "sim"
+	// SubstrateConcurrent is the goroutine-per-node live runtime.
+	SubstrateConcurrent Substrate = "concurrent"
+	// SubstrateNet is the loopback networked transport (every message
+	// crosses the wire codec and a TCP socket).
+	SubstrateNet Substrate = "net"
+)
+
+// AllSubstrates lists the substrates in presentation order.
+var AllSubstrates = []Substrate{SubstrateSim, SubstrateConcurrent, SubstrateNet}
+
+// ParseSubstrate validates a -runtime style string.
+func ParseSubstrate(s string) (Substrate, error) {
+	switch Substrate(s) {
+	case SubstrateSim, SubstrateConcurrent, SubstrateNet:
+		return Substrate(s), nil
+	}
+	return "", fmt.Errorf("unknown substrate %q (use sim, concurrent or net)", s)
+}
+
+// Config parameterizes one scenario run.
+type Config struct {
+	// Substrate picks the execution substrate (default SubstrateSim).
+	Substrate Substrate
+	// N is the initial member count (default 12; a scenario's own N wins
+	// when set).
+	N int
+	// Seed drives every random choice: victim selection, corruption
+	// content, fault coin flips, and — on SubstrateSim — the entire event
+	// schedule. Identical (scenario, config) pairs replay identically on
+	// the deterministic substrate.
+	Seed int64
+	// Topic is the topic under test (default 1).
+	Topic sim.Topic
+	// Interval is the timeout interval on the live substrates
+	// (default 2ms). Ignored on SubstrateSim.
+	Interval time.Duration
+	// SetupRounds budgets the unmeasured join-and-converge prologue
+	// (default 8000 intervals).
+	SetupRounds int
+	// ConvergeRounds budgets the measured post-fault convergence
+	// (default 8000 intervals).
+	ConvergeRounds int
+	// DeliveryWave is how many fresh publications are issued after the
+	// faults cease; the delivery-completeness probe requires all of them
+	// at every member (default 3; negative disables).
+	DeliveryWave int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Substrate == "" {
+		c.Substrate = SubstrateSim
+	}
+	if c.N == 0 {
+		c.N = 12
+	}
+	if c.Topic == 0 {
+		c.Topic = 1
+	}
+	if c.Interval == 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.SetupRounds == 0 {
+		c.SetupRounds = 8000
+	}
+	if c.ConvergeRounds == 0 {
+		c.ConvergeRounds = 8000
+	}
+	if c.DeliveryWave == 0 {
+		c.DeliveryWave = 3
+	}
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// Result reports one scenario run.
+type Result struct {
+	Scenario  string
+	Substrate Substrate
+	Seed      int64
+	N         int
+
+	// Setup is false when the unmeasured prologue never converged (an
+	// engine failure, not a protocol one).
+	Setup bool
+	// Converged reports whether every invariant probe held within the
+	// budget after the last fault.
+	Converged bool
+	// Rounds is the measured convergence time in timeout intervals from
+	// the moment faults ceased; -1 whenever the run did not converge
+	// (including setup failures).
+	Rounds float64
+	// Violation describes the first failing probe at the deadline ("" when
+	// converged).
+	Violation string
+	// FaultActions counts the perturbing actions applied.
+	FaultActions int
+	// Delivered is the substrate's total delivered-message count.
+	Delivered int64
+	// Actions is the applied action list (the shrinker's input on
+	// failure).
+	Actions []Action
+}
+
+// String renders a one-line report.
+func (r Result) String() string {
+	status := fmt.Sprintf("converged in %.0f rounds", r.Rounds)
+	if !r.Setup {
+		status = "SETUP FAILED"
+	} else if !r.Converged {
+		status = "FAILED: " + r.Violation
+	}
+	return fmt.Sprintf("[%s] %s seed=%d n=%d faults=%d: %s",
+		r.Substrate, r.Scenario, r.Seed, r.N, r.FaultActions, status)
+}
+
+// liveSubstrate is the surface the engine needs from a live transport
+// beyond sim.Transport.
+type liveSubstrate interface {
+	sim.Transport
+	Quiesce(timeout time.Duration, f func()) bool
+	Delivered() int64
+	Now() float64
+	SetFault(f sim.FaultFunc)
+}
+
+// driver is the substrate-facing surface shared by the database-stack env
+// and the token-stack env: time, pacing, predicate polling and the freeze
+// barrier, each dispatched to the deterministic scheduler or a live
+// transport.
+type driver struct {
+	cfg   Config
+	sched *sim.Scheduler // non-nil on SubstrateSim
+	lrt   liveSubstrate  // non-nil on the live substrates
+}
+
+// now returns substrate time in timeout intervals.
+func (d *driver) now() float64 {
+	if d.sched != nil {
+		return d.sched.Now()
+	}
+	return d.lrt.Now()
+}
+
+func (d *driver) delivered() int64 {
+	if d.sched != nil {
+		return d.sched.Delivered()
+	}
+	return d.lrt.Delivered()
+}
+
+// runRounds advances k timeout intervals.
+func (d *driver) runRounds(k int) {
+	if d.sched != nil {
+		d.sched.RunRounds(k)
+		return
+	}
+	time.Sleep(time.Duration(k) * d.cfg.Interval)
+}
+
+// runUntil advances until pred holds (evaluated against a frozen snapshot)
+// or maxRounds elapse; it returns rounds taken and success.
+func (d *driver) runUntil(maxRounds int, pred func() bool) (int, bool) {
+	if d.sched != nil {
+		return d.sched.RunRoundsUntil(maxRounds, pred)
+	}
+	start := time.Now()
+	deadline := start.Add(time.Duration(maxRounds) * d.cfg.Interval)
+	for {
+		ok := false
+		d.lrt.Quiesce(100*d.cfg.Interval, func() { ok = pred() })
+		if ok {
+			return int(time.Since(start) / d.cfg.Interval), true
+		}
+		if time.Now().After(deadline) {
+			return maxRounds, false
+		}
+		time.Sleep(d.cfg.Interval)
+	}
+}
+
+// freeze runs f against a consistent cross-node snapshot: directly on the
+// deterministic scheduler (nothing runs between events), under the quiesce
+// barrier on the live substrates. It reports whether f ran — a false
+// return means the system never drained, which callers must treat as a
+// violation in its own right.
+func (d *driver) freeze(f func()) bool {
+	if d.sched != nil {
+		f()
+		return true
+	}
+	return d.lrt.Quiesce(200*d.cfg.Interval, f)
+}
+
+// finish is the measured endgame shared by both stacks: poll until the
+// violation clears or the budget expires, then take one final frozen
+// snapshot for the report — a timed-out freeze is itself a violation (the
+// system never drained), while a clean snapshot that finds nothing means
+// the system converged between the last poll and now (a flaky pass is
+// still a pass). res.Rounds must be preset to -1; it is overwritten with
+// the stopwatch measurement only on convergence.
+func (d *driver) finish(res *Result, watch *metrics.Stopwatch, budget int, violation func() string) {
+	if _, ok := d.runUntil(budget, func() bool { return violation() == "" }); ok {
+		res.Converged = true
+	} else {
+		v := "system did not quiesce for the final probe snapshot"
+		d.freeze(func() { v = violation() })
+		res.Violation = v
+		res.Converged = v == ""
+	}
+	if res.Converged {
+		res.Violation = ""
+		watch.Converge(d.now())
+		res.Rounds = watch.Rounds()
+	}
+}
+
+// env is one scenario execution: the harness, the substrate-specific
+// driving surface, and the scenario bookkeeping.
+type env struct {
+	driver
+	cfg   Config
+	topic sim.Topic
+	l     *cluster.Live
+
+	nt *nettransport.Transport
+
+	// rng drives every scenario-level choice (victims, corruption,
+	// partitions); it is distinct from the substrate's own randomness so
+	// the action stream is identical across substrates for a given seed.
+	rng *rand.Rand
+
+	watch metrics.Stopwatch
+	wave  []string // post-fault publication payloads (delivery probe)
+	pubs  int      // mid-scenario publication counter
+}
+
+func newEnv(cfg Config) (*env, error) {
+	e := &env{cfg: cfg, topic: cfg.Topic, rng: rand.New(rand.NewSource(cfg.Seed))}
+	e.driver.cfg = cfg
+	switch cfg.Substrate {
+	case SubstrateSim:
+		c := cluster.New(cluster.Options{Seed: cfg.Seed})
+		e.l, e.sched = c.Live, c.Sched
+	case SubstrateConcurrent:
+		rt := concurrent.NewRuntime(concurrent.Options{Interval: cfg.Interval, Seed: cfg.Seed})
+		e.l, e.lrt = cluster.NewLive(rt, core.Options{}), rt
+	case SubstrateNet:
+		nt, err := nettransport.NewLoopback(nettransport.Options{Interval: cfg.Interval, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: loopback transport: %w", err)
+		}
+		e.l, e.lrt, e.nt = cluster.NewLive(nt, core.Options{}), nt, nt
+	default:
+		return nil, fmt.Errorf("chaos: unknown substrate %q", cfg.Substrate)
+	}
+	return e, nil
+}
+
+func (e *env) close() {
+	e.clearFaults()
+	if e.lrt != nil {
+		e.lrt.Close()
+	}
+}
+
+func (e *env) setFault(f sim.FaultFunc) {
+	if e.sched != nil {
+		e.sched.SetFault(f)
+		return
+	}
+	e.lrt.SetFault(f)
+}
+
+// clearFaults removes every installed channel fault.
+func (e *env) clearFaults() {
+	e.setFault(nil)
+	if e.nt != nil {
+		e.nt.SetFrameFault(nil)
+	}
+}
+
+// faultRng returns a self-locking uniform source for fault coin flips:
+// fault filters run on arbitrary sending goroutines on the live
+// substrates, and *rand.Rand is not concurrency-safe.
+func (e *env) faultRng(salt int64) func() float64 {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(e.cfg.Seed ^ salt))
+	return func() float64 {
+		mu.Lock()
+		v := rng.Float64()
+		mu.Unlock()
+		return v
+	}
+}
+
+// rateFault builds a filter applying verdict with the given probability.
+// Driver self-sends (control commands like JoinTopic) are exempt: they are
+// the experiment's control plane, not protocol traffic.
+func (e *env) rateFault(verdict sim.FaultAction, rate float64, salt int64) sim.FaultFunc {
+	next := e.faultRng(salt)
+	return func(m sim.Message) sim.FaultAction {
+		if m.From == m.To {
+			return sim.FaultDeliver
+		}
+		if next() < rate {
+			return verdict
+		}
+		return sim.FaultDeliver
+	}
+}
+
+// apply executes one action.
+func (e *env) apply(a Action) {
+	if a.isFault() {
+		e.watch.Fault(e.now())
+	}
+	switch a.Kind {
+	case Settle:
+		e.runRounds(max(1, a.Rounds))
+
+	case CrashBurst:
+		members := e.l.Members(e.topic)
+		k := clamp(a.Count, 0, len(members)-2)
+		for _, i := range e.rng.Perm(len(members))[:k] {
+			e.l.Crash(members[i])
+		}
+
+	case RestartAll:
+		downed := e.l.Downed()
+		k := len(downed)
+		if a.Count > 0 && a.Count < k {
+			k = a.Count
+		}
+		for _, id := range downed[:k] {
+			e.l.Restart(id)
+		}
+
+	case JoinBurst:
+		for _, id := range e.l.AddClients(max(1, a.Count)) {
+			e.l.Join(id, e.topic)
+		}
+
+	case LeaveBurst:
+		members := e.l.Members(e.topic)
+		k := clamp(a.Count, 0, len(members)-2)
+		for _, i := range e.rng.Perm(len(members))[:k] {
+			e.l.Leave(members[i], e.topic)
+		}
+
+	case Partition:
+		e.setFault(e.partitionFault(max(2, a.K)))
+
+	case Heal:
+		e.clearFaults()
+
+	case Loss:
+		e.setFault(e.rateFault(sim.FaultDrop, a.Rate, 0x10af))
+
+	case Duplicate:
+		e.setFault(e.rateFault(sim.FaultDup, a.Rate, 0x2d0b))
+
+	case Reorder:
+		e.setFault(e.rateFault(sim.FaultDelay, a.Rate, 0x3e0c))
+
+	case WireGarbage:
+		if e.nt != nil {
+			next := e.faultRng(0x4f1d)
+			rate := a.Rate
+			e.nt.SetFrameFault(func() nettransport.FrameFault {
+				if next() < rate {
+					return nettransport.FrameCorrupt
+				}
+				return nettransport.FrameDeliver
+			})
+		} else {
+			count := a.Count
+			if count == 0 {
+				count = 5 * e.cfg.N
+			}
+			e.freeze(func() { e.l.SendGarbageMessages(e.topic, count, e.rng) })
+		}
+
+	case GarbageTraffic:
+		count := a.Count
+		if count == 0 {
+			count = 5 * e.cfg.N
+		}
+		e.freeze(func() { e.l.SendGarbageMessages(e.topic, count, e.rng) })
+
+	case CorruptStates:
+		e.freeze(func() { e.l.CorruptSubscriberStatesRand(e.topic, e.rng) })
+
+	case CorruptDB:
+		e.freeze(func() { e.l.CorruptSupervisorDBRand(e.topic, e.rng) })
+
+	case CorruptTries:
+		count := max(1, a.Count)
+		e.freeze(func() { e.l.CorruptTries(e.topic, count, e.rng) })
+
+	case SplitStates:
+		e.freeze(func() { e.l.PartitionStates(e.topic, max(2, a.K)) })
+
+	case Publish:
+		members := e.l.Members(e.topic)
+		for i := 0; i < max(1, a.Count) && len(members) > 0; i++ {
+			e.pubs++
+			e.l.Publish(members[e.rng.Intn(len(members))], e.topic, fmt.Sprintf("mid-%d", e.pubs))
+		}
+
+	case CorruptToken:
+		// Only meaningful on the token-passing stack (see token.go); on the
+		// database stack corrupt the supervisor DB instead, so random
+		// scenarios containing it still perturb something.
+		e.freeze(func() { e.l.CorruptSupervisorDBRand(e.topic, e.rng) })
+	}
+}
+
+// Run executes one scenario against one configuration and reports the
+// outcome. Token-mode scenarios are dispatched to the token-ring stack.
+func Run(sc Scenario, cfg Config) Result {
+	cfg.fill()
+	if sc.N > 0 {
+		cfg.N = sc.N
+	}
+	if sc.Token {
+		return runToken(sc, cfg)
+	}
+	res := Result{
+		Scenario:  sc.Name,
+		Substrate: cfg.Substrate,
+		Seed:      cfg.Seed,
+		N:         cfg.N,
+		Rounds:    -1,
+		Actions:   sc.Actions,
+	}
+	e, err := newEnv(cfg)
+	if err != nil {
+		res.Violation = err.Error()
+		return res
+	}
+	defer e.close()
+
+	// Unmeasured prologue: a converged SR(n) is the scenario's starting
+	// point (Definition 2's legitimate state).
+	e.l.AddClients(cfg.N)
+	e.l.JoinAll(e.topic)
+	if _, ok := e.runUntil(cfg.SetupRounds, func() bool { return e.l.ConvergedWith(e.topic, cfg.N) }); !ok {
+		res.Violation = "setup: " + e.explain()
+		return res
+	}
+	res.Setup = true
+	cfg.logf("chaos: [%s] %s: setup converged with %d members; applying %d actions",
+		cfg.Substrate, sc.Name, cfg.N, len(sc.Actions))
+
+	for _, a := range sc.Actions {
+		cfg.logf("chaos:   %s", a)
+		e.apply(a)
+		if a.isFault() {
+			res.FaultActions++
+		}
+	}
+
+	// Faults cease here (the paper's convergence premise); the stopwatch
+	// measures from this instant.
+	e.clearFaults()
+	e.watch.Fault(e.now())
+
+	// Post-fault delivery wave: fresh publications that must reach every
+	// member (publication completeness in a self-stabilized system).
+	if cfg.DeliveryWave > 0 {
+		if members := e.l.Members(e.topic); len(members) > 0 {
+			for i := 0; i < cfg.DeliveryWave; i++ {
+				payload := fmt.Sprintf("wave-%d", i)
+				e.wave = append(e.wave, payload)
+				e.l.Publish(members[e.rng.Intn(len(members))], e.topic, payload)
+			}
+		}
+	}
+
+	e.driver.finish(&res, &e.watch, cfg.ConvergeRounds, e.violation)
+	res.Delivered = e.delivered()
+	cfg.logf("chaos: %s", res)
+	return res
+}
+
+// explain renders the current first legitimacy violation under freeze.
+func (e *env) explain() string {
+	out := "system did not quiesce"
+	e.freeze(func() { out = e.l.Explain(e.topic) })
+	if out == "" {
+		out = "converged"
+	}
+	return out
+}
+
+// partitionFault builds the partition filter: supervisor + members are
+// split into k groups (the supervisor in group 0, where joiners also
+// land), and messages crossing group boundaries are dropped. The map is
+// immutable after construction, so concurrent reads are safe.
+func (e *env) partitionFault(k int) sim.FaultFunc {
+	parts := make(map[sim.NodeID]int)
+	parts[cluster.SupervisorID] = 0
+	members := e.l.Members(e.topic)
+	perm := e.rng.Perm(len(members))
+	for i, pi := range perm {
+		parts[members[pi]] = i % k
+	}
+	return func(m sim.Message) sim.FaultAction {
+		if m.From == m.To {
+			return sim.FaultDeliver
+		}
+		if parts[m.From] != parts[m.To] { // unknown IDs default to group 0
+			return sim.FaultDrop
+		}
+		return sim.FaultDeliver
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// liveCfg keeps the live-substrate runs tight: fewer members and a short
+// interval bound the wall clock even under -race.
+func liveCfg(sub Substrate, seed int64) Config {
+	return Config{Substrate: sub, Seed: seed, N: 8, Interval: time.Millisecond}
+}
+
+// TestNamedScenariosSim runs every named scenario on the deterministic
+// scheduler across several seeds: each must converge with all invariant
+// probes green.
+func TestNamedScenariosSim(t *testing.T) {
+	for _, sc := range Registry {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				res := Run(sc, Config{Substrate: SubstrateSim, Seed: seed})
+				if !res.Setup {
+					t.Fatalf("seed %d: %s", seed, res.Violation)
+				}
+				if !res.Converged {
+					t.Errorf("seed %d: not converged: %s", seed, res.Violation)
+				}
+				if res.Converged && res.Rounds < 0 {
+					t.Errorf("seed %d: converged but Rounds = %g", seed, res.Rounds)
+				}
+			}
+		})
+	}
+}
+
+// TestNamedScenariosLiveSubstrates runs every named scenario on the
+// concurrent goroutine runtime and the networked loopback transport. The
+// subtests run in parallel — every run owns its own substrate.
+func TestNamedScenariosLiveSubstrates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live substrates skipped in -short mode")
+	}
+	for _, sub := range []Substrate{SubstrateConcurrent, SubstrateNet} {
+		for _, sc := range Registry {
+			sub, sc := sub, sc
+			t.Run(fmt.Sprintf("%s/%s", sub, sc.Name), func(t *testing.T) {
+				t.Parallel()
+				res := Run(sc, liveCfg(sub, 7))
+				if !res.Setup {
+					t.Fatalf("setup failed: %s", res.Violation)
+				}
+				if !res.Converged {
+					t.Errorf("not converged: %s", res.Violation)
+				}
+			})
+		}
+	}
+}
+
+// TestRandomScenariosConverge is the acceptance property: at least 50
+// seeded random scenarios converge on the deterministic substrate. A
+// failing seed is a real finding — it replays exactly via
+// `srsim chaos -scenario=random -seed=<seed>`.
+func TestRandomScenariosConverge(t *testing.T) {
+	const seeds = 55
+	for seed := int64(1); seed <= seeds; seed++ {
+		sc := Generate(seed)
+		res := Run(sc, Config{Substrate: SubstrateSim, Seed: seed})
+		if !res.Converged {
+			t.Errorf("seed %d: %s\n  actions: %v\n  replay: srsim chaos -scenario=random -seed=%d",
+				seed, res.Violation, res.Actions, seed)
+		}
+	}
+}
+
+// TestRandomScenariosLiveSubstrates samples random scenarios on the live
+// substrates. The default count keeps PR CI fast; the nightly soak covers
+// volume via `srsim chaos -count=200` (and CHAOS_RANDOM_LIVE raises the
+// count here).
+func TestRandomScenariosLiveSubstrates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live substrates skipped in -short mode")
+	}
+	count := int64(6)
+	if v := os.Getenv("CHAOS_RANDOM_LIVE"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			count = n
+		}
+	}
+	for _, sub := range []Substrate{SubstrateConcurrent, SubstrateNet} {
+		sub := sub
+		for seed := int64(1); seed <= count; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed-%d", sub, seed), func(t *testing.T) {
+				t.Parallel()
+				res := Run(Generate(seed), liveCfg(sub, seed))
+				if !res.Converged {
+					t.Errorf("seed %d: %s", seed, res.Violation)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayDeterministic pins the reproducibility contract on the
+// deterministic substrate: two runs of the same (scenario, seed) agree on
+// every observable outcome, including the exact delivered-message count.
+func TestReplayDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 17, 41} {
+		sc := Generate(seed)
+		a := Run(sc, Config{Substrate: SubstrateSim, Seed: seed})
+		b := Run(sc, Config{Substrate: SubstrateSim, Seed: seed})
+		if a.Converged != b.Converged || a.Rounds != b.Rounds ||
+			a.Delivered != b.Delivered || a.Violation != b.Violation {
+			t.Errorf("seed %d replay diverged:\n  %s (delivered %d)\n  %s (delivered %d)",
+				seed, a, a.Delivered, b, b.Delivered)
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the generator: the same seed yields the
+// same action list.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if fmt.Sprint(a.Actions) != fmt.Sprint(b.Actions) {
+			t.Fatalf("seed %d: generator is not a function of the seed:\n%v\n%v", seed, a.Actions, b.Actions)
+		}
+		if len(a.Actions) == 0 {
+			t.Fatalf("seed %d: empty scenario generated", seed)
+		}
+	}
+}
+
+// TestRegistry pins the scenario registry surface the CLI validates
+// against.
+func TestRegistry(t *testing.T) {
+	if len(Registry) < 10 {
+		t.Fatalf("registry holds %d scenarios, want ≥ 10", len(Registry))
+	}
+	names := Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate scenario name %q", n)
+		}
+		seen[n] = true
+		if _, ok := Lookup(n); !ok {
+			t.Fatalf("Lookup(%q) failed for a registered name", n)
+		}
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Fatal("Lookup accepted an unknown name")
+	}
+}
+
+// TestConvergenceRoundsMeasured pins the stopwatch plumbing: a scenario
+// with faults reports a non-negative convergence time measured after the
+// faults ceased.
+func TestConvergenceRoundsMeasured(t *testing.T) {
+	sc, _ := Lookup("state-corruption")
+	res := Run(sc, Config{Substrate: SubstrateSim, Seed: 5})
+	if !res.Converged {
+		t.Fatalf("not converged: %s", res.Violation)
+	}
+	if res.Rounds < 0 {
+		t.Fatalf("Rounds = %g, want ≥ 0", res.Rounds)
+	}
+	if res.FaultActions != 1 {
+		t.Fatalf("FaultActions = %d, want 1", res.FaultActions)
+	}
+}
+
+// TestSubstrateParsing pins the -runtime validation surface.
+func TestSubstrateParsing(t *testing.T) {
+	for _, sub := range AllSubstrates {
+		if got, err := ParseSubstrate(string(sub)); err != nil || got != sub {
+			t.Fatalf("ParseSubstrate(%q) = %q, %v", sub, got, err)
+		}
+	}
+	if _, err := ParseSubstrate("quantum"); err == nil {
+		t.Fatal("ParseSubstrate accepted an unknown substrate")
+	}
+}

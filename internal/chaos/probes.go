@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"fmt"
+
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+)
+
+// ProbeNames lists the invariant probes in evaluation order.
+var ProbeNames = []string{
+	"supervisor-db",
+	"overlay-connectivity",
+	"overlay-legitimacy",
+	"trie-consistency",
+	"delivery-completeness",
+}
+
+// violation evaluates every invariant probe against the current (frozen)
+// state and returns "probe: detail" for the first one that fails, or ""
+// when the system is in a legal state. The probes are ordered from the
+// coarsest invariant to the most exacting, so the reported violation names
+// the most fundamental breakage.
+//
+// Callers on a live substrate must evaluate under the quiesce barrier
+// (runUntil and freeze do).
+func (e *env) violation() string {
+	if v := e.dbMembershipViolation(); v != "" {
+		return "supervisor-db: " + v
+	}
+	if v := e.connectivityViolation(); v != "" {
+		return "overlay-connectivity: " + v
+	}
+	if v := e.l.Explain(e.topic); v != "" {
+		return "overlay-legitimacy: " + v
+	}
+	if v := e.trieViolation(); v != "" {
+		return "trie-consistency: " + v
+	}
+	if v := e.deliveryViolation(); v != "" {
+		return "delivery-completeness: " + v
+	}
+	return ""
+}
+
+// dbMembershipViolation checks supervisor database ↔ live membership
+// agreement: the database is structurally valid (Section 3.1), records
+// exactly the live members, and references no crashed or departed node.
+func (e *env) dbMembershipViolation() string {
+	if e.l.Sup.Corrupted(e.topic) {
+		return "database violates the validity conditions of Section 3.1"
+	}
+	members := e.l.Members(e.topic)
+	if n := e.l.Sup.N(e.topic); n != len(members) {
+		return fmt.Sprintf("database records %d subscribers, %d live members", n, len(members))
+	}
+	live := make(map[sim.NodeID]bool, len(members))
+	for _, id := range members {
+		live[id] = true
+	}
+	for lab, v := range e.l.Sup.Snapshot(e.topic) {
+		if !live[v] {
+			return fmt.Sprintf("database entry %s → %d references a non-member", lab, v)
+		}
+	}
+	return ""
+}
+
+// connectivityViolation checks that the union graph of every member's
+// overlay edges (left, right, ring closure, shortcuts), taken undirected,
+// connects all members. Connectivity is the weakest property the topic
+// tree needs for publications to reach everyone; it is implied by full
+// legitimacy but fails with a far more useful message.
+func (e *env) connectivityViolation() string {
+	members := e.l.Members(e.topic)
+	if len(members) <= 1 {
+		return ""
+	}
+	adj := make(map[sim.NodeID][]sim.NodeID, len(members))
+	inSet := make(map[sim.NodeID]bool, len(members))
+	for _, id := range members {
+		inSet[id] = true
+	}
+	link := func(a, b sim.NodeID) {
+		if a != b && inSet[a] && inSet[b] {
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+	}
+	for _, id := range members {
+		st, ok := e.l.Clients[id].StateOf(e.topic)
+		if !ok {
+			return fmt.Sprintf("member %d has no instance", id)
+		}
+		link(id, st.Left.Ref)
+		link(id, st.Right.Ref)
+		link(id, st.Ring.Ref)
+		for _, ref := range st.Shortcuts {
+			link(id, ref)
+		}
+	}
+	seen := map[sim.NodeID]bool{members[0]: true}
+	queue := []sim.NodeID{members[0]}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(seen) != len(members) {
+		return fmt.Sprintf("overlay graph splits: %d of %d members reachable from %d",
+			len(seen), len(members), members[0])
+	}
+	return ""
+}
+
+// trieViolation checks each member's publication trie structurally
+// (leaf counts, hashes, key placement) and requires all members to hold
+// hash-identical tries — the converged state of the anti-entropy protocol
+// of Section 4.2.
+func (e *env) trieViolation() string {
+	members := e.l.Members(e.topic)
+	for _, id := range members {
+		in, ok := e.l.Clients[id].Instance(e.topic)
+		if !ok {
+			return fmt.Sprintf("member %d has no instance", id)
+		}
+		if msg := in.Eng.Trie().CheckInvariants(); msg != "" {
+			return fmt.Sprintf("member %d trie: %s", id, msg)
+		}
+	}
+	return trieAgreementViolation(members, func(id sim.NodeID) [16]byte {
+		return e.l.Clients[id].TrieRootHash(e.topic)
+	})
+}
+
+// deliveryViolation requires every member to know every publication of the
+// post-fault delivery wave.
+func (e *env) deliveryViolation() string {
+	return waveViolation(e.l.Members(e.topic), e.wave, func(id sim.NodeID) []proto.Publication {
+		return e.l.Clients[id].Publications(e.topic)
+	})
+}
+
+// trieAgreementViolation requires hash-identical tries across ids
+// (shared by the database and token stacks).
+func trieAgreementViolation(ids []sim.NodeID, hash func(sim.NodeID) [16]byte) string {
+	var first [16]byte
+	for i, id := range ids {
+		h := hash(id)
+		if i == 0 {
+			first = h
+		} else if h != first {
+			return fmt.Sprintf("node %d root hash differs from node %d", id, ids[0])
+		}
+	}
+	return ""
+}
+
+// waveViolation requires every node to know every wave payload (shared by
+// the database and token stacks).
+func waveViolation(ids []sim.NodeID, wave []string, pubs func(sim.NodeID) []proto.Publication) string {
+	if len(wave) == 0 {
+		return ""
+	}
+	for _, id := range ids {
+		known := make(map[string]bool)
+		for _, p := range pubs(id) {
+			known[p.Payload] = true
+		}
+		for _, w := range wave {
+			if !known[w] {
+				return fmt.Sprintf("node %d is missing wave publication %q", id, w)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,259 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Scenario is a named, declarative chaos script.
+type Scenario struct {
+	Name string
+	// Note is a one-line description for listings.
+	Note string
+	// N overrides the configured member count when > 0.
+	N int
+	// Token runs the scenario on the token-passing supervisor stack
+	// (the deterministic variant of the paper's conclusion) instead of the
+	// database stack.
+	Token bool
+	// Actions is the fault script, applied in order.
+	Actions []Action
+}
+
+// Registry lists the named scenarios in presentation order.
+var Registry = []Scenario{
+	{
+		Name: "crash-burst",
+		Note: "a third of the members fail simultaneously; the survivors must re-form SR(n−k)",
+		Actions: []Action{
+			{Kind: Settle, Rounds: 5},
+			{Kind: CrashBurst, Count: 4},
+		},
+	},
+	{
+		Name: "crash-restart-storm",
+		Note: "repeated crash waves with stale-state restarts (every restart is an arbitrary initial state)",
+		Actions: []Action{
+			{Kind: CrashBurst, Count: 3},
+			{Kind: Settle, Rounds: 8},
+			{Kind: RestartAll},
+			{Kind: Settle, Rounds: 8},
+			{Kind: CrashBurst, Count: 4},
+			{Kind: Settle, Rounds: 8},
+			{Kind: RestartAll},
+		},
+	},
+	{
+		Name: "join-leave-churn",
+		Note: "interleaved subscription churn; Theorem 7's constant-cost handshakes under load",
+		Actions: []Action{
+			{Kind: JoinBurst, Count: 4},
+			{Kind: LeaveBurst, Count: 3},
+			{Kind: Settle, Rounds: 6},
+			{Kind: JoinBurst, Count: 3},
+			{Kind: LeaveBurst, Count: 4},
+		},
+	},
+	{
+		Name: "partition-heal",
+		Note: "the network splits three ways around the supervisor, then heals",
+		Actions: []Action{
+			{Kind: Partition, K: 3},
+			{Kind: Settle, Rounds: 30},
+			{Kind: Heal},
+		},
+	},
+	{
+		Name: "message-loss",
+		Note: "25% message loss while fresh members join",
+		Actions: []Action{
+			{Kind: Loss, Rate: 0.25},
+			{Kind: JoinBurst, Count: 4},
+			{Kind: Settle, Rounds: 40},
+			{Kind: Heal},
+		},
+	},
+	{
+		Name: "message-dup",
+		Note: "30% duplication with mid-fault publications (idempotence of every handler)",
+		Actions: []Action{
+			{Kind: Duplicate, Rate: 0.3},
+			{Kind: Publish, Count: 3},
+			{Kind: Settle, Rounds: 30},
+			{Kind: Heal},
+		},
+	},
+	{
+		Name: "message-reorder",
+		Note: "half of all messages are delayed several intervals (non-FIFO channels, amplified)",
+		Actions: []Action{
+			{Kind: Reorder, Rate: 0.5},
+			{Kind: Publish, Count: 3},
+			{Kind: Settle, Rounds: 30},
+			{Kind: Heal},
+		},
+	},
+	{
+		Name: "db-corruption",
+		Note: "the four supervisor-database corruption cases of Section 3.1, twice",
+		Actions: []Action{
+			{Kind: CorruptDB},
+			{Kind: Settle, Rounds: 3},
+			{Kind: CorruptDB},
+		},
+	},
+	{
+		Name: "state-corruption",
+		Note: "every member's ring/shortcut state is overwritten with garbage (Theorem 8's arbitrary states)",
+		Actions: []Action{
+			{Kind: CorruptStates},
+		},
+	},
+	{
+		Name: "split-states",
+		Note: "members forced into unrecorded self-consistent chains, database wiped (Section 3.2.1's hard case)",
+		Actions: []Action{
+			{Kind: SplitStates, K: 3},
+		},
+	},
+	{
+		Name: "trie-divergence",
+		Note: "fabricated publications diverge the tries; anti-entropy must reconcile the union",
+		Actions: []Action{
+			{Kind: CorruptTries, Count: 6},
+			{Kind: Publish, Count: 3},
+		},
+	},
+	{
+		Name: "garbage-channels",
+		Note: "a flood of corrupted protocol messages (and corrupted wire frames on the net substrate)",
+		Actions: []Action{
+			{Kind: GarbageTraffic, Count: 60},
+			{Kind: WireGarbage, Rate: 0.2, Count: 30},
+			{Kind: Settle, Rounds: 15},
+			{Kind: Heal},
+		},
+	},
+	{
+		Name: "kitchen-sink",
+		Note: "partition + crashes + corruption + loss, composed",
+		Actions: []Action{
+			{Kind: Partition, K: 2},
+			{Kind: CrashBurst, Count: 2},
+			{Kind: Settle, Rounds: 10},
+			{Kind: Heal},
+			{Kind: RestartAll},
+			{Kind: CorruptDB},
+			{Kind: JoinBurst, Count: 2},
+			{Kind: Loss, Rate: 0.15},
+			{Kind: Settle, Rounds: 20},
+			{Kind: Heal},
+			{Kind: CorruptTries, Count: 4},
+		},
+	},
+	{
+		Name:  "token-corruption",
+		Note:  "token-passing supervisor variant: O(1) supervisor state and member states scrambled",
+		N:     8,
+		Token: true,
+		Actions: []Action{
+			{Kind: CorruptToken},
+		},
+	},
+}
+
+// Lookup resolves a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Registry {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, len(Registry))
+	for i, sc := range Registry {
+		out[i] = sc.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generate builds a random scenario from a seed: 3–8 fault actions drawn
+// from the full vocabulary with settle periods interleaved, reproducible
+// from the seed alone. Channel faults are always given time to bite
+// (settle follows), and the engine force-heals at the end, so every
+// generated scenario is convergable in principle — any failure is a
+// finding.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(6)
+	var actions []Action
+	for i := 0; i < n; i++ {
+		a := randomAction(rng)
+		actions = append(actions, a)
+		switch a.Kind {
+		case Partition, Loss, Duplicate, Reorder, WireGarbage:
+			// Let the channel fault bite, then usually heal before the next
+			// fault composes on top (one filter slot: a later channel fault
+			// replaces this one anyway).
+			actions = append(actions, Action{Kind: Settle, Rounds: 8 + rng.Intn(20)})
+			if rng.Intn(3) > 0 {
+				actions = append(actions, Action{Kind: Heal})
+			}
+		case CrashBurst:
+			if rng.Intn(2) == 0 {
+				actions = append(actions, Action{Kind: Settle, Rounds: 4 + rng.Intn(10)})
+				actions = append(actions, Action{Kind: RestartAll})
+			}
+		case Settle:
+		default:
+			if rng.Intn(2) == 0 {
+				actions = append(actions, Action{Kind: Settle, Rounds: 2 + rng.Intn(8)})
+			}
+		}
+	}
+	return Scenario{
+		Name:    fmt.Sprintf("random-%d", seed),
+		Note:    "generated scenario (reproducible from the seed)",
+		Actions: actions,
+	}
+}
+
+// randomAction draws one action from the vocabulary.
+func randomAction(rng *rand.Rand) Action {
+	switch rng.Intn(14) {
+	case 0:
+		return Action{Kind: CrashBurst, Count: 1 + rng.Intn(3)}
+	case 1:
+		return Action{Kind: RestartAll}
+	case 2:
+		return Action{Kind: JoinBurst, Count: 1 + rng.Intn(3)}
+	case 3:
+		return Action{Kind: LeaveBurst, Count: 1 + rng.Intn(2)}
+	case 4:
+		return Action{Kind: Partition, K: 2 + rng.Intn(2)}
+	case 5:
+		return Action{Kind: Loss, Rate: 0.1 + 0.2*rng.Float64()}
+	case 6:
+		return Action{Kind: Duplicate, Rate: 0.1 + 0.3*rng.Float64()}
+	case 7:
+		return Action{Kind: Reorder, Rate: 0.2 + 0.3*rng.Float64()}
+	case 8:
+		return Action{Kind: GarbageTraffic, Count: 20 + rng.Intn(40)}
+	case 9:
+		return Action{Kind: CorruptStates}
+	case 10:
+		return Action{Kind: CorruptDB}
+	case 11:
+		return Action{Kind: CorruptTries, Count: 2 + rng.Intn(5)}
+	case 12:
+		return Action{Kind: Publish, Count: 1 + rng.Intn(3)}
+	default:
+		return Action{Kind: Settle, Rounds: 3 + rng.Intn(10)}
+	}
+}

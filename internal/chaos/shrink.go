@@ -1,0 +1,40 @@
+package chaos
+
+// Shrink reduces a failing action list to a stable minimum by delta
+// debugging: it repeatedly tries to delete chunks of halving size,
+// keeping any deletion that still fails, until no single action can be
+// removed (1-minimality). fails must be a pure predicate — for chaos runs
+// that means replaying on the deterministic substrate with a fixed seed,
+// where a run is a function of (actions, seed) alone.
+//
+// fails is assumed true for the input list (the caller observed the
+// failure); Shrink returns the input unchanged when it is not, so a flaky
+// predicate degrades to a no-op rather than an invalid "minimum".
+func Shrink(actions []Action, fails func([]Action) bool) []Action {
+	cur := append([]Action(nil), actions...)
+	if len(cur) == 0 || !fails(cur) {
+		return cur
+	}
+	for changed := true; changed; {
+		changed = false
+		for size := len(cur) / 2; size >= 1; size /= 2 {
+			for i := 0; i+size <= len(cur); {
+				cand := make([]Action, 0, len(cur)-size)
+				cand = append(cand, cur[:i]...)
+				cand = append(cand, cur[i+size:]...)
+				if len(cand) > 0 && fails(cand) {
+					cur = cand
+					changed = true
+					// Retry at the same index: the next chunk slid into it.
+				} else if len(cand) == 0 && fails(cand) {
+					// The empty list still fails: the failure does not
+					// depend on the actions at all.
+					return nil
+				} else {
+					i += size
+				}
+			}
+		}
+	}
+	return cur
+}

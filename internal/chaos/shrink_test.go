@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShrinkToFailingPair is the satellite's acceptance property: a
+// known-failing action list shrinks to a stable minimum. The synthetic
+// failure needs both a CrashBurst and a CorruptDB somewhere in the list;
+// the minimum is therefore exactly one of each, in order.
+func TestShrinkToFailingPair(t *testing.T) {
+	fails := func(actions []Action) bool {
+		crash, db := false, false
+		for _, a := range actions {
+			switch a.Kind {
+			case CrashBurst:
+				crash = true
+			case CorruptDB:
+				db = true
+			}
+		}
+		return crash && db
+	}
+	var noisy []Action
+	for i := 0; i < 8; i++ {
+		noisy = append(noisy, Action{Kind: Settle, Rounds: i + 1})
+		if i == 2 {
+			noisy = append(noisy, Action{Kind: CrashBurst, Count: 3})
+		}
+		if i == 5 {
+			noisy = append(noisy, Action{Kind: CorruptDB})
+		}
+		noisy = append(noisy, Action{Kind: Publish, Count: 1})
+	}
+	got := Shrink(noisy, fails)
+	want := []Action{{Kind: CrashBurst, Count: 3}, {Kind: CorruptDB}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Shrink = %v, want %v", got, want)
+	}
+	// Stability: shrinking the minimum again must be a fixpoint.
+	if again := Shrink(got, fails); !reflect.DeepEqual(again, got) {
+		t.Fatalf("Shrink is not a fixpoint: %v → %v", got, again)
+	}
+}
+
+// TestShrinkIsOneMinimal verifies the 1-minimality contract on a failure
+// that needs any three Loss actions: the result holds exactly three, and
+// removing any single one no longer fails.
+func TestShrinkIsOneMinimal(t *testing.T) {
+	fails := func(actions []Action) bool {
+		n := 0
+		for _, a := range actions {
+			if a.Kind == Loss {
+				n++
+			}
+		}
+		return n >= 3
+	}
+	var input []Action
+	for i := 0; i < 20; i++ {
+		k := Settle
+		if i%3 == 0 {
+			k = Loss
+		}
+		input = append(input, Action{Kind: k, Rounds: 1, Rate: 0.1})
+	}
+	got := Shrink(input, fails)
+	if len(got) != 3 {
+		t.Fatalf("Shrink kept %d actions, want 3: %v", len(got), got)
+	}
+	for i := range got {
+		cand := append(append([]Action(nil), got[:i]...), got[i+1:]...)
+		if fails(cand) {
+			t.Fatalf("result is not 1-minimal: removing index %d still fails", i)
+		}
+	}
+}
+
+// TestShrinkNonFailingInput pins the flaky-predicate guard: when the input
+// does not fail, Shrink returns it unchanged instead of fabricating a
+// bogus minimum.
+func TestShrinkNonFailingInput(t *testing.T) {
+	input := []Action{{Kind: Settle, Rounds: 1}, {Kind: CorruptDB}}
+	got := Shrink(input, func([]Action) bool { return false })
+	if !reflect.DeepEqual(got, input) {
+		t.Fatalf("Shrink altered a non-failing input: %v", got)
+	}
+}
+
+// TestShrinkIndependentFailure pins the degenerate case: a failure that
+// does not depend on the actions at all shrinks to the empty list.
+func TestShrinkIndependentFailure(t *testing.T) {
+	input := []Action{{Kind: Settle, Rounds: 1}, {Kind: CrashBurst, Count: 1}, {Kind: CorruptDB}}
+	got := Shrink(input, func([]Action) bool { return true })
+	if len(got) != 0 {
+		t.Fatalf("Shrink = %v, want empty", got)
+	}
+}
+
+// TestShrinkReplaysDeterministically composes the shrinker with the real
+// engine: the predicate replays a scenario on the deterministic substrate
+// with a fixed seed, so repeated evaluations of the same candidate agree.
+// The "failure" here is a healthy convergence check inverted on a
+// specific action subset — it exercises Shrink against real Run calls
+// without needing a genuinely broken protocol.
+func TestShrinkReplaysDeterministically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine-backed shrink skipped in -short mode")
+	}
+	// Fails iff the scenario still contains a CorruptStates action AND the
+	// run (a real engine replay) converges — i.e. the protocol absorbs the
+	// corruption. This is monotone in the subset ordering for the engine's
+	// healthy behavior, so the minimum is the single CorruptStates action.
+	fails := func(actions []Action) bool {
+		has := false
+		for _, a := range actions {
+			if a.Kind == CorruptStates {
+				has = true
+			}
+		}
+		if !has {
+			return false
+		}
+		res := Run(Scenario{Name: "shrink-probe", Actions: actions},
+			Config{Substrate: SubstrateSim, Seed: 11, N: 8})
+		return res.Converged
+	}
+	input := []Action{
+		{Kind: Settle, Rounds: 3},
+		{Kind: CorruptStates},
+		{Kind: Publish, Count: 2},
+		{Kind: Settle, Rounds: 3},
+	}
+	got := Shrink(input, fails)
+	want := []Action{{Kind: CorruptStates}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Shrink = %v, want %v", got, want)
+	}
+}

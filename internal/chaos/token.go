@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sspubsub/internal/cluster"
+	"sspubsub/internal/core"
+	"sspubsub/internal/label"
+	"sspubsub/internal/metrics"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/runtime/concurrent"
+	"sspubsub/internal/runtime/nettransport"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/tokenring"
+)
+
+// tokenEnv hosts a scenario on the token-passing supervisor stack (the
+// deterministic O(1)-space variant of the paper's conclusion). The action
+// vocabulary is reduced — CorruptToken, CorruptStates, Settle and Publish
+// are meaningful; everything else is skipped — because membership in token
+// mode is repaired by the rebuild machinery rather than a database.
+type tokenEnv struct {
+	driver
+	cfg   Config
+	topic sim.Topic
+	sup   *tokenring.Supervisor
+	nodes map[sim.NodeID]*tokenring.Node
+	ids   []sim.NodeID
+
+	rng  *rand.Rand
+	wave []string
+}
+
+func newTokenEnv(cfg Config) (*tokenEnv, error) {
+	e := &tokenEnv{
+		cfg:   cfg,
+		topic: cfg.Topic,
+		nodes: make(map[sim.NodeID]*tokenring.Node),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	e.driver.cfg = cfg
+	var tr sim.Transport
+	switch cfg.Substrate {
+	case SubstrateSim:
+		e.sched = sim.NewScheduler(sim.SchedulerOptions{Seed: cfg.Seed})
+		tr = e.sched
+	case SubstrateConcurrent:
+		rt := concurrent.NewRuntime(concurrent.Options{Interval: cfg.Interval, Seed: cfg.Seed})
+		e.lrt, tr = rt, rt
+	case SubstrateNet:
+		nt, err := nettransport.NewLoopback(nettransport.Options{Interval: cfg.Interval, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: loopback transport: %w", err)
+		}
+		e.lrt, tr = nt, nt
+	default:
+		return nil, fmt.Errorf("chaos: unknown substrate %q", cfg.Substrate)
+	}
+	e.sup = tokenring.NewSupervisor(cluster.SupervisorID)
+	tr.AddNode(cluster.SupervisorID, e.sup)
+	for i := 0; i < cfg.N; i++ {
+		id := cluster.SupervisorID + 1 + sim.NodeID(i)
+		// Token mode disables the randomized probe machinery: label refresh
+		// comes from the circulating token, not from database probes.
+		cl := core.NewClient(id, cluster.SupervisorID, core.Options{
+			DisableActionIV: true,
+			ProbeProb:       func(int) float64 { return 0 },
+		})
+		nd := tokenring.NewNode(cl, cluster.SupervisorID)
+		e.nodes[id] = nd
+		e.ids = append(e.ids, id)
+		tr.AddNode(id, nd)
+	}
+	for _, id := range e.ids {
+		tr.Send(sim.Message{To: id, From: id, Topic: e.topic, Body: core.JoinTopic{}})
+	}
+	return e, nil
+}
+
+func (e *tokenEnv) close() {
+	if e.lrt != nil {
+		e.lrt.Close()
+	}
+}
+
+// violation checks the token-mode invariants: supervisor O(1)-state
+// integrity, committed ring size = live membership, exact overlay
+// legitimacy of the label assignment the token derives, trie agreement and
+// wave delivery.
+func (e *tokenEnv) violation() string {
+	if msg := e.sup.CheckIntegrity(e.topic); msg != "" {
+		return "token-integrity: " + msg
+	}
+	if n := e.sup.N(e.topic); n != len(e.ids) {
+		return fmt.Sprintf("token-integrity: committed ring size %d, %d live nodes", n, len(e.ids))
+	}
+	states := make(map[sim.NodeID]core.State, len(e.ids))
+	db := make(map[label.Label]sim.NodeID, len(e.ids))
+	for _, id := range e.ids {
+		nd := e.nodes[id]
+		if !nd.Client.Joined(e.topic) {
+			return fmt.Sprintf("overlay-legitimacy: node %d not joined", id)
+		}
+		st, _ := nd.Client.StateOf(e.topic)
+		states[id] = st
+		if !st.Label.IsBottom() {
+			db[st.Label] = id
+		}
+	}
+	if len(db) != len(e.ids) {
+		return fmt.Sprintf("overlay-legitimacy: %d distinct labels over %d nodes", len(db), len(e.ids))
+	}
+	if msg := cluster.CheckLegitimacy(db, states); msg != "" {
+		return "overlay-legitimacy: " + msg
+	}
+	if msg := trieAgreementViolation(e.ids, func(id sim.NodeID) [16]byte {
+		return e.nodes[id].Client.TrieRootHash(e.topic)
+	}); msg != "" {
+		return "trie-consistency: " + msg
+	}
+	if msg := waveViolation(e.ids, e.wave, func(id sim.NodeID) []proto.Publication {
+		return e.nodes[id].Client.Publications(e.topic)
+	}); msg != "" {
+		return "delivery-completeness: " + msg
+	}
+	return ""
+}
+
+// corrupt scrambles the token supervisor's O(1) state and a third of the
+// nodes' explicit overlay states.
+func (e *tokenEnv) corrupt() {
+	e.sup.CorruptTopicState(e.topic, e.rng)
+	for i, id := range e.ids {
+		if i%3 != 0 {
+			continue
+		}
+		in, ok := e.nodes[id].Client.Instance(e.topic)
+		if !ok {
+			continue
+		}
+		lab := label.FromIndex(e.rng.Uint64() % 64)
+		other := e.ids[e.rng.Intn(len(e.ids))]
+		in.Sub.ForceState(lab,
+			proto.Tuple{L: label.FromIndex(e.rng.Uint64() % 64), Ref: other},
+			proto.Tuple{}, proto.Tuple{}, nil)
+	}
+}
+
+// runToken executes a token-mode scenario.
+func runToken(sc Scenario, cfg Config) Result {
+	res := Result{
+		Scenario:  sc.Name,
+		Substrate: cfg.Substrate,
+		Seed:      cfg.Seed,
+		N:         cfg.N,
+		Rounds:    -1,
+		Actions:   sc.Actions,
+	}
+	e, err := newTokenEnv(cfg)
+	if err != nil {
+		res.Violation = err.Error()
+		return res
+	}
+	defer e.close()
+
+	if _, ok := e.runUntil(cfg.SetupRounds, func() bool { return e.violation() == "" }); !ok {
+		setupViolation := "system did not quiesce"
+		e.freeze(func() { setupViolation = e.violation() })
+		res.Violation = "setup: " + setupViolation
+		return res
+	}
+	res.Setup = true
+	cfg.logf("chaos: [%s] %s: token ring of %d converged; applying %d actions",
+		cfg.Substrate, sc.Name, cfg.N, len(sc.Actions))
+
+	var watch metrics.Stopwatch
+	for _, a := range sc.Actions {
+		switch a.Kind {
+		case Settle:
+			e.runRounds(max(1, a.Rounds))
+		case Publish:
+			for i := 0; i < max(1, a.Count); i++ {
+				id := e.ids[e.rng.Intn(len(e.ids))]
+				e.send(id, core.PublishCmd{Payload: fmt.Sprintf("mid-%d", i)})
+			}
+		case CorruptToken, CorruptStates, CorruptDB:
+			cfg.logf("chaos:   %s", a)
+			watch.Fault(e.now())
+			e.freeze(e.corrupt)
+			res.FaultActions++
+		default:
+			cfg.logf("chaos:   %s (skipped in token mode)", a)
+		}
+	}
+
+	watch.Fault(e.now())
+	for i := 0; i < cfg.DeliveryWave; i++ {
+		payload := fmt.Sprintf("wave-%d", i)
+		e.wave = append(e.wave, payload)
+		e.send(e.ids[e.rng.Intn(len(e.ids))], core.PublishCmd{Payload: payload})
+	}
+
+	e.driver.finish(&res, &watch, cfg.ConvergeRounds, e.violation)
+	cfg.logf("chaos: %s", res)
+	return res
+}
+
+// send issues a control command to a node through the transport.
+func (e *tokenEnv) send(id sim.NodeID, body any) {
+	m := sim.Message{To: id, From: id, Topic: e.topic, Body: body}
+	if e.sched != nil {
+		e.sched.Send(m)
+		return
+	}
+	e.lrt.Send(m)
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+
+	"sspubsub/internal/sim"
 )
 
 // Randomized churn property: any interleaving of joins, leaves, crashes,
@@ -27,6 +29,12 @@ func TestPropertyRandomChurnConverges(t *testing.T) {
 		}
 		live := 6
 		pubs := 0
+		// leaving tracks members whose unsubscribe handshake has started:
+		// they stay in Members until the supervisor grants departure, so a
+		// later leave/crash picking the same node must not decrement the
+		// expected count twice (the accounting bug behind the historical
+		// TestZZRepro failure).
+		leaving := map[sim.NodeID]bool{}
 		for i, op := range script {
 			members := c.Members(topicA)
 			switch op % 6 {
@@ -36,13 +44,21 @@ func TestPropertyRandomChurnConverges(t *testing.T) {
 				live++
 			case 1: // leave
 				if live > 2 {
-					c.Leave(members[int(op/6)%len(members)], topicA)
-					live--
+					v := members[int(op/6)%len(members)]
+					c.Leave(v, topicA)
+					if !leaving[v] {
+						leaving[v] = true
+						live--
+					}
 				}
 			case 2: // crash
 				if live > 2 {
-					c.Crash(members[int(op/6)%len(members)])
-					live--
+					v := members[int(op/6)%len(members)]
+					c.Crash(v)
+					if !leaving[v] {
+						leaving[v] = true // gone either way; count it once
+						live--
+					}
 				}
 			case 3: // publish
 				c.Publish(members[int(op/6)%len(members)], topicA, fmt.Sprintf("p-%d-%d", seed, i))

@@ -55,66 +55,17 @@ func (c *Cluster) RunUntilConverged(t sim.Topic, n, maxRounds int) (int, bool) {
 // ---- corruption injectors (arbitrary initial states, Theorem 8) ----
 
 // CorruptSubscriberStates overwrites every member's explicit state with
-// pseudo-random garbage: random labels (possibly duplicated, possibly
-// malformed), neighbour pointers to random members (or self), and random
-// shortcut slots. The result is still a weakly connected graph because
-// every node keeps its read-only edge to the supervisor.
+// pseudo-random garbage drawn from the scheduler's random source; see
+// Live.CorruptSubscriberStatesRand.
 func (c *Cluster) CorruptSubscriberStates(t sim.Topic) {
-	rng := c.Sched.Rand()
-	members := c.Members(t)
-	randTuple := func() proto.Tuple {
-		if rng.Intn(4) == 0 || len(members) == 0 {
-			return proto.Tuple{}
-		}
-		id := members[rng.Intn(len(members))]
-		return proto.Tuple{L: label.FromIndex(uint64(rng.Intn(4 * len(members)))), Ref: id}
-	}
-	for _, id := range members {
-		in, ok := c.Clients[id].Instance(t)
-		if !ok {
-			continue
-		}
-		var lab label.Label
-		switch rng.Intn(4) {
-		case 0:
-			lab = label.Bottom
-		case 1:
-			lab = label.FromIndex(uint64(rng.Intn(len(members))))
-		case 2:
-			lab = label.FromIndex(uint64(rng.Intn(8 * len(members))))
-		default:
-			lab = label.Label{Bits: rng.Uint64() & 3, Len: 2} // possibly malformed
-		}
-		sc := map[label.Label]sim.NodeID{}
-		for i := rng.Intn(3); i > 0; i-- {
-			tp := randTuple()
-			if !tp.IsBottom() {
-				sc[tp.L] = tp.Ref
-			}
-		}
-		in.Sub.ForceState(lab, randTuple(), randTuple(), randTuple(), sc)
-	}
+	c.CorruptSubscriberStatesRand(t, c.Sched.Rand())
 }
 
 // CorruptSupervisorDB injects all four database corruption cases of
-// Section 3.1: a ⊥ tuple, a duplicated subscriber, a deleted label and an
-// out-of-range label.
+// Section 3.1 using the scheduler's random source; see
+// Live.CorruptSupervisorDBRand.
 func (c *Cluster) CorruptSupervisorDB(t sim.Topic) {
-	n := c.Sup.N(t)
-	if n == 0 {
-		return
-	}
-	rng := c.Sched.Rand()
-	snap := c.Sup.Snapshot(t)
-	var someNode sim.NodeID
-	for _, v := range snap { // deterministic: take the largest recorded ID
-		if v > someNode {
-			someNode = v
-		}
-	}
-	c.Sup.InjectRaw(t, label.FromIndex(uint64(n+1+rng.Intn(8))), sim.None)  // (i) ⊥ subscriber
-	c.Sup.InjectRaw(t, label.FromIndex(uint64(n+10+rng.Intn(8))), someNode) // (ii)+(iv) duplicate, out of range
-	c.Sup.DeleteLabel(t, label.FromIndex(uint64(rng.Intn(n))))              // (iii) missing label
+	c.CorruptSupervisorDBRand(t, c.Sched.Rand())
 }
 
 // InjectGarbageMessages places corrupted messages into random members'
@@ -148,43 +99,6 @@ func (c *Cluster) InjectGarbageMessages(t sim.Topic, count int) {
 			body = proto.CheckTrie{Sender: pick(), Nodes: []proto.NodeSummary{{Label: proto.Key{Bits: rng.Uint64(), Len: 7}}}}
 		}
 		c.Sched.InjectAt(rng.Float64()*0.5, sim.Message{To: to, From: pick(), Topic: t, Body: body})
-	}
-}
-
-// PartitionStates forces the members into k disjoint sorted chains with
-// self-consistent but unrecorded labels — the "connected component with
-// negligible probe probability" scenario of Section 3.2.1. The supervisor
-// database is wiped for the topic.
-func (c *Cluster) PartitionStates(t sim.Topic, k int) {
-	members := c.Members(t)
-	snap := c.Sup.Snapshot(t)
-	for l := range snap {
-		c.Sup.DeleteLabel(t, l)
-	}
-	if len(members) == 0 || k < 1 {
-		return
-	}
-	for part := 0; part < k; part++ {
-		var chain []sim.NodeID
-		for i, id := range members {
-			if i%k == part {
-				chain = append(chain, id)
-			}
-		}
-		for i, id := range chain {
-			in, _ := c.Clients[id].Instance(t)
-			// Self-consistent labels with long lengths → tiny probe
-			// probability via action (ii).
-			lab := label.FromIndex(uint64(1024 + part*4096 + i))
-			var left, right proto.Tuple
-			if i > 0 {
-				left = proto.Tuple{L: label.FromIndex(uint64(1024 + part*4096 + i - 1)), Ref: chain[i-1]}
-			}
-			if i < len(chain)-1 {
-				right = proto.Tuple{L: label.FromIndex(uint64(1024 + part*4096 + i + 1)), Ref: chain[i+1]}
-			}
-			in.Sub.ForceState(lab, left, right, proto.Tuple{}, nil)
-		}
 	}
 }
 

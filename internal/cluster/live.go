@@ -27,6 +27,11 @@ type Live struct {
 	Clients map[sim.NodeID]*core.Client
 	opts    core.Options
 	nextID  sim.NodeID
+
+	// downed holds the clients of crashed nodes, so a chaos restart can
+	// bring them back with exactly the stale state they crashed with — the
+	// "arbitrary initial state" the protocol self-stabilizes from.
+	downed map[sim.NodeID]*core.Client
 }
 
 // NewLive starts a supervisor on the transport and returns the harness.
@@ -39,6 +44,7 @@ func NewLive(tr sim.Transport, clientOpts core.Options) *Live {
 		Clients: make(map[sim.NodeID]*core.Client),
 		opts:    clientOpts,
 		nextID:  SupervisorID + 1,
+		downed:  make(map[sim.NodeID]*core.Client),
 	}
 }
 
@@ -88,10 +94,38 @@ func (l *Live) Publish(id sim.NodeID, t sim.Topic, payload string) {
 	l.Tr.Send(sim.Message{To: id, From: id, Topic: t, Body: core.PublishCmd{Payload: payload}})
 }
 
-// Crash fails a client without warning.
+// Crash fails a client without warning. The client object is retained so
+// Restart can bring the node back with its stale state.
 func (l *Live) Crash(id sim.NodeID) {
 	l.Tr.Crash(id)
-	delete(l.Clients, id)
+	if cl, ok := l.Clients[id]; ok {
+		l.downed[id] = cl
+		delete(l.Clients, id)
+	}
+}
+
+// Restart re-registers a previously crashed client on the transport with
+// whatever state it had at crash time. It reports false when id was never
+// crashed (or already restarted).
+func (l *Live) Restart(id sim.NodeID) bool {
+	cl, ok := l.downed[id]
+	if !ok {
+		return false
+	}
+	delete(l.downed, id)
+	l.Clients[id] = cl
+	l.Tr.AddNode(id, cl)
+	return true
+}
+
+// Downed returns the IDs of crashed, not-yet-restarted clients, sorted.
+func (l *Live) Downed() []sim.NodeID {
+	out := make([]sim.NodeID, 0, len(l.downed))
+	for id := range l.downed {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Members returns the clients currently holding a live instance for t,

@@ -476,6 +476,21 @@ func (s *Subscriber) OnMessage(ctx sim.Context, m sim.Message) {
 // onSetData processes a configuration from the supervisor (Algorithm 4
 // SetData), including action (iii) of Section 3.2.1.
 func (s *Subscriber) onSetData(ctx sim.Context, d proto.SetData) {
+	if s.departed {
+		// A non-⊥ configuration for a departed instance means the database
+		// re-recorded us: our pre-departure Subscribe (action (i) retries,
+		// or the original join) was reordered past the unsubscribe grant —
+		// channels are non-FIFO — and arrived after the supervisor deleted
+		// our tuple. Nothing else ever removes that entry (the failure
+		// detector only screens crashed nodes, and a departed instance
+		// neither probes nor rejoins), so the db ↔ membership disagreement
+		// would be permanent: answer with Unsubscribe until the database
+		// forgets us again. Found by the chaos engine's churn scenarios.
+		if !d.Label.IsBottom() {
+			ctx.Send(s.supervisor, s.topic, proto.Unsubscribe{V: s.self})
+		}
+		return
+	}
 	if s.leaving {
 		if d.Label.IsBottom() {
 			// Permission granted: drop the label and ask every neighbour to

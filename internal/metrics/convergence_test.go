@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStopwatchMeasuresFromLastFault(t *testing.T) {
+	var w Stopwatch
+	w.Fault(10)
+	w.Fault(25) // later fault resets the measurement origin
+	w.Converge(40)
+	if got := w.Rounds(); got != 15 {
+		t.Fatalf("Rounds() = %g, want 15 (measured from the last fault)", got)
+	}
+	if w.Faults() != 2 {
+		t.Fatalf("Faults() = %d, want 2", w.Faults())
+	}
+}
+
+func TestStopwatchOnlyFirstConvergenceSticks(t *testing.T) {
+	var w Stopwatch
+	w.Fault(5)
+	w.Converge(8)
+	w.Converge(100) // the probes keep passing; the measurement must not move
+	if got := w.Rounds(); got != 3 {
+		t.Fatalf("Rounds() = %g, want 3", got)
+	}
+}
+
+func TestStopwatchFaultVoidsConvergence(t *testing.T) {
+	var w Stopwatch
+	w.Fault(5)
+	w.Converge(8)
+	w.Fault(20) // a new fault re-opens the measurement
+	if w.Converged() {
+		t.Fatal("Converged() true right after a new fault")
+	}
+	if got := w.Rounds(); got != -1 {
+		t.Fatalf("Rounds() = %g, want -1 while unconverged", got)
+	}
+	w.Converge(26)
+	if got := w.Rounds(); got != 6 {
+		t.Fatalf("Rounds() = %g, want 6", got)
+	}
+}
+
+func TestStopwatchNoFaults(t *testing.T) {
+	var w Stopwatch
+	w.Converge(7)
+	if got := w.Rounds(); got != 0 {
+		t.Fatalf("Rounds() = %g, want 0 for a fault-free run", got)
+	}
+}
+
+func TestStopwatchUnconverged(t *testing.T) {
+	var w Stopwatch
+	w.Fault(3)
+	if w.Converged() {
+		t.Fatal("Converged() true without a Converge call")
+	}
+	if got := w.Rounds(); got != -1 {
+		t.Fatalf("Rounds() = %g, want -1", got)
+	}
+}
+
+func TestConvergenceAggregation(t *testing.T) {
+	var c Convergence
+	for _, r := range []float64{10, 20, 30, 40} {
+		c.Observe(r, true)
+	}
+	c.Observe(0, false)
+	c.Observe(0, false)
+	if c.Runs() != 6 {
+		t.Fatalf("Runs() = %d, want 6", c.Runs())
+	}
+	if c.Failures() != 2 {
+		t.Fatalf("Failures() = %d, want 2", c.Failures())
+	}
+	s := c.Summary()
+	if s.Count != 4 || s.Min != 10 || s.Max != 40 || s.Mean != 25 {
+		t.Fatalf("Summary() = %+v, want count 4, min 10, max 40, mean 25", s)
+	}
+	if out := c.String(); !strings.Contains(out, "6 runs, 2 failures") {
+		t.Fatalf("String() = %q", out)
+	}
+}

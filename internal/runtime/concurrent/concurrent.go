@@ -85,6 +85,15 @@ type Runtime struct {
 
 	delivered atomic.Int64
 	dropped   atomic.Int64
+	// fault is the transport-layer fault filter (sim.FaultFunc); it is read
+	// on every Send from arbitrary goroutines, hence the atomic holder.
+	fault atomic.Pointer[sim.FaultFunc]
+	// delayed counts messages held back by FaultDelay timers; Quiesce must
+	// wait them out, exactly like frames an external carrier still holds.
+	delayed atomic.Int64
+	// delaySeq spreads FaultDelay hold times so two delayed messages from
+	// the same burst come back in a different order than they left.
+	delaySeq atomic.Int64
 	// injects counts every mailbox entry attempt. Quiesce requires it to be
 	// stable across a drain check: a carried frame can hop from ExtraPending
 	// into pending between two counter reads, and the hop is only visible as
@@ -241,10 +250,52 @@ func (r *Runtime) Send(m sim.Message) {
 	r.byType[sim.TypeName(m.Body)]++
 	r.sentBy[m.From]++
 	r.acctMu.Unlock()
-	if r.opts.Redirect != nil && r.opts.Redirect(m) {
+	copies := 1
+	if fp := r.fault.Load(); fp != nil {
+		switch (*fp)(m) {
+		case sim.FaultDrop:
+			r.dropped.Add(1)
+			return
+		case sim.FaultDup:
+			copies = 2
+		case sim.FaultDelay:
+			// Hold the message for 1–4 intervals, so traffic sent after it
+			// arrives first. On expiry the message re-enters through the
+			// normal routing (Redirect first, so a delayed message bound
+			// for a remote peer still crosses the socket late instead of
+			// being lost) but skips the fault filter — a filter returning
+			// FaultDelay unconditionally must not defer forever. The
+			// delayed counter keeps the held message visible to Quiesce;
+			// re-entry raises pending/inflight before the counter drops, so
+			// the token is never invisible.
+			hold := r.opts.Interval * time.Duration(1+r.delaySeq.Add(1)%4)
+			r.delayed.Add(1)
+			time.AfterFunc(hold, func() {
+				if r.opts.Redirect == nil || !r.opts.Redirect(m) {
+					r.Inject(m)
+				}
+				r.delayed.Add(-1)
+			})
+			return
+		}
+	}
+	for i := 0; i < copies; i++ {
+		if r.opts.Redirect != nil && r.opts.Redirect(m) {
+			continue
+		}
+		r.Inject(m)
+	}
+}
+
+// SetFault installs (or clears, with nil) the transport-layer fault filter
+// consulted on every Send after the accounting step. The filter runs on the
+// sending goroutine and must be safe for concurrent use.
+func (r *Runtime) SetFault(f sim.FaultFunc) {
+	if f == nil {
+		r.fault.Store(nil)
 		return
 	}
-	r.Inject(m)
+	r.fault.Store(&f)
 }
 
 // Inject delivers a message to a local mailbox, bypassing the Redirect
@@ -326,8 +377,13 @@ func (r *Runtime) Quiesce(timeout time.Duration, f func()) bool {
 		// between counters mid-check: with no inject in the window, a
 		// token observed absent from pending cannot reappear there, and
 		// new tokens would need a running handler (busy/pending ≥ 1).
+		// delayed plays the same role as ExtraPending for FaultDelay
+		// holds: the timer callback Injects (raising pending) before it
+		// decrements delayed, so a held message is never invisible to
+		// this check.
 		t0 := r.injects.Load()
 		if r.busy.Load() == 0 && r.pending.Load() == 0 &&
+			r.delayed.Load() == 0 &&
 			(r.opts.ExtraPending == nil || r.opts.ExtraPending() == 0) &&
 			r.injects.Load() == t0 {
 			r.inQuiesce.Store(true)

@@ -1,0 +1,77 @@
+package concurrent
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sspubsub/internal/sim"
+)
+
+// countHandler counts deliveries.
+type countHandler struct{ n atomic.Int64 }
+
+func (h *countHandler) OnMessage(sim.Context, sim.Message) { h.n.Add(1) }
+func (h *countHandler) OnTimeout(sim.Context)              {}
+
+func TestRuntimeFaultDropAndDup(t *testing.T) {
+	r := NewRuntime(Options{Interval: time.Millisecond})
+	defer r.Close()
+	h := &countHandler{}
+	r.AddNode(2, h)
+
+	r.SetFault(func(m sim.Message) sim.FaultAction { return sim.FaultDrop })
+	for i := 0; i < 10; i++ {
+		r.Send(sim.Message{To: 2, From: 3, Body: "x"})
+	}
+	if !r.Quiesce(2*time.Second, func() {}) {
+		t.Fatal("no quiesce under drop-all fault")
+	}
+	if got := h.n.Load(); got != 0 {
+		t.Fatalf("delivered %d under drop-all fault", got)
+	}
+	if got := r.Dropped(); got != 10 {
+		t.Fatalf("Dropped() = %d, want 10", got)
+	}
+
+	r.SetFault(func(m sim.Message) sim.FaultAction { return sim.FaultDup })
+	for i := 0; i < 10; i++ {
+		r.Send(sim.Message{To: 2, From: 3, Body: "x"})
+	}
+	ok := r.Quiesce(2*time.Second, func() {
+		if got := h.n.Load(); got != 20 {
+			t.Errorf("delivered %d under dup fault, want 20", got)
+		}
+	})
+	if !ok {
+		t.Fatal("no quiesce under dup fault")
+	}
+}
+
+// TestRuntimeFaultDelayDrains pins the quiesce contract for FaultDelay: a
+// message held back by the delay timer is part of the in-flight state, so
+// the barrier must wait it out and the message must be delivered before
+// the frozen snapshot runs.
+func TestRuntimeFaultDelayDrains(t *testing.T) {
+	r := NewRuntime(Options{Interval: time.Millisecond})
+	defer r.Close()
+	h := &countHandler{}
+	r.AddNode(2, h)
+	r.SetFault(func(m sim.Message) sim.FaultAction { return sim.FaultDelay })
+	const k = 25
+	for i := 0; i < k; i++ {
+		r.Send(sim.Message{To: 2, From: 3, Body: "x"})
+	}
+	r.SetFault(nil)
+	ok := r.Quiesce(5*time.Second, func() {
+		if got := h.n.Load(); got != k {
+			t.Errorf("quiesced with %d delivered, want %d", got, k)
+		}
+	})
+	if !ok {
+		t.Fatal("quiesce timed out with delayed messages outstanding")
+	}
+	if got := r.Delivered(); got != k {
+		t.Fatalf("Delivered() = %d, want %d", got, k)
+	}
+}

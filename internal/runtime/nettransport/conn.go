@@ -198,8 +198,16 @@ func (p *peer) writeLoop(conn net.Conn, dead chan struct{}) {
 			p.frameLost()
 			return true // only this message is bad; the stream is fine
 		}
+		write, corrupted := p.applyFrameFault(scratch, 1)
+		if !write {
+			return true // frame shed by the fault hook
+		}
 		if _, err := bw.Write(scratch); err != nil {
-			p.frameLost()
+			if corrupted {
+				p.t.lost.Add(1) // holds already released by the corrupt path
+			} else {
+				p.frameLost()
+			}
 			return false // I/O failure: let the reader's error path reconnect
 		}
 		dirty = true
@@ -249,9 +257,17 @@ func (p *peer) writeLoop(conn net.Conn, dead chan struct{}) {
 			}
 			return true
 		}
+		write, corrupted := p.applyFrameFault(scratch, len(batch))
+		if !write {
+			return true // batch frame shed by the fault hook
+		}
 		if _, err := bw.Write(scratch); err != nil {
-			for range batch {
-				p.frameLost()
+			if corrupted {
+				p.t.lost.Add(int64(len(batch))) // holds already released
+			} else {
+				for range batch {
+					p.frameLost()
+				}
 			}
 			return false
 		}
@@ -311,6 +327,35 @@ func (p *peer) writeLoop(conn net.Conn, dead chan struct{}) {
 			}
 		}
 	}
+}
+
+// applyFrameFault runs the wire-level fault hook for an encoded frame
+// carrying n messages. write reports whether the frame may be written
+// (false for FrameDrop, accounted as n lost frames). FrameCorrupt flips
+// the magic bytes in place — the receiver will count the frame as garbage
+// and skip it, so the loopback in-flight holds are released here (the
+// messages will never re-enter through Inject) and corrupted is returned
+// true: a subsequent I/O failure on the same frame must NOT run the
+// frameLost accounting again, or the holds would be double-released and
+// the quiesce barrier would open early. Flipping the magic, not arbitrary
+// bytes, guarantees the corrupted frame cannot decode into a different
+// valid message, which would likewise double-release the holds.
+func (p *peer) applyFrameFault(frame []byte, n int) (write, corrupted bool) {
+	switch p.t.frameVerdict() {
+	case FrameDrop:
+		for i := 0; i < n; i++ {
+			p.frameLost()
+		}
+		return false, false
+	case FrameCorrupt:
+		frame[4] ^= 0xFF
+		frame[5] ^= 0xFF
+		if p.t.role == roleLoopback {
+			p.t.inflight.Add(int64(-n))
+		}
+		return true, true
+	}
+	return true, false
 }
 
 // frameLost records one frame that will never arrive, releasing its

@@ -131,6 +131,12 @@ type Transport struct {
 	garbage  atomic.Int64 // undecodable frames dropped
 	lost     atomic.Int64 // frames dropped by dead links / unroutable IDs
 
+	// frameFault, when set, is consulted once per outgoing frame on the
+	// writer goroutines: it can drop the frame whole or smash its magic
+	// bytes so the receiver's decoder sees garbage (the chaos engine's
+	// wire-corruption fault).
+	frameFault atomic.Pointer[func() FrameFault]
+
 	mu       sync.Mutex
 	local    map[sim.NodeID]bool
 	blocks   []*block // hub: granted ID blocks, routing table
@@ -257,6 +263,45 @@ func (t *Transport) Slots() uint32 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.slots
+}
+
+// FrameFault is the verdict of the wire-level fault hook for one outgoing
+// frame.
+type FrameFault uint8
+
+const (
+	// FrameDeliver writes the frame unchanged.
+	FrameDeliver FrameFault = iota
+	// FrameDrop sheds the frame before it reaches the socket (counted as
+	// lost frames, one per carried message).
+	FrameDrop
+	// FrameCorrupt flips the frame's magic bytes: the frame crosses the
+	// socket but the receiver's decoder rejects it as garbage, exercising
+	// the ErrGarbage recovery path end to end.
+	FrameCorrupt
+)
+
+// SetFault installs (or clears, with nil) the message-level fault filter of
+// the embedded runtime; see concurrent.Runtime.SetFault.
+func (t *Transport) SetFault(f sim.FaultFunc) { t.rt.SetFault(f) }
+
+// SetFrameFault installs (or clears, with nil) the wire-level fault hook,
+// consulted once per outgoing frame on the writer goroutines. It must be
+// safe for concurrent use.
+func (t *Transport) SetFrameFault(f func() FrameFault) {
+	if f == nil {
+		t.frameFault.Store(nil)
+		return
+	}
+	t.frameFault.Store(&f)
+}
+
+// frameVerdict evaluates the wire-level fault hook for the next frame.
+func (t *Transport) frameVerdict() FrameFault {
+	if f := t.frameFault.Load(); f != nil {
+		return (*f)()
+	}
+	return FrameDeliver
 }
 
 // GarbageFrames returns the number of frames dropped as undecodable.

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// recorder is a Handler that records the order of payloads it receives.
+type recorder struct {
+	got []string
+}
+
+func (r *recorder) OnMessage(ctx Context, m Message) {
+	if s, ok := m.Body.(string); ok {
+		r.got = append(r.got, s)
+	}
+}
+func (r *recorder) OnTimeout(Context) {}
+
+func TestSchedulerFaultDrop(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 1})
+	rec := &recorder{}
+	s.AddNode(2, rec)
+	s.SetFault(func(m Message) FaultAction { return FaultDrop })
+	for i := 0; i < 5; i++ {
+		s.Send(Message{To: 2, From: 3, Body: "x"})
+	}
+	s.RunRounds(5)
+	if len(rec.got) != 0 {
+		t.Fatalf("delivered %d messages under a drop-all fault", len(rec.got))
+	}
+	if s.Dropped() != 5 {
+		t.Fatalf("Dropped() = %d, want 5", s.Dropped())
+	}
+	// Accounting still sees the sends (counted before the fault filter).
+	if s.SentBy(3) != 5 {
+		t.Fatalf("SentBy(3) = %d, want 5", s.SentBy(3))
+	}
+	s.SetFault(nil)
+	s.Send(Message{To: 2, From: 3, Body: "y"})
+	s.RunRounds(2)
+	if len(rec.got) != 1 {
+		t.Fatalf("healthy channel after clearing fault delivered %d, want 1", len(rec.got))
+	}
+}
+
+func TestSchedulerFaultDup(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 1})
+	rec := &recorder{}
+	s.AddNode(2, rec)
+	s.SetFault(func(m Message) FaultAction { return FaultDup })
+	s.Send(Message{To: 2, From: 3, Body: "d"})
+	s.RunRounds(3)
+	if len(rec.got) != 2 {
+		t.Fatalf("duplicated message delivered %d times, want 2", len(rec.got))
+	}
+	if s.Delivered() != 2 {
+		t.Fatalf("Delivered() = %d, want 2", s.Delivered())
+	}
+}
+
+func TestSchedulerFaultDelayReorders(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 1})
+	rec := &recorder{}
+	s.AddNode(2, rec)
+	// Delay the first message only; the second must overtake it.
+	first := true
+	s.SetFault(func(m Message) FaultAction {
+		if first {
+			first = false
+			return FaultDelay
+		}
+		return FaultDeliver
+	})
+	s.Send(Message{To: 2, From: 3, Body: "slow"})
+	s.Send(Message{To: 2, From: 3, Body: "fast"})
+	s.RunRounds(10)
+	want := []string{"fast", "slow"}
+	if !reflect.DeepEqual(rec.got, want) {
+		t.Fatalf("delivery order %v, want %v", rec.got, want)
+	}
+}
+
+// TestSchedulerFaultDeterminism pins the replay contract: identical seeds
+// and identical fault filters produce identical runs.
+func TestSchedulerFaultDeterminism(t *testing.T) {
+	run := func() []string {
+		s := NewScheduler(SchedulerOptions{Seed: 42})
+		rec := &recorder{}
+		s.AddNode(2, rec)
+		i := 0
+		s.SetFault(func(m Message) FaultAction {
+			i++
+			return FaultAction(i % 4)
+		})
+		for j := 0; j < 40; j++ {
+			s.Send(Message{To: 2, From: 3, Body: string(rune('a' + j%26))})
+		}
+		s.RunRounds(20)
+		return rec.got
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two seeded faulted runs diverged:\n%v\n%v", a, b)
+	}
+}
+
+// ticker counts OnTimeout invocations.
+type ticker struct{ ticks int }
+
+func (t *ticker) OnMessage(Context, Message) {}
+func (t *ticker) OnTimeout(Context)          { t.ticks++ }
+
+// TestSchedulerRestartSingleTimeoutChain pins the restart path against a
+// stale-chain resurrection: crashing and immediately re-adding a node (no
+// intervening rounds, as a chaos CrashBurst→RestartAll produces) must
+// leave exactly one self-renewing timeout chain — the crashed
+// incarnation's queued event must not revive for the new incarnation.
+func TestSchedulerRestartSingleTimeoutChain(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 1})
+	tk := &ticker{}
+	s.AddNode(2, tk)
+	s.RunRounds(2)
+	for cycle := 0; cycle < 3; cycle++ { // every cycle would add a chain
+		s.Crash(2)
+		s.AddNode(2, tk)
+	}
+	tk.ticks = 0
+	const rounds = 50
+	s.RunRounds(rounds)
+	// One chain fires exactly once per round (± one for phase alignment).
+	if tk.ticks < rounds-1 || tk.ticks > rounds+1 {
+		t.Fatalf("restarted node fired %d timeouts over %d rounds, want ~%d (duplicate chains?)",
+			tk.ticks, rounds, rounds)
+	}
+}
+
+// TestSchedulerRestartClearsSuspicion pins the restart semantics: re-adding
+// a crashed node's ID stops the failure detector from suspecting it, same
+// as the concurrent runtime's Restart.
+func TestSchedulerRestartClearsSuspicion(t *testing.T) {
+	s := NewScheduler(SchedulerOptions{Seed: 1, DetectorGrace: 1})
+	rec := &recorder{}
+	s.AddNode(2, rec)
+	s.Crash(2)
+	s.RunRounds(3)
+	if !s.Suspects(2) {
+		t.Fatal("crashed node not suspected after the grace period")
+	}
+	s.AddNode(2, rec)
+	if s.Suspects(2) {
+		t.Fatal("restarted node still suspected")
+	}
+	if s.Crashed(2) {
+		t.Fatal("restarted node still reported crashed")
+	}
+}

@@ -42,6 +42,11 @@ type Scheduler struct {
 
 	inFlight int // message events currently queued
 
+	// fault, when non-nil, filters every Send (after accounting): drops,
+	// duplicates or delays messages to model adversarial channels. The
+	// chaos engine installs it; nil means a healthy channel.
+	fault FaultFunc
+
 	// ctx is the single Context handed to every handler invocation; only
 	// its node binding changes per event. Handlers must not retain it
 	// beyond the call (the Context contract), so reusing one value keeps
@@ -61,6 +66,11 @@ type schedNode struct {
 	h     Handler
 	phase float64
 	next  float64 // next timeout
+	// gen distinguishes incarnations of the same node ID: a crashed node's
+	// stale evTimeout may still sit in the queue when the ID is re-added
+	// (restart), and without the generation check it would resurrect into a
+	// second self-renewing timeout chain for the restarted node.
+	gen int64
 }
 
 type evKind uint8
@@ -76,6 +86,7 @@ type event struct {
 	kind evKind
 	msg  Message
 	node NodeID
+	gen  int64 // timeout events: the node incarnation that scheduled it
 }
 
 func (e event) before(o event) bool {
@@ -166,10 +177,13 @@ func (s *Scheduler) AddNode(id NodeID, h Handler) {
 	if _, dup := s.nodes[id]; dup {
 		panic(fmt.Sprintf("sim: duplicate node %d", id))
 	}
-	n := &schedNode{id: id, h: h, phase: s.rng.Float64()}
+	n := &schedNode{id: id, h: h, phase: s.rng.Float64(), gen: s.seq}
 	n.next = s.now + n.phase
 	s.nodes[id] = n
-	s.push(event{t: n.next, kind: evTimeout, node: id})
+	// Re-adding a crashed ID is a restart: the failure detector must stop
+	// suspecting it (mirrors the concurrent runtime's Restart semantics).
+	delete(s.crashed, id)
+	s.push(event{t: n.next, kind: evTimeout, node: id, gen: n.gen})
 }
 
 // RemoveNode gracefully deregisters a node (used for unsubscribed clients
@@ -214,6 +228,14 @@ func (s *Scheduler) push(e event) {
 	s.events.pushEvent(e)
 }
 
+// SetFault installs (or clears, with nil) the transport-layer fault filter.
+// The filter sees every Send after the accounting step; a dropped message
+// counts toward Dropped(), a duplicated one is delivered twice with
+// independent delays, a delayed one arrives several intervals late (so
+// later traffic overtakes it). Fault decisions consume scheduler
+// randomness deterministically, so faulted runs replay from their seed.
+func (s *Scheduler) SetFault(f FaultFunc) { s.fault = f }
+
 // Send queues a message with a random delay. It is also usable directly by
 // test harnesses to inject well-formed traffic.
 func (s *Scheduler) Send(m Message) {
@@ -223,9 +245,25 @@ func (s *Scheduler) Send(m Message) {
 	}
 	s.sentBy[m.From]++
 	s.byType[TypeName(m.Body)]++
-	delay := s.opts.MinDelay + s.rng.Float64()*(s.opts.MaxDelay-s.opts.MinDelay)
-	s.inFlight++
-	s.push(event{t: s.now + delay, kind: evDeliver, msg: m})
+	copies, extra := 1, 0.0
+	if s.fault != nil {
+		switch s.fault(m) {
+		case FaultDrop:
+			s.dropped++
+			return
+		case FaultDup:
+			copies = 2
+		case FaultDelay:
+			// 1–4 extra intervals: enough for a full timeout's worth of
+			// newer traffic to overtake the held message.
+			extra = 1 + 3*s.rng.Float64()
+		}
+	}
+	for i := 0; i < copies; i++ {
+		delay := s.opts.MinDelay + s.rng.Float64()*(s.opts.MaxDelay-s.opts.MinDelay)
+		s.inFlight++
+		s.push(event{t: s.now + delay + extra, kind: evDeliver, msg: m})
+	}
 }
 
 // InjectAt places an arbitrary (possibly corrupted) message into the event
@@ -263,8 +301,10 @@ func (s *Scheduler) Step() bool {
 		n.h.OnMessage(&s.ctx, e.msg)
 	case evTimeout:
 		n, ok := s.nodes[e.node]
-		if !ok {
-			return true // crashed or removed
+		if !ok || n.gen != e.gen {
+			// Crashed, removed, or a stale chain from a previous incarnation
+			// of a restarted ID: let it die (the restart pushed its own).
+			return true
 		}
 		if s.opts.Trace != nil {
 			s.opts.Trace("%.3f timeout %d", s.now, e.node)
@@ -272,7 +312,7 @@ func (s *Scheduler) Step() bool {
 		s.ctx = schedCtx{s: s, id: e.node}
 		n.h.OnTimeout(&s.ctx)
 		n.next += 1
-		s.push(event{t: n.next, kind: evTimeout, node: e.node})
+		s.push(event{t: n.next, kind: evTimeout, node: e.node, gen: n.gen})
 	}
 	return true
 }

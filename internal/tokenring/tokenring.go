@@ -28,6 +28,8 @@
 package tokenring
 
 import (
+	"fmt"
+	"math/rand"
 	"sort"
 
 	"sspubsub/internal/core"
@@ -324,6 +326,84 @@ func (s *Supervisor) OnMessage(ctx sim.Context, m sim.Message) {
 		}
 	}
 }
+
+// ---- corruption injectors and invariant probes (chaos engine, tests) ----
+
+// CorruptTopicState scrambles the supervisor's O(1) steady-state data for
+// a topic with pseudo-random garbage: the committed ring size drifts, the
+// entry/last tuples point at arbitrary (possibly nonexistent) nodes with
+// arbitrary labels, the epoch jumps, and a phantom token is marked in
+// flight. Every case is repaired by the token machinery itself — a pass
+// over garbage pointers breaks, repeated breaks escalate to a rebuild, and
+// the rebuild recommits a consistent ring from live re-registrations.
+//
+// On a live substrate the caller must hold the quiesce barrier.
+func (s *Supervisor) CorruptTopicState(t sim.Topic, rng *rand.Rand) {
+	st := s.topic(t)
+	junk := func() proto.Tuple {
+		if rng.Intn(4) == 0 {
+			return proto.Tuple{}
+		}
+		return proto.Tuple{
+			L:   label.FromIndex(rng.Uint64() % 128),
+			Ref: sim.NodeID(rng.Int63n(64)), // may be ⊥, live, dead or unknown
+		}
+	}
+	st.n = uint64(rng.Intn(int(st.n + 8)))
+	st.entry = junk()
+	st.last = junk()
+	st.epoch += uint64(rng.Intn(5))
+	st.tokenOut = rng.Intn(2) == 0 // phantom pass: no token actually exists
+	st.tokenN = uint64(rng.Intn(int(st.n + 4)))
+	st.tokenSent = 0
+	for i := rng.Intn(3); i > 0; i-- {
+		st.pending[sim.NodeID(rng.Int63n(64))] = true
+	}
+}
+
+// CheckIntegrity validates the structural invariants of the supervisor's
+// committed steady state for a topic, returning "" when they hold or a
+// description of the first violation. In a legitimate state (Definition 2,
+// restricted to what the O(1) supervisor stores) the entry tuple is
+// position 0 of the committed ring and the last tuple is position n−1:
+//
+//   - n == 0  → entry and last are both ⊥ and no rebuild is pending,
+//   - n ≥ 1  → entry = (l(0), v) and last = (l(n−1), w) with real nodes,
+//     and for n == 1 they coincide.
+//
+// A rebuild in progress is reported as a violation: the probe is meant to
+// hold only after convergence.
+func (s *Supervisor) CheckIntegrity(t sim.Topic) string {
+	st := s.topic(t)
+	if st.rebuild {
+		return "rebuild in progress"
+	}
+	if st.n == 0 {
+		if !st.entry.IsBottom() || !st.last.IsBottom() {
+			return fmt.Sprintf("empty ring with entry=%s last=%s", st.entry, st.last)
+		}
+		return ""
+	}
+	if st.entry.IsBottom() || st.last.IsBottom() {
+		return fmt.Sprintf("committed ring of %d with entry=%s last=%s", st.n, st.entry, st.last)
+	}
+	if want := label.NthInOrder(st.n, 0); st.entry.L != want {
+		return fmt.Sprintf("entry label %s, want l(0)=%s for n=%d", st.entry.L, want, st.n)
+	}
+	if want := label.NthInOrder(st.n, st.n-1); st.last.L != want {
+		return fmt.Sprintf("last label %s, want l(%d)=%s for n=%d", st.last.L, st.n-1, want, st.n)
+	}
+	if st.n == 1 && st.entry != st.last {
+		return fmt.Sprintf("singleton ring with entry %s ≠ last %s", st.entry, st.last)
+	}
+	return ""
+}
+
+// Entry returns the committed entry tuple (position 0) for a topic.
+func (s *Supervisor) Entry(t sim.Topic) proto.Tuple { return s.topic(t).entry }
+
+// Last returns the committed last tuple (position n−1) for a topic.
+func (s *Supervisor) Last(t sim.Topic) proto.Tuple { return s.topic(t).last }
 
 func sortedIDs(set map[sim.NodeID]bool) []sim.NodeID {
 	out := make([]sim.NodeID, 0, len(set))

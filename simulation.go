@@ -42,6 +42,7 @@ type liveSubstrate interface {
 	SentBy(id sim.NodeID) int64
 	ResetCounters()
 	Now() float64
+	SetFault(f sim.FaultFunc)
 }
 
 // SimOptions configure a Simulation.
@@ -377,6 +378,49 @@ func (s *Simulation) InjectGarbageMessages(t Topic, count int) {
 func (s *Simulation) PartitionStates(t Topic, k int) {
 	s.requireSim("PartitionStates")
 	s.c.PartitionStates(t, k)
+}
+
+// Restart brings a previously crashed subscriber back with exactly the
+// stale state it crashed with — an arbitrary initial state for the
+// self-stabilization machinery to repair. It reports false when the node
+// was never crashed (or was already restarted). Works on every substrate.
+func (s *Simulation) Restart(id NodeID) bool {
+	if s.lrt != nil {
+		return s.live.Restart(id)
+	}
+	return s.c.Restart(id)
+}
+
+// FaultAction is the verdict a message-fault filter returns; see the
+// Fault* constants.
+type FaultAction = sim.FaultAction
+
+// Fault filter verdicts: deliver unchanged, lose the message, deliver it
+// twice, or hold it back so later traffic overtakes it.
+const (
+	FaultDeliver = sim.FaultDeliver
+	FaultDrop    = sim.FaultDrop
+	FaultDup     = sim.FaultDup
+	FaultDelay   = sim.FaultDelay
+)
+
+// SetMessageFault installs (or clears, with nil) a transport-layer fault
+// filter consulted for every message: chaos experiments use it to model
+// lossy, duplicating, reordering or partitioned channels (Section 3.3's
+// adversarial channel). On the live substrates the filter runs on the
+// sending goroutine and must be safe for concurrent use. Driver control
+// commands are ordinary self-sends — exempt them (from == to) unless the
+// experiment really wants to sever its own controls.
+func (s *Simulation) SetMessageFault(f func(from, to NodeID, topic Topic) FaultAction) {
+	var ff sim.FaultFunc
+	if f != nil {
+		ff = func(m sim.Message) sim.FaultAction { return f(m.From, m.To, m.Topic) }
+	}
+	if s.lrt != nil {
+		s.lrt.SetFault(ff)
+		return
+	}
+	s.c.Sched.SetFault(ff)
 }
 
 // StartChurn attaches a crash/restart fault injector to a concurrent run:
