@@ -459,33 +459,50 @@ func BenchmarkCrossSubstratePublishThroughput(b *testing.B) {
 func BenchmarkHotPathPublishFanout(b *testing.B) {
 	for _, kind := range crossSubstrateKinds {
 		b.Run(string(kind), func(b *testing.B) {
-			s := NewSimulation(SimOptions{
+			benchHotPathFanout(b, SimOptions{
 				Runtime: kind, Seed: 11, Interval: time.Millisecond,
 				DisableAntiEntropy: true,
 			})
-			defer s.Close()
-			const n = 16
-			s.AddSubscribers(n)
-			s.JoinAll(benchTopic)
-			if _, ok := s.RunUntilConverged(benchTopic, n, 5000); !ok {
-				b.Fatalf("setup: no convergence: %s", s.Explain(benchTopic))
-			}
-			members := s.Members(benchTopic)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				s.Publish(members[i%len(members)], benchTopic, fmt.Sprintf("p%d", i))
-				// Drain in small batches so queues stay bounded and the
-				// flooding itself (not queue growth) dominates.
-				if (i+1)%32 == 0 || i == b.N-1 {
-					if _, ok := s.RunUntil(200000, func() bool {
-						return s.AllHavePubs(benchTopic, i+1)
-					}); !ok {
-						b.Fatalf("flood of publication %d never completed", i)
-					}
-				}
-			}
 		})
+	}
+	// Sharded-plane overhead series: the identical fan-out with the topic
+	// owned by one of four supervisors. The three single-supervisor series
+	// above are the zero-allocation acceptance gate (allocs/op pinned
+	// against the committed baseline); this series tracks what the
+	// crash-tolerant supervisor plane costs on the publish hot path — by
+	// construction nothing, since plane screening, gossip and ownership
+	// checks all run supervisor-side, off the flood path.
+	b.Run("sim-4sup", func(b *testing.B) {
+		benchHotPathFanout(b, SimOptions{
+			Runtime: RuntimeSim, Seed: 11, Interval: time.Millisecond,
+			DisableAntiEntropy: true, Supervisors: 4,
+		})
+	})
+}
+
+func benchHotPathFanout(b *testing.B, opts SimOptions) {
+	s := NewSimulation(opts)
+	defer s.Close()
+	const n = 16
+	s.AddSubscribers(n)
+	s.JoinAll(benchTopic)
+	if _, ok := s.RunUntilConverged(benchTopic, n, 5000); !ok {
+		b.Fatalf("setup: no convergence: %s", s.Explain(benchTopic))
+	}
+	members := s.Members(benchTopic)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Publish(members[i%len(members)], benchTopic, fmt.Sprintf("p%d", i))
+		// Drain in small batches so queues stay bounded and the
+		// flooding itself (not queue growth) dominates.
+		if (i+1)%32 == 0 || i == b.N-1 {
+			if _, ok := s.RunUntil(200000, func() bool {
+				return s.AllHavePubs(benchTopic, i+1)
+			}); !ok {
+				b.Fatalf("flood of publication %d never completed", i)
+			}
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ func runChaos(args []string) {
 	scenario := fs.String("scenario", "random", "scenario name, or 'random' for seed-generated scenarios")
 	runtime := fs.String("runtime", "sim", "execution substrate: sim | concurrent | net")
 	n := fs.Int("n", 12, "initial member count")
+	supervisors := fs.Int("supervisors", 1, "supervisor-plane size (a scenario's own supervisor count wins when set)")
 	seed := fs.Int64("seed", 1, "scenario seed (random scenarios replay exactly from it on -runtime=sim)")
 	count := fs.Int("count", 1, "number of runs; run i uses seed+i-1")
 	interval := fs.Duration("interval", 2*time.Millisecond, "timeout interval (concurrent/net substrates)")
@@ -48,6 +49,9 @@ func runChaos(args []string) {
 	// must be loud, not a silently different experiment.
 	if *n < 3 {
 		fail("-n must be at least 3, got %d", *n)
+	}
+	if *supervisors < 1 {
+		fail("-supervisors must be at least 1, got %d", *supervisors)
 	}
 	if *count < 1 {
 		fail("-count must be positive, got %d", *count)
@@ -79,6 +83,7 @@ func runChaos(args []string) {
 		cfg := chaos.Config{
 			Substrate:      sub,
 			N:              *n,
+			Supervisors:    *supervisors,
 			Seed:           runSeed,
 			Interval:       *interval,
 			ConvergeRounds: *rounds,
@@ -98,6 +103,9 @@ func runChaos(args []string) {
 		// The replay command must carry every flag that shaped the run, or
 		// "exact replay" silently runs a different experiment.
 		replay := fmt.Sprintf("srsim chaos -scenario=%s -runtime=%s -n=%d -seed=%d", *scenario, sub, *n, runSeed)
+		if *supervisors != 1 {
+			replay += fmt.Sprintf(" -supervisors=%d", *supervisors)
+		}
 		if *rounds != 0 {
 			replay += fmt.Sprintf(" -rounds=%d", *rounds)
 		}

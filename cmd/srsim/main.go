@@ -7,6 +7,7 @@
 //	srsim -n 32 -scenario corrupted-states [-seed 7] [-rounds 20000] [-trace]
 //	srsim -n 32 -runtime concurrent [-interval 2ms] [-churn]
 //	srsim -n 16 -runtime net [-pubs 8]      # every message crosses TCP loopback
+//	srsim -n 24 -supervisors 4              # crash-tolerant sharded supervisor plane
 //	srsim -scenarios                        # list scenarios
 //
 // With -runtime=sim (the default) the run is a deterministic
@@ -77,6 +78,7 @@ func main() {
 
 func runOneShot() {
 	n := flag.Int("n", 32, "number of subscribers")
+	supervisors := flag.Int("supervisors", 1, "supervisor-plane size: topics shard over this many supervisors by consistent hashing")
 	seed := flag.Int64("seed", 1, "random seed (sim runs are reproducible)")
 	runtime := flag.String("runtime", "sim", "execution substrate: sim | concurrent | net")
 	interval := flag.Duration("interval", 2*time.Millisecond, "timeout interval (concurrent/net runtimes)")
@@ -101,6 +103,9 @@ func runOneShot() {
 	// they did not.
 	if *n <= 0 {
 		fail("-n must be positive, got %d", *n)
+	}
+	if *supervisors < 1 {
+		fail("-supervisors must be at least 1, got %d", *supervisors)
 	}
 	if *crash < 0 || *crash >= 1 {
 		fail("-crash must be in [0, 1), got %g", *crash)
@@ -143,14 +148,14 @@ func runOneShot() {
 	}
 
 	if *runtime == "sim" {
-		runSim(*n, *seed, *scenario, *rounds, *trace, *pubs, *crash)
+		runSim(*n, *supervisors, *seed, *scenario, *rounds, *trace, *pubs, *crash)
 		return
 	}
-	runLive(*runtime, *n, *seed, *interval, *rounds, *churn, *pubs, *crash)
+	runLive(*runtime, *n, *supervisors, *seed, *interval, *rounds, *churn, *pubs, *crash)
 }
 
-func runSim(n int, seed int64, scenario string, rounds int, trace bool, pubs int, crash float64) {
-	opts := cluster.Options{Seed: seed}
+func runSim(n, supervisors int, seed int64, scenario string, rounds int, trace bool, pubs int, crash float64) {
+	opts := cluster.Options{Seed: seed, Supervisors: supervisors}
 	if trace {
 		opts.Sched.Trace = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -236,7 +241,7 @@ type quiescer interface {
 // runLive executes the fresh-join scenario on a live substrate:
 // goroutine nodes exchanging Go values (concurrent) or wire frames over
 // loopback TCP (net).
-func runLive(kind string, n int, seed int64, interval time.Duration, rounds int, churn bool, pubs int, crash float64) {
+func runLive(kind string, n, supervisors int, seed int64, interval time.Duration, rounds int, churn bool, pubs int, crash float64) {
 	var (
 		tr sim.Transport
 		q  quiescer
@@ -256,19 +261,22 @@ func runLive(kind string, n int, seed int64, interval time.Duration, rounds int,
 		tr, q = nt, nt
 	}
 	defer tr.Close()
-	l := cluster.NewLive(tr, core.Options{})
+	l := cluster.NewLiveN(tr, core.Options{}, supervisors)
 	l.AddClients(n)
 	l.JoinAll(topic)
 
 	start := time.Now()
 	if churn {
 		// Let the fault injector interleave crashes and restarts with the
-		// join burst for a fixed window, then require re-convergence.
+		// join burst for a fixed window, then require re-convergence. The
+		// whole supervisor plane is protected: the injector exercises
+		// subscriber churn (supervisor crashes have their own chaos
+		// scenarios).
 		in := rt.NewInjector(concurrent.InjectorOptions{
 			Period:   10 * interval,
 			Downtime: 4 * interval,
 			Seed:     seed,
-			Protect:  func(id sim.NodeID) bool { return id == cluster.SupervisorID },
+			Protect:  l.IsSupervisor,
 		})
 		time.Sleep(100 * interval)
 		in.Stop()

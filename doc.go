@@ -87,15 +87,36 @@
 // README's Performance section for the measured table and the exact
 // reproduction commands.
 //
+// # Supervisor plane
+//
+// The paper assumes one reliable supervisor. With Options.Supervisors > 1
+// the system instead runs a crash-tolerant supervisor plane: topics are
+// sharded over the supervisors by consistent hashing (internal/hashdht),
+// the supervisors monitor each other through the system-wide failure
+// detector, a crashed supervisor's topics migrate to their hashing
+// successors, and each successor rebuilds its topic database from the
+// live subscribers (the database is soft state, re-reported through a
+// Reregister/OwnerAnnounce handshake that preserves the survivors'
+// labels). Ownership eras are ordered by per-topic epochs carried in
+// every configuration, so commands from deposed supervisors are
+// recognizably stale. System.CrashSupervisor and System.RestartSupervisor
+// (and the same pair on Simulation) inject the faults; the legitimacy
+// predicates extend to ownership agreement. A single-supervisor system
+// takes none of these code paths — this is a deliberate departure from
+// the paper's reliable-supervisor assumption, extending the
+// self-stabilization guarantee to the one component the paper exempts.
+//
 // # Chaos testing
 //
 // Simulation.Restart brings a crashed subscriber back with its stale
-// state (an arbitrary initial configuration, Theorem 8's premise) and
+// state (an arbitrary initial configuration, Theorem 8's premise),
 // Simulation.SetMessageFault installs a transport-layer fault filter
-// (loss, duplication, reordering, partitions) on any substrate. The full
-// chaos machinery — declarative scenarios, seed-reproducible random
-// generation, invariant probes, convergence-time measurement and a
-// failure shrinker — lives in internal/chaos and is exposed as
+// (loss, duplication, reordering, partitions) on any substrate, and
+// Simulation.CrashSupervisor / Simulation.RestartSupervisor fail and
+// revive members of the supervisor plane. The full chaos machinery —
+// declarative scenarios, seed-reproducible random generation, invariant
+// probes (including ownership convergence), convergence-time measurement
+// and a failure shrinker — lives in internal/chaos and is exposed as
 // `srsim chaos`; see the README's "Chaos & self-stabilization testing"
 // section.
 //

@@ -87,3 +87,42 @@ func TestSimulationRestartLive(t *testing.T) {
 		t.Fatalf("no convergence after live restart: %s", s.Explain(1))
 	}
 }
+
+// TestSimulationSupervisorFailover drives the supervisor plane through the
+// Simulation facade on the deterministic substrate: crash the owner of the
+// topic, converge under the successor, restart, converge again.
+func TestSimulationSupervisorFailover(t *testing.T) {
+	s := NewSimulation(SimOptions{Runtime: RuntimeSim, Seed: 31, Supervisors: 3})
+	defer s.Close()
+	sups := s.SupervisorIDs()
+	if len(sups) != 3 {
+		t.Fatalf("SupervisorIDs = %v", sups)
+	}
+	const n = 8
+	s.AddSubscribers(n)
+	s.JoinAll(1)
+	if _, ok := s.RunUntilConverged(1, n, 8000); !ok {
+		t.Fatalf("setup: %s", s.Explain(1))
+	}
+	// Crash the topic's owner, so convergence proves an actual ownership
+	// migration (crashing a bystander would exercise nothing).
+	owner, ok := s.harness().ExpectedOwner(1)
+	if !ok {
+		t.Fatal("no owner on a 3-supervisor plane")
+	}
+	if !s.CrashSupervisor(owner) {
+		t.Fatal("CrashSupervisor refused a live supervisor")
+	}
+	if s.CrashSupervisor(owner) {
+		t.Fatal("double crash accepted")
+	}
+	if _, ok := s.RunUntilConverged(1, n, 8000); !ok {
+		t.Fatalf("no convergence after supervisor crash: %s", s.Explain(1))
+	}
+	if !s.RestartSupervisor(owner) {
+		t.Fatal("RestartSupervisor refused")
+	}
+	if _, ok := s.RunUntilConverged(1, n, 8000); !ok {
+		t.Fatalf("no convergence after supervisor restart: %s", s.Explain(1))
+	}
+}

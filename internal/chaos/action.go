@@ -61,29 +61,45 @@ const (
 	// CorruptToken scrambles the token-passing supervisor's O(1) state
 	// (token-mode scenarios only; a no-op on the database stack).
 	CorruptToken
+	// CrashSupervisor crashes Count supervisors without warning — the
+	// topic's current owner first (crashing only bystanders would not
+	// exercise failover), then random others; at least one supervisor
+	// always survives. A no-op on a single-supervisor plane.
+	CrashSupervisor
+	// RestartSupervisors restarts every crashed supervisor with the stale
+	// plane state (epochs, hosting flags, deposed database) it crashed
+	// with; the restored owner must reclaim its topics at a fresh epoch.
+	RestartSupervisors
+	// CorruptDirectory scrambles a random live supervisor's ownership
+	// directory: hosting flags dropped or fabricated, epochs regressed,
+	// the routing cache poisoned. A no-op on a single-supervisor plane.
+	CorruptDirectory
 
 	kindCount // sentinel
 )
 
 var kindNames = [...]string{
-	Settle:         "settle",
-	CrashBurst:     "crash",
-	RestartAll:     "restart",
-	JoinBurst:      "join",
-	LeaveBurst:     "leave",
-	Partition:      "partition",
-	Heal:           "heal",
-	Loss:           "loss",
-	Duplicate:      "dup",
-	Reorder:        "reorder",
-	WireGarbage:    "wire-garbage",
-	GarbageTraffic: "garbage",
-	CorruptStates:  "corrupt-states",
-	CorruptDB:      "corrupt-db",
-	CorruptTries:   "corrupt-tries",
-	SplitStates:    "split-states",
-	Publish:        "publish",
-	CorruptToken:   "corrupt-token",
+	Settle:             "settle",
+	CrashBurst:         "crash",
+	RestartAll:         "restart",
+	JoinBurst:          "join",
+	LeaveBurst:         "leave",
+	Partition:          "partition",
+	Heal:               "heal",
+	Loss:               "loss",
+	Duplicate:          "dup",
+	Reorder:            "reorder",
+	WireGarbage:        "wire-garbage",
+	GarbageTraffic:     "garbage",
+	CorruptStates:      "corrupt-states",
+	CorruptDB:          "corrupt-db",
+	CorruptTries:       "corrupt-tries",
+	SplitStates:        "split-states",
+	Publish:            "publish",
+	CorruptToken:       "corrupt-token",
+	CrashSupervisor:    "crash-sup",
+	RestartSupervisors: "restart-sups",
+	CorruptDirectory:   "corrupt-directory",
 }
 
 // String names the kind.
@@ -113,7 +129,7 @@ func (a Action) String() string {
 		return fmt.Sprintf("%s(k=%d)", a.Kind, a.K)
 	case Loss, Duplicate, Reorder, WireGarbage:
 		return fmt.Sprintf("%s(%.2f)", a.Kind, a.Rate)
-	case Heal, CorruptStates, CorruptDB, CorruptToken:
+	case Heal, CorruptStates, CorruptDB, CorruptToken, RestartSupervisors, CorruptDirectory:
 		return a.Kind.String()
 	default:
 		return fmt.Sprintf("%s(%d)", a.Kind, a.Count)
@@ -124,7 +140,7 @@ func (a Action) String() string {
 // except pacing actions); the stopwatch records fault times from these.
 func (a Action) isFault() bool {
 	switch a.Kind {
-	case Settle, Publish, Heal, RestartAll:
+	case Settle, Publish, Heal, RestartAll, RestartSupervisors:
 		return false
 	}
 	return true

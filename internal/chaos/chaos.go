@@ -47,6 +47,12 @@ type Config struct {
 	// N is the initial member count (default 12; a scenario's own N wins
 	// when set).
 	N int
+	// Supervisors is the supervisor-plane size (default 1; a scenario's
+	// own Supervisors wins when set). With more than one, topics are
+	// sharded by consistent hashing and the supervisor fault actions
+	// (CrashSupervisor, RestartSupervisors, CorruptDirectory) become
+	// meaningful; the ownership-convergence probe is checked either way.
+	Supervisors int
 	// Seed drives every random choice: victim selection, corruption
 	// content, fault coin flips, and — on SubstrateSim — the entire event
 	// schedule. Identical (scenario, config) pairs replay identically on
@@ -77,6 +83,9 @@ func (c *Config) fill() {
 	}
 	if c.N == 0 {
 		c.N = 12
+	}
+	if c.Supervisors < 1 {
+		c.Supervisors = 1
 	}
 	if c.Topic == 0 {
 		c.Topic = 1
@@ -261,24 +270,32 @@ type env struct {
 	watch metrics.Stopwatch
 	wave  []string // post-fault publication payloads (delivery probe)
 	pubs  int      // mid-scenario publication counter
+
+	// askedToLeave records every member a LeaveBurst targeted. The leave
+	// control message travels like any other (non-FIFO, delayed), so at
+	// wave time a victim may not yet report Leaving — but it must never
+	// publish the delivery wave: its departure grant can overtake its own
+	// publish command and lose the publication.
+	askedToLeave map[sim.NodeID]bool
 }
 
 func newEnv(cfg Config) (*env, error) {
-	e := &env{cfg: cfg, topic: cfg.Topic, rng: rand.New(rand.NewSource(cfg.Seed))}
+	e := &env{cfg: cfg, topic: cfg.Topic, rng: rand.New(rand.NewSource(cfg.Seed)),
+		askedToLeave: make(map[sim.NodeID]bool)}
 	e.driver.cfg = cfg
 	switch cfg.Substrate {
 	case SubstrateSim:
-		c := cluster.New(cluster.Options{Seed: cfg.Seed})
+		c := cluster.New(cluster.Options{Seed: cfg.Seed, Supervisors: cfg.Supervisors})
 		e.l, e.sched = c.Live, c.Sched
 	case SubstrateConcurrent:
 		rt := concurrent.NewRuntime(concurrent.Options{Interval: cfg.Interval, Seed: cfg.Seed})
-		e.l, e.lrt = cluster.NewLive(rt, core.Options{}), rt
+		e.l, e.lrt = cluster.NewLiveN(rt, core.Options{}, cfg.Supervisors), rt
 	case SubstrateNet:
 		nt, err := nettransport.NewLoopback(nettransport.Options{Interval: cfg.Interval, Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("chaos: loopback transport: %w", err)
 		}
-		e.l, e.lrt, e.nt = cluster.NewLive(nt, core.Options{}), nt, nt
+		e.l, e.lrt, e.nt = cluster.NewLiveN(nt, core.Options{}, cfg.Supervisors), nt, nt
 	default:
 		return nil, fmt.Errorf("chaos: unknown substrate %q", cfg.Substrate)
 	}
@@ -374,6 +391,7 @@ func (e *env) apply(a Action) {
 		k := clamp(a.Count, 0, len(members)-2)
 		for _, i := range e.rng.Perm(len(members))[:k] {
 			e.l.Leave(members[i], e.topic)
+			e.askedToLeave[members[i]] = true
 		}
 
 	case Partition:
@@ -441,6 +459,43 @@ func (e *env) apply(a Action) {
 		// database stack corrupt the supervisor DB instead, so random
 		// scenarios containing it still perturb something.
 		e.freeze(func() { e.l.CorruptSupervisorDBRand(e.topic, e.rng) })
+
+	case CrashSupervisor:
+		live := e.l.LiveSupervisors()
+		k := clamp(max(1, a.Count), 0, len(live)-1)
+		// The topic's current owner dies first — crashing only bystanders
+		// would not exercise failover — then random extras.
+		victims := make([]sim.NodeID, 0, k)
+		if owner, ok := e.l.ExpectedOwner(e.topic); ok && k > 0 {
+			victims = append(victims, owner)
+		}
+		rest := make([]sim.NodeID, 0, len(live))
+		for _, id := range live {
+			if len(victims) == 0 || id != victims[0] {
+				rest = append(rest, id)
+			}
+		}
+		for _, i := range e.rng.Perm(len(rest)) {
+			if len(victims) >= k {
+				break
+			}
+			victims = append(victims, rest[i])
+		}
+		for _, id := range victims {
+			e.l.CrashSupervisor(id)
+		}
+
+	case RestartSupervisors:
+		for _, id := range e.l.DownedSupervisors() {
+			e.l.RestartSupervisor(id)
+		}
+
+	case CorruptDirectory:
+		live := e.l.LiveSupervisors()
+		if len(e.l.SupIDs) > 1 && len(live) > 0 {
+			id := live[e.rng.Intn(len(live))]
+			e.freeze(func() { e.l.Sups[id].CorruptPlane(e.topic, e.rng) })
+		}
 	}
 }
 
@@ -450,6 +505,9 @@ func Run(sc Scenario, cfg Config) Result {
 	cfg.fill()
 	if sc.N > 0 {
 		cfg.N = sc.N
+	}
+	if sc.Supervisors > 0 {
+		cfg.Supervisors = sc.Supervisors
 	}
 	if sc.Token {
 		return runToken(sc, cfg)
@@ -495,13 +553,23 @@ func Run(sc Scenario, cfg Config) Result {
 	e.watch.Fault(e.now())
 
 	// Post-fault delivery wave: fresh publications that must reach every
-	// member (publication completeness in a self-stabilized system).
+	// member (publication completeness in a self-stabilized system). The
+	// publishers are settled members — one with an unsubscribe in flight
+	// could complete its departure before its own publish command arrives
+	// (channels are non-FIFO), silently losing the wave publication.
 	if cfg.DeliveryWave > 0 {
-		if members := e.l.Members(e.topic); len(members) > 0 {
+		members := e.l.SettledMembers(e.topic)
+		staying := members[:0]
+		for _, id := range members {
+			if !e.askedToLeave[id] {
+				staying = append(staying, id)
+			}
+		}
+		if len(staying) > 0 {
 			for i := 0; i < cfg.DeliveryWave; i++ {
 				payload := fmt.Sprintf("wave-%d", i)
 				e.wave = append(e.wave, payload)
-				e.l.Publish(members[e.rng.Intn(len(members))], e.topic, payload)
+				e.l.Publish(staying[e.rng.Intn(len(staying))], e.topic, payload)
 			}
 		}
 	}
@@ -522,13 +590,16 @@ func (e *env) explain() string {
 	return out
 }
 
-// partitionFault builds the partition filter: supervisor + members are
-// split into k groups (the supervisor in group 0, where joiners also
-// land), and messages crossing group boundaries are dropped. The map is
-// immutable after construction, so concurrent reads are safe.
+// partitionFault builds the partition filter: supervisors + members are
+// split into k groups (every supervisor in group 0, where joiners also
+// land — the plane stays whole, members lose it), and messages crossing
+// group boundaries are dropped. The map is immutable after construction,
+// so concurrent reads are safe.
 func (e *env) partitionFault(k int) sim.FaultFunc {
 	parts := make(map[sim.NodeID]int)
-	parts[cluster.SupervisorID] = 0
+	for _, id := range e.l.SupIDs {
+		parts[id] = 0
+	}
 	members := e.l.Members(e.topic)
 	perm := e.rng.Perm(len(members))
 	for i, pi := range perm {

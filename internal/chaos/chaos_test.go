@@ -122,6 +122,57 @@ func TestReplayDeterministic(t *testing.T) {
 	}
 }
 
+// TestSupervisorScenarioReplayDeterministic pins the failover acceptance
+// property: the supervisor-crash scenarios replay bit-exactly from their
+// seed on the deterministic substrate — ownership migration, DB rebuild
+// and epoch bumps included.
+func TestSupervisorScenarioReplayDeterministic(t *testing.T) {
+	for _, name := range []string{"supervisor-crash", "supervisor-crash-restart", "supervisor-double-crash", "supervisor-directory-corruption"} {
+		sc, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("scenario %q not registered", name)
+		}
+		for _, seed := range []int64{2, 19} {
+			a := Run(sc, Config{Substrate: SubstrateSim, Seed: seed})
+			b := Run(sc, Config{Substrate: SubstrateSim, Seed: seed})
+			if !a.Converged {
+				t.Errorf("%s seed %d: %s", name, seed, a.Violation)
+			}
+			if a.Converged != b.Converged || a.Rounds != b.Rounds ||
+				a.Delivered != b.Delivered || a.Violation != b.Violation {
+				t.Errorf("%s seed %d replay diverged:\n  %s (delivered %d)\n  %s (delivered %d)",
+					name, seed, a, a.Delivered, b, b.Delivered)
+			}
+		}
+	}
+}
+
+// TestSupervisorCrashProbeCoverage pins the acceptance criterion shape:
+// the supervisor-crash scenario runs on a 4-supervisor plane and the
+// ownership-convergence probe is part of the evaluated set.
+func TestSupervisorCrashProbeCoverage(t *testing.T) {
+	sc, _ := Lookup("supervisor-crash")
+	if sc.Supervisors != 4 {
+		t.Fatalf("supervisor-crash runs on %d supervisors, want 4", sc.Supervisors)
+	}
+	found := false
+	for _, p := range ProbeNames {
+		if p == "ownership-convergence" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ownership-convergence missing from ProbeNames %v", ProbeNames)
+	}
+	res := Run(sc, Config{Substrate: SubstrateSim, Seed: 1})
+	if !res.Converged {
+		t.Fatalf("supervisor-crash did not converge: %s", res.Violation)
+	}
+	if res.Rounds < 0 {
+		t.Fatalf("converged without a measured convergence time")
+	}
+}
+
 // TestGenerateDeterministic pins the generator: the same seed yields the
 // same action list.
 func TestGenerateDeterministic(t *testing.T) {

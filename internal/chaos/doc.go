@@ -15,6 +15,10 @@
 // system of N subscribers:
 //
 //   - process faults: crash bursts, restarts (stale state), join/leave churn
+//   - supervisor-plane faults (Config.Supervisors > 1): supervisor crashes
+//     (the topic's owner first), stale-state supervisor restarts, and
+//     corruption of the ownership directory itself (hosting flags, epochs,
+//     routing cache)
 //   - channel faults: network partitions and heal, probabilistic message
 //     loss/duplication/reordering at the transport layer, wire-frame
 //     corruption on the networked substrate
@@ -27,6 +31,9 @@
 // paper's model: faults eventually cease), publishes a fresh delivery wave
 // and runs until every invariant probe holds:
 //
+//   - supervisor-plane ownership convergence (the expected owner — and only
+//     it — hosts the topic database; every member reports to it; epochs
+//     agree)
 //   - supervisor database ↔ live membership agreement
 //   - topic overlay connectivity (the union graph of ring + shortcut edges
 //     connects all members)

@@ -9,6 +9,7 @@ import (
 
 // ProbeNames lists the invariant probes in evaluation order.
 var ProbeNames = []string{
+	"ownership-convergence",
 	"supervisor-db",
 	"overlay-connectivity",
 	"overlay-legitimacy",
@@ -25,6 +26,9 @@ var ProbeNames = []string{
 // Callers on a live substrate must evaluate under the quiesce barrier
 // (runUntil and freeze do).
 func (e *env) violation() string {
+	if v := e.ownershipViolation(); v != "" {
+		return "ownership-convergence: " + v
+	}
 	if v := e.dbMembershipViolation(); v != "" {
 		return "supervisor-db: " + v
 	}
@@ -43,22 +47,37 @@ func (e *env) violation() string {
 	return ""
 }
 
+// ownershipViolation checks supervisor-plane agreement: the topic's
+// expected owner (consistent hashing over the live supervisors) — and
+// only it — hosts the database, every member reports to it, and every
+// epoch agrees with the owner's. On a single-supervisor plane this
+// degenerates to "the supervisor hosts the topic and every member reports
+// to it at epoch 0", so it is checked everywhere.
+func (e *env) ownershipViolation() string {
+	return e.l.ExplainOwnership(e.topic)
+}
+
 // dbMembershipViolation checks supervisor database ↔ live membership
-// agreement: the database is structurally valid (Section 3.1), records
-// exactly the live members, and references no crashed or departed node.
+// agreement on the topic's current owner: the database is structurally
+// valid (Section 3.1), records exactly the live members, and references no
+// crashed or departed node.
 func (e *env) dbMembershipViolation() string {
-	if e.l.Sup.Corrupted(e.topic) {
+	sup := e.l.SupFor(e.topic)
+	if sup == nil {
+		return "no live supervisor"
+	}
+	if sup.Corrupted(e.topic) {
 		return "database violates the validity conditions of Section 3.1"
 	}
 	members := e.l.Members(e.topic)
-	if n := e.l.Sup.N(e.topic); n != len(members) {
+	if n := sup.N(e.topic); n != len(members) {
 		return fmt.Sprintf("database records %d subscribers, %d live members", n, len(members))
 	}
 	live := make(map[sim.NodeID]bool, len(members))
 	for _, id := range members {
 		live[id] = true
 	}
-	for lab, v := range e.l.Sup.Snapshot(e.topic) {
+	for lab, v := range sup.Snapshot(e.topic) {
 		if !live[v] {
 			return fmt.Sprintf("database entry %s → %d references a non-member", lab, v)
 		}

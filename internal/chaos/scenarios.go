@@ -13,6 +13,8 @@ type Scenario struct {
 	Note string
 	// N overrides the configured member count when > 0.
 	N int
+	// Supervisors overrides the configured supervisor-plane size when > 0.
+	Supervisors int
 	// Token runs the scenario on the token-passing supervisor stack
 	// (the deterministic variant of the paper's conclusion) instead of the
 	// database stack.
@@ -153,6 +155,52 @@ var Registry = []Scenario{
 		},
 	},
 	{
+		Name:        "supervisor-crash",
+		Note:        "1 of 4 supervisors (the topic's owner) crashes mid-publish-load; the hashdht successor adopts and rebuilds the DB from the live overlay",
+		Supervisors: 4,
+		Actions: []Action{
+			{Kind: Settle, Rounds: 5},
+			{Kind: Publish, Count: 3},
+			{Kind: CrashSupervisor, Count: 1},
+			{Kind: Publish, Count: 3},
+			{Kind: Settle, Rounds: 10},
+		},
+	},
+	{
+		Name:        "supervisor-crash-restart",
+		Note:        "the owner crashes and its successor adopts; the old owner then restarts with stale state and must reclaim ownership at a fresh epoch",
+		Supervisors: 4,
+		Actions: []Action{
+			{Kind: CrashSupervisor, Count: 1},
+			{Kind: Settle, Rounds: 60},
+			{Kind: Publish, Count: 2},
+			{Kind: RestartSupervisors},
+			{Kind: Settle, Rounds: 10},
+		},
+	},
+	{
+		Name:        "supervisor-double-crash",
+		Note:        "two supervisors (incl. the owner) crash while members churn — crash-during-migration must still converge; both restart stale",
+		Supervisors: 4,
+		Actions: []Action{
+			{Kind: CrashSupervisor, Count: 2},
+			{Kind: JoinBurst, Count: 2},
+			{Kind: Settle, Rounds: 40},
+			{Kind: RestartSupervisors},
+		},
+	},
+	{
+		Name:        "supervisor-directory-corruption",
+		Note:        "the ownership directory itself is corrupted (hosting flags, epochs, routing cache); the plane must re-agree on owners",
+		Supervisors: 4,
+		Actions: []Action{
+			{Kind: CorruptDirectory},
+			{Kind: Settle, Rounds: 5},
+			{Kind: CorruptDirectory},
+			{Kind: Publish, Count: 2},
+		},
+	},
+	{
 		Name:  "token-corruption",
 		Note:  "token-passing supervisor variant: O(1) supervisor state and member states scrambled",
 		N:     8,
@@ -210,6 +258,13 @@ func Generate(seed int64) Scenario {
 				actions = append(actions, Action{Kind: Settle, Rounds: 4 + rng.Intn(10)})
 				actions = append(actions, Action{Kind: RestartAll})
 			}
+		case CrashSupervisor:
+			// Give the failover time to bite, then usually bring the dead
+			// supervisor back (a stale-state restart is its own fault).
+			actions = append(actions, Action{Kind: Settle, Rounds: 8 + rng.Intn(20)})
+			if rng.Intn(3) > 0 {
+				actions = append(actions, Action{Kind: RestartSupervisors})
+			}
 		case Settle:
 		default:
 			if rng.Intn(2) == 0 {
@@ -224,9 +279,13 @@ func Generate(seed int64) Scenario {
 	}
 }
 
-// randomAction draws one action from the vocabulary.
+// randomAction draws one action from the vocabulary. The supervisor-plane
+// kinds are included unconditionally: on a single-supervisor plane they
+// degrade to safe no-ops (CrashSupervisor never removes the last live
+// supervisor), while `-supervisors=4` soaks compose them with every other
+// fault class.
 func randomAction(rng *rand.Rand) Action {
-	switch rng.Intn(14) {
+	switch rng.Intn(17) {
 	case 0:
 		return Action{Kind: CrashBurst, Count: 1 + rng.Intn(3)}
 	case 1:
@@ -253,6 +312,12 @@ func randomAction(rng *rand.Rand) Action {
 		return Action{Kind: CorruptTries, Count: 2 + rng.Intn(5)}
 	case 12:
 		return Action{Kind: Publish, Count: 1 + rng.Intn(3)}
+	case 13:
+		return Action{Kind: CrashSupervisor, Count: 1 + rng.Intn(2)}
+	case 14:
+		return Action{Kind: RestartSupervisors}
+	case 15:
+		return Action{Kind: CorruptDirectory}
 	default:
 		return Action{Kind: Settle, Rounds: 3 + rng.Intn(10)}
 	}

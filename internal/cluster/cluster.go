@@ -13,8 +13,6 @@ import (
 	"strings"
 
 	"sspubsub/internal/core"
-	"sspubsub/internal/label"
-	"sspubsub/internal/proto"
 	"sspubsub/internal/sim"
 )
 
@@ -26,6 +24,10 @@ type Options struct {
 	Seed       int64
 	ClientOpts core.Options
 	Sched      sim.SchedulerOptions // Seed is overridden by Options.Seed
+	// Supervisors is the supervisor-plane size (default 1). With more than
+	// one, topics are sharded by consistent hashing and supervisor crashes
+	// are recoverable (see internal/supervisor's plane).
+	Supervisors int
 }
 
 // Cluster is a deterministic simulation of the full system: the shared
@@ -42,7 +44,11 @@ func New(opts Options) *Cluster {
 	so := opts.Sched
 	so.Seed = opts.Seed
 	s := sim.NewScheduler(so)
-	return &Cluster{Live: NewLive(s, opts.ClientOpts), Sched: s}
+	supers := opts.Supervisors
+	if supers < 1 {
+		supers = 1
+	}
+	return &Cluster{Live: NewLiveN(s, opts.ClientOpts, supers), Sched: s}
 }
 
 // RunUntilConverged advances rounds until the topic is legitimate with
@@ -70,35 +76,16 @@ func (c *Cluster) CorruptSupervisorDB(t sim.Topic) {
 
 // InjectGarbageMessages places corrupted messages into random members'
 // channels at time ~0: stale tuples, wrong labels, nonexistent topics and
-// truncated publication traffic.
+// truncated publication traffic (the shared garbageMessage vocabulary).
 func (c *Cluster) InjectGarbageMessages(t sim.Topic, count int) {
 	rng := c.Sched.Rand()
 	members := c.Members(t)
 	if len(members) == 0 {
 		return
 	}
-	pick := func() sim.NodeID { return members[rng.Intn(len(members))] }
 	for i := 0; i < count; i++ {
-		to := pick()
-		var body any
-		switch rng.Intn(6) {
-		case 0:
-			body = proto.Introduce{C: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}, Flag: proto.Flag(rng.Intn(2))}
-		case 1:
-			body = proto.Linearize{V: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
-		case 2:
-			body = proto.SetData{Pred: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()},
-				Label: label.FromIndex(rng.Uint64() % 64),
-				Succ:  proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
-		case 3:
-			body = proto.Check{Sender: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()},
-				YourLabel: label.FromIndex(rng.Uint64() % 64), Flag: proto.CYC}
-		case 4:
-			body = proto.IntroduceShortcut{T: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
-		default:
-			body = proto.CheckTrie{Sender: pick(), Nodes: []proto.NodeSummary{{Label: proto.Key{Bits: rng.Uint64(), Len: 7}}}}
-		}
-		c.Sched.InjectAt(rng.Float64()*0.5, sim.Message{To: to, From: pick(), Topic: t, Body: body})
+		m := garbageMessage(t, members, rng)
+		c.Sched.InjectAt(rng.Float64()*0.5, m)
 	}
 }
 
@@ -110,6 +97,10 @@ func (c *Cluster) DumpStates(t sim.Topic) string {
 		fmt.Fprintf(&sb, "node %d: label=%s left=%s right=%s ring=%s sc=%v\n",
 			id, st.Label, st.Left, st.Right, st.Ring, st.Shortcuts)
 	}
-	fmt.Fprintf(&sb, "db: %v\n", c.Sup.Snapshot(t))
+	if sup := c.SupFor(t); sup != nil {
+		fmt.Fprintf(&sb, "db(owner %d): %v\n", sup.ID(), sup.Snapshot(t))
+	} else {
+		fmt.Fprintf(&sb, "db: no live supervisor\n")
+	}
 	return sb.String()
 }

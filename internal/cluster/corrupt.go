@@ -61,20 +61,24 @@ func (l *Live) CorruptSubscriberStatesRand(t sim.Topic, rng *rand.Rand) {
 // Section 3.1: a ⊥ tuple, a duplicated subscriber, a deleted label and an
 // out-of-range label.
 func (l *Live) CorruptSupervisorDBRand(t sim.Topic, rng *rand.Rand) {
-	n := l.Sup.N(t)
+	sup := l.SupFor(t) // the topic's owner holds the database of record
+	if sup == nil {
+		return
+	}
+	n := sup.N(t)
 	if n == 0 {
 		return
 	}
-	snap := l.Sup.Snapshot(t)
+	snap := sup.Snapshot(t)
 	var someNode sim.NodeID
 	for _, v := range snap { // deterministic: take the largest recorded ID
 		if v > someNode {
 			someNode = v
 		}
 	}
-	l.Sup.InjectRaw(t, label.FromIndex(uint64(n+1+rng.Intn(8))), sim.None)  // (i) ⊥ subscriber
-	l.Sup.InjectRaw(t, label.FromIndex(uint64(n+10+rng.Intn(8))), someNode) // (ii)+(iv) duplicate, out of range
-	l.Sup.DeleteLabel(t, label.FromIndex(uint64(rng.Intn(n))))              // (iii) missing label
+	sup.InjectRaw(t, label.FromIndex(uint64(n+1+rng.Intn(8))), sim.None)  // (i) ⊥ subscriber
+	sup.InjectRaw(t, label.FromIndex(uint64(n+10+rng.Intn(8))), someNode) // (ii)+(iv) duplicate, out of range
+	sup.DeleteLabel(t, label.FromIndex(uint64(rng.Intn(n))))              // (iii) missing label
 }
 
 // PartitionStates forces the members into k disjoint sorted chains with
@@ -83,9 +87,13 @@ func (l *Live) CorruptSupervisorDBRand(t sim.Topic, rng *rand.Rand) {
 // database is wiped for the topic. Deterministic: no randomness involved.
 func (l *Live) PartitionStates(t sim.Topic, k int) {
 	members := l.Members(t)
-	snap := l.Sup.Snapshot(t)
+	sup := l.SupFor(t)
+	if sup == nil {
+		return
+	}
+	snap := sup.Snapshot(t)
 	for lab := range snap {
-		l.Sup.DeleteLabel(t, lab)
+		sup.DeleteLabel(t, lab)
 	}
 	if len(members) == 0 || k < 1 {
 		return
@@ -114,9 +122,42 @@ func (l *Live) PartitionStates(t sim.Topic, k int) {
 	}
 }
 
+// garbageMessage draws one corrupted protocol message aimed at a random
+// member: stale tuples, wrong labels, bogus trie summaries. Shared by the
+// scheduler-side channel injector (Cluster.InjectGarbageMessages) and the
+// transport-side sender (Live.SendGarbageMessages), so the garbage
+// vocabulary cannot diverge between the two. Garbage SetData travels with
+// From ⊥: a forged member sender would be screened out by the
+// subscriber's deposed-owner protection, while ⊥ models the paper's
+// "arbitrary channel contents" and is processed like any configuration.
+func garbageMessage(t sim.Topic, members []sim.NodeID, rng *rand.Rand) sim.Message {
+	pick := func() sim.NodeID { return members[rng.Intn(len(members))] }
+	to := pick()
+	from := pick()
+	var body any
+	switch rng.Intn(6) {
+	case 0:
+		body = proto.Introduce{C: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}, Flag: proto.Flag(rng.Intn(2))}
+	case 1:
+		body = proto.Linearize{V: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
+	case 2:
+		body = proto.SetData{Pred: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()},
+			Label: label.FromIndex(rng.Uint64() % 64),
+			Succ:  proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
+		from = sim.None
+	case 3:
+		body = proto.Check{Sender: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()},
+			YourLabel: label.FromIndex(rng.Uint64() % 64), Flag: proto.CYC}
+	case 4:
+		body = proto.IntroduceShortcut{T: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
+	default:
+		body = proto.CheckTrie{Sender: pick(), Nodes: []proto.NodeSummary{{Label: proto.Key{Bits: rng.Uint64(), Len: 7}}}}
+	}
+	return sim.Message{To: to, From: from, Topic: t, Body: body}
+}
+
 // SendGarbageMessages sends corrupted protocol messages to random members
-// through the transport: stale tuples, wrong labels, nonexistent senders
-// and truncated trie traffic. Unlike the scheduler-only channel injection,
+// through the transport. Unlike the scheduler-only channel injection,
 // this works on every substrate (the garbage travels like any other
 // message — over the wire codec on the networked transport).
 func (l *Live) SendGarbageMessages(t sim.Topic, count int, rng *rand.Rand) {
@@ -124,28 +165,8 @@ func (l *Live) SendGarbageMessages(t sim.Topic, count int, rng *rand.Rand) {
 	if len(members) == 0 {
 		return
 	}
-	pick := func() sim.NodeID { return members[rng.Intn(len(members))] }
 	for i := 0; i < count; i++ {
-		to := pick()
-		var body any
-		switch rng.Intn(6) {
-		case 0:
-			body = proto.Introduce{C: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}, Flag: proto.Flag(rng.Intn(2))}
-		case 1:
-			body = proto.Linearize{V: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
-		case 2:
-			body = proto.SetData{Pred: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()},
-				Label: label.FromIndex(rng.Uint64() % 64),
-				Succ:  proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
-		case 3:
-			body = proto.Check{Sender: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()},
-				YourLabel: label.FromIndex(rng.Uint64() % 64), Flag: proto.CYC}
-		case 4:
-			body = proto.IntroduceShortcut{T: proto.Tuple{L: label.FromIndex(rng.Uint64() % 64), Ref: pick()}}
-		default:
-			body = proto.CheckTrie{Sender: pick(), Nodes: []proto.NodeSummary{{Label: proto.Key{Bits: rng.Uint64(), Len: 7}}}}
-		}
-		l.Tr.Send(sim.Message{To: to, From: pick(), Topic: t, Body: body})
+		l.Tr.Send(garbageMessage(t, members, rng))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sspubsub/internal/core"
+	"sspubsub/internal/hashdht"
 	"sspubsub/internal/sim"
 	"sspubsub/internal/supervisor"
 )
@@ -22,8 +23,16 @@ import (
 // in the runtime's quiesce barrier when an exact cross-node snapshot is
 // required.
 type Live struct {
-	Tr      sim.Transport
-	Sup     *supervisor.Supervisor
+	Tr sim.Transport
+	// Sup is the supervisor at SupervisorID — the whole plane on a classic
+	// single-supervisor harness. Multi-supervisor call sites use Sups and
+	// SupFor.
+	Sup *supervisor.Supervisor
+	// Sups holds every supervisor by node ID (crashed ones keep their
+	// instance so a restart resumes with the stale state it crashed with).
+	// SupIDs is the static plane, ascending from SupervisorID.
+	Sups    map[sim.NodeID]*supervisor.Supervisor
+	SupIDs  []sim.NodeID
 	Clients map[sim.NodeID]*core.Client
 	opts    core.Options
 	nextID  sim.NodeID
@@ -32,20 +41,177 @@ type Live struct {
 	// bring them back with exactly the stale state they crashed with — the
 	// "arbitrary initial state" the protocol self-stabilizes from.
 	downed map[sim.NodeID]*core.Client
+	// downedSups marks crashed, not-yet-restarted supervisors.
+	downedSups map[sim.NodeID]bool
+	// viewRing is the driver's ground-truth live-supervisor ring: it drives
+	// client routing (SupervisorFor) and the expected-ownership oracle the
+	// legitimacy checks compare the plane against.
+	viewRing *hashdht.Ring
 }
 
-// NewLive starts a supervisor on the transport and returns the harness.
+// NewLive starts a single supervisor on the transport and returns the
+// harness — the paper's reliable-supervisor configuration.
 func NewLive(tr sim.Transport, clientOpts core.Options) *Live {
-	sup := supervisor.New(SupervisorID, tr)
-	tr.AddNode(SupervisorID, sup)
-	return &Live{
-		Tr:      tr,
-		Sup:     sup,
-		Clients: make(map[sim.NodeID]*core.Client),
-		opts:    clientOpts,
-		nextID:  SupervisorID + 1,
-		downed:  make(map[sim.NodeID]*core.Client),
+	return NewLiveN(tr, clientOpts, 1)
+}
+
+// NewLiveN starts a plane of `supervisors` supervisors (node IDs
+// SupervisorID … SupervisorID+supervisors−1) sharding topics by consistent
+// hashing, with crash-tolerant ownership when supervisors > 1. Client IDs
+// follow the supervisor block.
+func NewLiveN(tr sim.Transport, clientOpts core.Options, supervisors int) *Live {
+	if supervisors < 1 {
+		supervisors = 1
 	}
+	ids := make([]sim.NodeID, supervisors)
+	for i := range ids {
+		ids[i] = SupervisorID + sim.NodeID(i)
+	}
+	viewRing := hashdht.NewRing(0)
+	clientOpts.Supervisors = ids
+	clientOpts.SupervisorFor = func(t sim.Topic) sim.NodeID {
+		if id, ok := viewRing.OwnerTopic(t); ok {
+			return id
+		}
+		return SupervisorID
+	}
+	l := &Live{
+		Tr:         tr,
+		Sups:       make(map[sim.NodeID]*supervisor.Supervisor, supervisors),
+		SupIDs:     ids,
+		Clients:    make(map[sim.NodeID]*core.Client),
+		opts:       clientOpts,
+		nextID:     SupervisorID + sim.NodeID(supervisors),
+		downed:     make(map[sim.NodeID]*core.Client),
+		downedSups: make(map[sim.NodeID]bool),
+		viewRing:   viewRing,
+	}
+	for _, id := range ids {
+		sup := supervisor.New(id, tr)
+		if supervisors > 1 {
+			sup.JoinPlane(ids)
+		}
+		tr.AddNode(id, sup)
+		l.Sups[id] = sup
+		viewRing.Add(id)
+	}
+	l.Sup = l.Sups[SupervisorID]
+	return l
+}
+
+// ---- supervisor plane driving ----
+
+// CrashSupervisor fails a supervisor without warning; its instance is
+// retained so RestartSupervisor can bring it back with the stale state it
+// crashed with. It reports false for unknown or already-crashed IDs, and
+// refuses to crash the last live supervisor — with the whole plane down
+// no topic has an owner and nothing can converge, which is a driver
+// mistake rather than a scenario.
+func (l *Live) CrashSupervisor(id sim.NodeID) bool {
+	if _, ok := l.Sups[id]; !ok || l.downedSups[id] {
+		return false
+	}
+	if len(l.LiveSupervisors()) <= 1 {
+		return false
+	}
+	l.Tr.Crash(id)
+	l.downedSups[id] = true
+	l.viewRing.Remove(id)
+	return true
+}
+
+// RestartSupervisor re-registers a crashed supervisor with its stale
+// state — an arbitrary initial plane state the ownership machinery must
+// repair (epochs, hosting flags and the deposed database are all stale).
+func (l *Live) RestartSupervisor(id sim.NodeID) bool {
+	if !l.downedSups[id] {
+		return false
+	}
+	delete(l.downedSups, id)
+	l.Tr.AddNode(id, l.Sups[id])
+	l.viewRing.Add(id)
+	return true
+}
+
+// DownedSupervisors returns the crashed, not-yet-restarted supervisors,
+// sorted.
+func (l *Live) DownedSupervisors() []sim.NodeID {
+	out := make([]sim.NodeID, 0, len(l.downedSups))
+	for id := range l.downedSups {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsSupervisor reports whether id belongs to the static supervisor plane
+// (crashed or not) — the protect predicate for churn injectors that must
+// only fault subscribers.
+func (l *Live) IsSupervisor(id sim.NodeID) bool {
+	_, ok := l.Sups[id]
+	return ok
+}
+
+// LiveSupervisors returns the supervisors currently up, sorted.
+func (l *Live) LiveSupervisors() []sim.NodeID {
+	out := make([]sim.NodeID, 0, len(l.SupIDs))
+	for _, id := range l.SupIDs {
+		if !l.downedSups[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ExpectedOwner returns the supervisor that ought to own the topic: the
+// consistent-hashing owner over the live supervisors. ok is false when
+// every supervisor is down.
+func (l *Live) ExpectedOwner(t sim.Topic) (sim.NodeID, bool) {
+	return l.viewRing.OwnerTopic(t)
+}
+
+// SupFor returns the supervisor instance expected to own the topic (nil
+// when the whole plane is down).
+func (l *Live) SupFor(t sim.Topic) *supervisor.Supervisor {
+	owner, ok := l.ExpectedOwner(t)
+	if !ok {
+		return nil
+	}
+	return l.Sups[owner]
+}
+
+// ExplainOwnership checks the plane's ownership agreement for a topic: the
+// expected owner (and only it) hosts the database, every member reports to
+// it, and all epochs agree. It returns "" when ownership has converged.
+func (l *Live) ExplainOwnership(t sim.Topic) string {
+	owner, ok := l.ExpectedOwner(t)
+	if !ok {
+		return "no live supervisor"
+	}
+	members := l.Members(t)
+	for _, id := range l.LiveSupervisors() {
+		hosts := l.Sups[id].Hosts(t)
+		if id != owner && hosts {
+			return fmt.Sprintf("supervisor %d hosts topic %d owned by %d", id, t, owner)
+		}
+		if id == owner && !hosts && len(members) > 0 {
+			return fmt.Sprintf("owner %d does not host topic %d (%d members)", id, t, len(members))
+		}
+	}
+	epoch := l.Sups[owner].EpochOf(t)
+	for _, id := range members {
+		st, ok := l.Clients[id].StateOf(t)
+		if !ok {
+			return fmt.Sprintf("member %d has no instance", id)
+		}
+		if st.Sup != owner {
+			return fmt.Sprintf("member %d reports to supervisor %d, owner is %d", id, st.Sup, owner)
+		}
+		if st.Epoch != epoch {
+			return fmt.Sprintf("member %d at epoch %d, owner at epoch %d", id, st.Epoch, epoch)
+		}
+	}
+	return ""
 }
 
 // AddClient creates and registers one client node, returning its ID.
@@ -141,15 +307,43 @@ func (l *Live) Members(t sim.Topic) []sim.NodeID {
 	return out
 }
 
+// SettledMembers returns the members with no unsubscribe in flight,
+// sorted by ID. A publication that must provably reach the whole topic
+// (the chaos engine's delivery wave) needs a publisher that will remain a
+// member: with non-FIFO channels a leaver's departure grant can overtake
+// its own publish command, silently dropping the publication.
+func (l *Live) SettledMembers(t sim.Topic) []sim.NodeID {
+	var out []sim.NodeID
+	for id, cl := range l.Clients {
+		if st, ok := cl.StateOf(t); ok && !st.Departed && !st.Leaving {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Converged reports whether topic t is in a legitimate state (see
 // Cluster.Converged for the predicate).
 func (l *Live) Converged(t sim.Topic) bool { return l.Explain(t) == "" }
 
 // Explain returns a human-readable description of the first legitimacy
-// violation, or "" when converged.
+// violation, or "" when converged. On a multi-supervisor plane the topic's
+// expected owner is the database of record, and ownership agreement is
+// part of legitimacy: a converged system has exactly one hosting
+// supervisor, and every member reports to it at its epoch.
 func (l *Live) Explain(t sim.Topic) string {
-	if l.Sup.Corrupted(t) {
+	sup := l.SupFor(t)
+	if sup == nil {
+		return "no live supervisor"
+	}
+	if sup.Corrupted(t) {
 		return "supervisor database corrupted"
+	}
+	if len(l.SupIDs) > 1 {
+		if v := l.ExplainOwnership(t); v != "" {
+			return v
+		}
 	}
 	states := make(map[sim.NodeID]core.State)
 	for _, id := range l.Members(t) {
@@ -159,12 +353,13 @@ func (l *Live) Explain(t sim.Topic) string {
 		}
 		states[id] = st
 	}
-	return CheckLegitimacy(l.Sup.Snapshot(t), states)
+	return CheckLegitimacy(sup.Snapshot(t), states)
 }
 
 // ConvergedWith reports legitimacy with exactly n recorded members.
 func (l *Live) ConvergedWith(t sim.Topic, n int) bool {
-	return l.Sup.N(t) == n && len(l.Members(t)) == n && l.Converged(t)
+	sup := l.SupFor(t)
+	return sup != nil && sup.N(t) == n && len(l.Members(t)) == n && l.Converged(t)
 }
 
 // TriesEqual reports whether all live members hold hash-identical tries.

@@ -37,6 +37,12 @@ type Options struct {
 	// default supervisor is used otherwise.
 	SupervisorFor func(sim.Topic) sim.NodeID
 
+	// Supervisors is the static supervisor plane (all supervisor node IDs).
+	// With two or more, subscribers re-home to a topic's current owner on
+	// supervisor failover and probe the plane when their owner goes silent;
+	// empty or single-entry sets disable both (nothing to fail over to).
+	Supervisors []sim.NodeID
+
 	// Ablation switches (see DESIGN.md).
 	DisableFlooding    bool
 	DisableAntiEntropy bool
@@ -84,6 +90,7 @@ func (c *Client) ensure(t sim.Topic) *Instance {
 		}
 	}
 	sub := NewSubscriber(c.id, sup, t)
+	sub.SetPlane(c.opts.Supervisors)
 	sub.DisableActionIV = c.opts.DisableActionIV
 	sub.ProbeProb = c.opts.ProbeProb
 	cfg := pubsub.Config{
@@ -211,6 +218,13 @@ type State struct {
 	Shortcuts map[label.Label]sim.NodeID
 	Version   uint64
 	Departed  bool
+	// Leaving marks an unsubscribe in flight (requested, not yet granted).
+	Leaving bool
+	// Sup is the supervisor the instance currently reports to (the believed
+	// topic owner on a sharded plane); Epoch is the ownership era of the
+	// last accepted configuration.
+	Sup   sim.NodeID
+	Epoch uint64
 }
 
 // StateOf snapshots the instance for topic t; ok is false if none exists.
@@ -229,6 +243,9 @@ func (c *Client) StateOf(t sim.Topic) (State, bool) {
 		Shortcuts: in.Sub.Shortcuts(),
 		Version:   in.Sub.Version(),
 		Departed:  in.Sub.Departed(),
+		Leaving:   in.Sub.Leaving(),
+		Sup:       in.Sub.Supervisor(),
+		Epoch:     in.Sub.Epoch(),
 	}, true
 }
 

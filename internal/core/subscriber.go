@@ -23,12 +23,43 @@ import (
 	"sspubsub/internal/sim"
 )
 
+// Staleness-probe pacing (timeout intervals): a subscriber on a sharded
+// supervisor plane that has not heard from its believed owner for
+// staleAfter intervals sends a round-robin Reregister probe over the
+// supervisor set. The threshold starts at staleProbeInit and doubles on
+// every probe up to staleProbeMax — and it never shrinks: on a ring whose
+// round-robin refresh gap exceeds the initial threshold (more than
+// staleProbeInit members), the threshold ratchets just past the gap after
+// a handful of early probes and spurious probing stops for the life of
+// the instance, while a genuinely silent plane is still probed within at
+// most staleProbeMax intervals.
+const (
+	staleProbeInit = 16
+	staleProbeMax  = 256
+)
+
 // Subscriber is one per-topic BuildSR instance. It is driven through
 // OnTimeout and OnMessage by the owning node handler (Client).
 type Subscriber struct {
 	self       sim.NodeID
-	supervisor sim.NodeID
+	supervisor sim.NodeID // current believed topic owner (mutable on a sharded plane)
 	topic      sim.Topic
+
+	// plane is the static supervisor set (empty outside a sharded plane).
+	// epoch is the ownership era of the last accepted configuration; it is
+	// what lets the subscriber ignore a deposed owner's stale commands.
+	plane []sim.NodeID
+	epoch uint64
+	// sinceHeard counts timeouts since the supervisor plane was last heard
+	// from; staleAfter is the ratcheting probe threshold (0 = unarmed; see
+	// the staleProbe constants) and probeAt the round-robin cursor.
+	// desperate is set while a probe is outstanding: an ownership hint of
+	// any epoch is then acceptable (the believed owner is silent, possibly
+	// forever), though the hint itself never regresses our epoch.
+	sinceHeard int
+	staleAfter int
+	probeAt    int
+	desperate  bool
 
 	lab   label.Label
 	left  proto.Tuple
@@ -115,11 +146,46 @@ func (s *Subscriber) Ring() proto.Tuple  { return s.ring }
 // Topic returns the topic this instance belongs to.
 func (s *Subscriber) Topic() sim.Topic { return s.topic }
 
-// Supervisor returns the supervisor this instance reports to.
+// Supervisor returns the supervisor this instance currently reports to —
+// on a sharded plane, the believed owner of the topic.
 func (s *Subscriber) Supervisor() sim.NodeID { return s.supervisor }
+
+// Epoch returns the ownership epoch of the last accepted configuration.
+func (s *Subscriber) Epoch() uint64 { return s.epoch }
+
+// SetPlane installs the static supervisor set, enabling owner re-homing
+// and staleness probing. A set of one (or none) disables both: there is no
+// other supervisor to fail over to.
+func (s *Subscriber) SetPlane(plane []sim.NodeID) { s.plane = plane }
+
+// planeMember reports whether id is one of the plane's supervisors.
+func (s *Subscriber) planeMember(id sim.NodeID) bool {
+	if id == sim.None {
+		return false
+	}
+	for _, p := range s.plane {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// heard records supervisor-plane contact. The probe threshold is a
+// ratchet, not re-armed: on rings whose refresh gap exceeds the initial
+// threshold it has converged past the gap, and resetting it here would
+// restart the spurious-probe cycle on every refresh.
+func (s *Subscriber) heard() {
+	s.sinceHeard = 0
+	s.desperate = false
+}
 
 // Departed reports whether the supervisor granted an unsubscribe.
 func (s *Subscriber) Departed() bool { return s.departed }
+
+// Leaving reports whether an unsubscribe is in flight (requested but not
+// yet granted).
+func (s *Subscriber) Leaving() bool { return s.leaving }
 
 // Version returns the mutation counter over the instance's explicit state.
 func (s *Subscriber) Version() uint64 { return s.version }
@@ -226,6 +292,8 @@ func (s *Subscriber) OnTimeout(ctx sim.Context) {
 	if s.departed {
 		return
 	}
+	s.sinceHeard++
+	s.maybeProbeOwner(ctx)
 	if s.leaving {
 		// Re-request until the supervisor grants permission (the initial
 		// Unsubscribe may have raced with database repair).
@@ -241,6 +309,37 @@ func (s *Subscriber) OnTimeout(ctx sim.Context) {
 	s.buildRingTimeout(ctx)
 	s.maintainShortcuts(ctx)
 	s.superviseProbe(ctx)
+}
+
+// maybeProbeOwner is the subscriber side of supervisor-crash recovery: if
+// the believed owner has been silent past the adaptive threshold, ask the
+// next supervisor in round-robin order who owns us now. The probe is a
+// Reregister carrying our label and epoch — a live owner (or successor
+// that adopted the topic) re-admits us directly; any other supervisor
+// answers with an OwnerAnnounce redirect. A leaving instance probes with
+// Unsubscribe instead: it wants out, not back in.
+func (s *Subscriber) maybeProbeOwner(ctx sim.Context) {
+	if len(s.plane) <= 1 {
+		return
+	}
+	if s.staleAfter <= 0 {
+		s.staleAfter = staleProbeInit
+	}
+	if s.sinceHeard < s.staleAfter {
+		return
+	}
+	s.sinceHeard = 0
+	if s.staleAfter < staleProbeMax {
+		s.staleAfter *= 2
+	}
+	s.desperate = true
+	target := s.plane[s.probeAt%len(s.plane)]
+	s.probeAt++
+	if s.leaving {
+		ctx.Send(target, s.topic, proto.Unsubscribe{V: s.self})
+		return
+	}
+	ctx.Send(target, s.topic, proto.Reregister{V: s.self, Label: s.lab, Epoch: s.epoch})
 }
 
 // buildRingTimeout is the extended BuildRing periodic action (Algorithm 2
@@ -459,7 +558,9 @@ func (s *Subscriber) Leave(ctx sim.Context) {
 func (s *Subscriber) OnMessage(ctx sim.Context, m sim.Message) {
 	switch b := m.Body.(type) {
 	case proto.SetData:
-		s.onSetData(ctx, b)
+		s.onSetData(ctx, m.From, b)
+	case proto.OwnerAnnounce:
+		s.onOwnerAnnounce(ctx, b)
 	case proto.Check:
 		s.onCheck(ctx, b)
 	case proto.Introduce:
@@ -474,8 +575,28 @@ func (s *Subscriber) OnMessage(ctx sim.Context, m sim.Message) {
 }
 
 // onSetData processes a configuration from the supervisor (Algorithm 4
-// SetData), including action (iii) of Section 3.2.1.
-func (s *Subscriber) onSetData(ctx sim.Context, d proto.SetData) {
+// SetData), including action (iii) of Section 3.2.1. On a sharded plane
+// the sender and epoch are screened first: a configuration from a node
+// other than the believed owner is accepted only from a plane supervisor
+// whose era is at least ours — accepting re-homes us to that supervisor —
+// while a deposed owner's stale command (older epoch) is ignored without
+// touching any state.
+func (s *Subscriber) onSetData(ctx sim.Context, from sim.NodeID, d proto.SetData) {
+	if from != sim.None && from != s.supervisor {
+		if !s.planeMember(from) || d.Epoch < s.epoch {
+			return
+		}
+		if !s.departed {
+			s.supervisor = from
+		}
+	}
+	if from == s.supervisor {
+		// The believed owner is authoritative for the era — follow it even
+		// downward, so a supervisor whose epoch state was corrupted can
+		// re-converge with its subscribers instead of being ignored forever.
+		s.epoch = d.Epoch
+		s.heard()
+	}
 	if s.departed {
 		// A non-⊥ configuration for a departed instance means the database
 		// re-recorded us: our pre-departure Subscribe (action (i) retries,
@@ -487,7 +608,11 @@ func (s *Subscriber) onSetData(ctx sim.Context, d proto.SetData) {
 		// would be permanent: answer with Unsubscribe until the database
 		// forgets us again. Found by the chaos engine's churn scenarios.
 		if !d.Label.IsBottom() {
-			ctx.Send(s.supervisor, s.topic, proto.Unsubscribe{V: s.self})
+			to := from
+			if to == sim.None {
+				to = s.supervisor
+			}
+			ctx.Send(to, s.topic, proto.Unsubscribe{V: s.self})
 		}
 		return
 	}
@@ -543,6 +668,40 @@ func (s *Subscriber) onSetData(ctx sim.Context, d proto.SetData) {
 	s.setSlot(&s.left, newLeft)
 	s.setSlot(&s.right, newRight)
 	s.setSlot(&s.ring, newRing)
+}
+
+// onOwnerAnnounce processes an ownership hint: the topic is (believed to
+// be) owned by a.Owner at era a.Epoch. Hints naming a newer era are always
+// followed; equal-or-older hints are followed only while this subscriber
+// is desperate (its believed owner has gone silent) — and never regress
+// the epoch, so a deposed owner cannot talk anyone back into its era.
+// Following a hint re-homes the instance and immediately re-registers
+// with the new owner (or re-requests the unsubscribe, if leaving), which
+// is how a successor's database gets rebuilt from the live overlay.
+func (s *Subscriber) onOwnerAnnounce(ctx sim.Context, a proto.OwnerAnnounce) {
+	if s.departed || !s.planeMember(a.Owner) {
+		return
+	}
+	if a.Owner == s.supervisor {
+		if a.Epoch > s.epoch {
+			s.epoch = a.Epoch
+		}
+		s.heard()
+		return
+	}
+	if a.Epoch <= s.epoch && !s.desperate {
+		return
+	}
+	s.supervisor = a.Owner
+	if a.Epoch > s.epoch {
+		s.epoch = a.Epoch
+	}
+	s.heard()
+	if s.leaving {
+		ctx.Send(s.supervisor, s.topic, proto.Unsubscribe{V: s.self})
+		return
+	}
+	ctx.Send(s.supervisor, s.topic, proto.Reregister{V: s.self, Label: s.lab, Epoch: s.epoch})
 }
 
 // requestCloserNeighbors implements action (iii): compare the stored

@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"sspubsub/internal/sim"
@@ -28,6 +29,15 @@ func hashPoint(s string) uint64 {
 	sum := sha256.Sum256([]byte(s))
 	return binary.BigEndian.Uint64(sum[:8])
 }
+
+// TopicKey renders a topic's wire identity as the canonical placement key.
+// Every layer that places topics on the supervisor ring — the public
+// System, the supervisor plane, the cluster harness — must hash the same
+// key, or two layers could route the same topic to different supervisors.
+// The key is derived from the numeric wire ID (never the human name):
+// frames carry only the ID, so it is the one identity every process of a
+// networked deployment agrees on without coordination.
+func TopicKey(t sim.Topic) string { return "t/" + strconv.FormatInt(int64(t), 10) }
 
 // Ring is a consistent-hashing ring of supervisors. The zero value is
 // unusable; use NewRing. All methods are safe for concurrent use.
@@ -109,6 +119,9 @@ func (r *Ring) Owner(topic string) (sim.NodeID, bool) {
 	return r.points[i%len(r.points)].id, true
 }
 
+// OwnerTopic is Owner over the canonical TopicKey of a wire topic ID.
+func (r *Ring) OwnerTopic(t sim.Topic) (sim.NodeID, bool) { return r.Owner(TopicKey(t)) }
+
 // Spread reports how many of the given topics each supervisor owns — the
 // balance measurement for the extension experiment.
 func (r *Ring) Spread(topics []string) map[sim.NodeID]int {
@@ -160,6 +173,17 @@ func (d *Directory) Rebalance() map[string]sim.NodeID {
 		}
 	}
 	return moved
+}
+
+// ForceOwner overwrites the cached owner of a topic with an arbitrary
+// (possibly wrong, possibly dead) supervisor — a chaos/test hook modelling
+// corruption of the routing directory itself. The poison is soft state:
+// the next Lookup recomputes from the ring, and the next Rebalance reports
+// the repair as a move.
+func (d *Directory) ForceOwner(topic string, owner sim.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.known[topic] = owner
 }
 
 // Topics returns the cached topic set, sorted.

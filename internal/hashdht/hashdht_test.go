@@ -153,6 +153,143 @@ func TestDirectoryRebalance(t *testing.T) {
 	}
 }
 
+// TestRemovalRebalanceMinimality is the migration-minimality property the
+// crash-tolerant supervisor plane rests on, mirrored from the join-side
+// rebalance tests: when a supervisor is removed (crashed), Rebalance moves
+// exactly the topics the removed node owned — each to a surviving
+// supervisor — and every other topic keeps its owner untouched.
+func TestRemovalRebalanceMinimality(t *testing.T) {
+	r := NewRing(32)
+	for i := sim.NodeID(1); i <= 4; i++ {
+		r.Add(i)
+	}
+	d := NewDirectory(r)
+	ts := topics(400)
+	before := map[string]sim.NodeID{}
+	owned := 0
+	for _, tp := range ts {
+		id, ok := d.Lookup(tp)
+		if !ok {
+			t.Fatal("lookup failed on populated ring")
+		}
+		before[tp] = id
+		if id == 3 {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("supervisor 3 owns no topics — the removal test would be vacuous")
+	}
+
+	r.Remove(3)
+	moved := d.Rebalance()
+
+	// Exactly the dead node's topics move: no more, no fewer.
+	if len(moved) != owned {
+		t.Fatalf("removal moved %d topics, supervisor 3 owned %d", len(moved), owned)
+	}
+	for tp, now := range moved {
+		if before[tp] != 3 {
+			t.Errorf("topic %s moved although its owner %d survived", tp, before[tp])
+		}
+		if now == 3 {
+			t.Errorf("topic %s still assigned to the removed supervisor", tp)
+		}
+	}
+	for _, tp := range ts {
+		now, ok := r.Owner(tp)
+		if !ok {
+			t.Fatalf("topic %s orphaned", tp)
+		}
+		if before[tp] != 3 && now != before[tp] {
+			t.Errorf("surviving topic %s silently moved %d→%d", tp, before[tp], now)
+		}
+	}
+}
+
+// TestRemovalRebalanceSuccessorAgreement: after a removal, the moved
+// topics' new owners equal the owners a fresh ring (built without the dead
+// node) computes — the history-independence that lets every supervisor
+// run the migration independently and agree.
+func TestRemovalRebalanceSuccessorAgreement(t *testing.T) {
+	churned := NewRing(32)
+	for i := sim.NodeID(1); i <= 5; i++ {
+		churned.Add(i)
+	}
+	d := NewDirectory(churned)
+	ts := topics(300)
+	for _, tp := range ts {
+		d.Lookup(tp)
+	}
+	churned.Remove(2)
+	moved := d.Rebalance()
+
+	fresh := NewRing(32)
+	for _, id := range []sim.NodeID{1, 3, 4, 5} {
+		fresh.Add(id)
+	}
+	for tp, now := range moved {
+		want, ok := fresh.Owner(tp)
+		if !ok || now != want {
+			t.Errorf("topic %s migrated to %d, fresh ring says %d", tp, now, want)
+		}
+	}
+}
+
+// TestRemoveThenReaddRestoresOwnership: a crash followed by a restart
+// (remove + re-add) returns every topic to its original owner, and the
+// two rebalances report inverse move sets — what lets a restarted
+// supervisor reclaim exactly its own topics.
+func TestRemoveThenReaddRestoresOwnership(t *testing.T) {
+	r := NewRing(32)
+	for i := sim.NodeID(1); i <= 4; i++ {
+		r.Add(i)
+	}
+	d := NewDirectory(r)
+	ts := topics(300)
+	before := map[string]sim.NodeID{}
+	for _, tp := range ts {
+		before[tp], _ = d.Lookup(tp)
+	}
+	r.Remove(4)
+	away := d.Rebalance()
+	r.Add(4)
+	back := d.Rebalance()
+	if len(away) != len(back) {
+		t.Fatalf("asymmetric churn: %d topics moved away, %d moved back", len(away), len(back))
+	}
+	for tp := range away {
+		if now, _ := r.Owner(tp); now != 4 {
+			t.Errorf("topic %s not reclaimed by the restarted supervisor (owner %d)", tp, now)
+		}
+	}
+	for _, tp := range ts {
+		if now, _ := r.Owner(tp); now != before[tp] {
+			t.Errorf("topic %s ended at %d, started at %d", tp, now, before[tp])
+		}
+	}
+}
+
+// TestForceOwnerSelfHeals: a poisoned directory cache (corruption of the
+// routing directory itself) is repaired by the next Lookup, and Rebalance
+// reports the repair as a move.
+func TestForceOwnerSelfHeals(t *testing.T) {
+	r := NewRing(16)
+	r.Add(1)
+	r.Add(2)
+	d := NewDirectory(r)
+	truth, _ := d.Lookup("tp")
+	d.ForceOwner("tp", 99) // 99 is not even a member
+	if got, _ := d.Lookup("tp"); got != truth {
+		t.Fatalf("Lookup returned the poisoned owner %d, want %d", got, truth)
+	}
+	d.ForceOwner("tp", 99)
+	moved := d.Rebalance()
+	if moved["tp"] != truth {
+		t.Fatalf("Rebalance did not repair the poisoned entry: %v", moved)
+	}
+}
+
 // TestChurnNeverOrphansTopics drives a long random add/remove sequence of
 // supervisors and checks the core placement invariant after every step:
 // while any supervisor is alive, every topic has exactly one owner and

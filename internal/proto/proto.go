@@ -80,11 +80,15 @@ type GetConfiguration struct {
 // SetData delivers a configuration (pred_v, label_v, succ_v) from the
 // supervisor's database. All-⊥ means "you are not in the database": the
 // receiver clears its label and will re-subscribe (or stay out, if it asked
-// to leave).
+// to leave). Epoch is the sender's ownership epoch for the topic (see the
+// supervisor-plane messages below): a receiver that has followed a newer
+// owner ignores configurations from third parties carrying an older epoch,
+// which is what makes commands from a deposed supervisor harmless.
 type SetData struct {
 	Pred  Tuple
 	Label label.Label
 	Succ  Tuple
+	Epoch uint64
 }
 
 // ---- Subscriber-to-subscriber ring maintenance (Algorithms 1, 2, 4) ----
@@ -175,6 +179,57 @@ type PublishBatch struct {
 // (Section 4.3).
 type PublishNew struct {
 	Pub Publication
+}
+
+// ---- supervisor plane (crash-tolerant sharded supervision) ----
+//
+// The paper assumes one reliable supervisor. With topics sharded over
+// several supervisors by consistent hashing (Section 1.3), the plane
+// itself must self-stabilize: supervisors monitor each other through the
+// failure detector, a dead supervisor's topics migrate to their hashdht
+// successors, and the successor rebuilds the topic database from the live
+// overlay — the database is soft state recoverable from the system, the
+// same property the paper's legitimacy proof already relies on. Ownership
+// eras are totally ordered per topic by an epoch counter, so messages from
+// deposed owners are recognizably stale.
+
+// Reregister is the subscriber half of the WhoSupervises handshake: "I
+// believe I am a member of this topic with label Label, last served at
+// ownership epoch Epoch — if you own the topic, adopt me into your
+// database (preserving my label if it is free) and confirm my
+// configuration; otherwise tell me who does." Subscribers send it to the
+// announced new owner after a migration, and round-robin over the
+// supervisor set when their believed owner has gone silent.
+type Reregister struct {
+	V     sim.NodeID
+	Label label.Label
+	Epoch uint64
+}
+
+// OwnerAnnounce is the supervisor half of the WhoSupervises handshake: the
+// envelope's topic is owned by supervisor Owner at ownership epoch Epoch.
+// Sent to subscribers by a deposed owner handing its topics over, and by
+// any supervisor answering a request for a topic it does not own.
+type OwnerAnnounce struct {
+	Owner sim.NodeID
+	Epoch uint64
+}
+
+// TopicEpoch pairs a topic with the highest ownership epoch the sender has
+// observed for it.
+type TopicEpoch struct {
+	Topic sim.Topic
+	Epoch uint64
+}
+
+// PlaneGossip is the supervisor-to-supervisor heartbeat payload: the
+// sender's hosted topics with their current ownership epochs. Peers learn
+// which topics exist (so they can adopt orphans of a crashed owner they
+// never served themselves) and how far the epoch counter has advanced (so
+// an adoption starts at a fresh era). The envelope's topic field is
+// unused: one gossip message covers many topics.
+type PlaneGossip struct {
+	Entries []TopicEpoch
 }
 
 // ---- deterministic token-passing variant (paper's conclusion) ----

@@ -8,6 +8,16 @@
 // (Theorem 7), repairs its database from arbitrary corruption with purely
 // local actions (Lemma 9), and culls crashed subscribers reported by the
 // single system-wide failure detector (Section 3.3).
+//
+// The paper assumes the supervisor itself is reliable. This package
+// deliberately departs from that assumption: several supervisors can form
+// a crash-tolerant plane (JoinPlane) in which topics are sharded by
+// consistent hashing, peers monitor each other through the same failure
+// detector that screens subscribers, a dead supervisor's topics migrate to
+// their hashdht successors, and the successor rebuilds the topic database
+// from the live overlay via the Reregister/OwnerAnnounce handshake — the
+// database is soft state recoverable from the system, exactly the property
+// the paper's legitimacy proof relies on. See plane.go.
 package supervisor
 
 import (
@@ -31,6 +41,11 @@ type Supervisor struct {
 	// CullPerTimeout bounds how many database entries per topic the failure
 	// detector screens each Timeout (keeps per-interval work constant).
 	CullPerTimeout int
+
+	// plane is the crash-tolerant multi-supervisor state (nil for a
+	// classic single-supervisor deployment, which owns every topic and
+	// pays zero plane overhead). See plane.go.
+	plane *plane
 }
 
 // topicDB is the database for one topic plus the round-robin cursor.
@@ -40,6 +55,19 @@ type topicDB struct {
 	// corrupted states of Section 3.1 that CheckLabels repairs.
 	db   map[label.Label]sim.NodeID
 	next uint64
+
+	// epoch is the ownership era this database serves at. It is carried in
+	// every SetData so subscribers can discriminate a deposed owner's stale
+	// commands; it only ever moves forward (adoption, handover, and epoch
+	// repair from Reregister reports all bump it).
+	epoch uint64
+	// grace, while positive, exempts the database from CheckLabels'
+	// relabelling (⊥ purging still runs) and counts down one per Timeout.
+	// A freshly adopted database starts with a rebuild grace so surviving
+	// subscribers can re-report their pre-failover labels before the
+	// compaction rule would overwrite them — preserving the live overlay
+	// instead of rebuilding the ring from scratch.
+	grace int
 
 	// sorted caches the entries in r-order for predecessor/successor
 	// queries; rebuilt when stale.
@@ -83,6 +111,7 @@ func (s *Supervisor) topic(t sim.Topic) *topicDB {
 func (s *Supervisor) OnTimeout(ctx sim.Context) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.planeTimeout(ctx)
 	// Iterate topics in a fixed order for determinism.
 	ids := make([]sim.Topic, 0, len(s.topics))
 	for t := range s.topics {
@@ -96,6 +125,9 @@ func (s *Supervisor) OnTimeout(ctx sim.Context) {
 
 func (s *Supervisor) timeoutTopic(ctx sim.Context, t sim.Topic) {
 	db := s.topic(t)
+	if db.grace > 0 {
+		db.grace--
+	}
 	db.checkLabels()
 	n := uint64(len(db.db))
 	if n == 0 {
@@ -116,13 +148,26 @@ func (s *Supervisor) timeoutTopic(ctx sim.Context, t sim.Topic) {
 		}
 	}
 	db.next = (db.next + 1) % n
-	lab := label.FromIndex(db.next)
-	if v, ok := db.db[lab]; ok && v != sim.None {
+	v, ok := db.db[label.FromIndex(db.next)]
+	if !ok && db.grace > 0 {
+		// During a rebuild grace the labels are whatever the survivors
+		// re-reported, not the compact l(0 … n−1): walk the sorted entries
+		// so the round-robin refresh still reaches everyone.
+		db.rebuild()
+		if len(db.sorted) > 0 {
+			v, ok = db.sorted[int(db.next)%len(db.sorted)].id, true
+		}
+	}
+	if ok && v != sim.None {
 		s.sendConfiguration(ctx, t, db, v)
 	}
 }
 
-// OnMessage dispatches the three supervisor-bound requests.
+// OnMessage dispatches the supervisor-bound requests. On a sharded plane,
+// requests for topics this supervisor does not currently own are answered
+// with an OwnerAnnounce redirect instead of being served — stale client
+// routing after a migration corrects itself in one round trip, and no
+// deposed supervisor ever grows a parallel database.
 func (s *Supervisor) OnMessage(ctx sim.Context, m sim.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -132,11 +177,17 @@ func (s *Supervisor) OnMessage(ctx sim.Context, m sim.Message) {
 		if v == sim.None {
 			v = m.From
 		}
+		if s.redirectIfNotOwner(ctx, m.Topic, v) {
+			return
+		}
 		s.subscribe(ctx, m.Topic, v)
 	case proto.Unsubscribe:
 		v := b.V
 		if v == sim.None {
 			v = m.From
+		}
+		if s.redirectIfNotOwner(ctx, m.Topic, v) {
+			return
 		}
 		s.unsubscribe(ctx, m.Topic, v)
 	case proto.GetConfiguration:
@@ -144,7 +195,14 @@ func (s *Supervisor) OnMessage(ctx sim.Context, m sim.Message) {
 		if v == sim.None {
 			v = m.From
 		}
+		if s.redirectIfNotOwner(ctx, m.Topic, v) {
+			return
+		}
 		s.getConfiguration(ctx, m.Topic, v)
+	case proto.Reregister:
+		s.reregister(ctx, m.Topic, b)
+	case proto.PlaneGossip:
+		s.absorbGossip(b)
 	}
 }
 
@@ -159,10 +217,22 @@ func (s *Supervisor) subscribe(ctx sim.Context, t sim.Topic, v sim.NodeID) {
 		s.getConfiguration(ctx, t, v)
 		return
 	}
-	lab := label.FromIndex(uint64(len(db.db)))
+	lab := db.nextFreeLabel()
 	db.db[lab] = v
 	db.stale = true
 	s.sendConfiguration(ctx, t, db, v)
+}
+
+// nextFreeLabel returns the lowest-index unused label at or above l(n). In
+// the paper's compact database this is always exactly l(n); during a
+// rebuild grace the database may hold gaps and out-of-range survivors, so
+// probe upward until a free slot appears (at most n+1 probes).
+func (db *topicDB) nextFreeLabel() label.Label {
+	for i := uint64(len(db.db)); ; i++ {
+		if _, taken := db.db[label.FromIndex(i)]; !taken {
+			return label.FromIndex(i)
+		}
+	}
 }
 
 // unsubscribe implements Algorithm 3 Unsubscribe: remove v, move the node
@@ -188,7 +258,7 @@ func (s *Supervisor) unsubscribe(ctx sim.Context, t sim.Topic, v sim.NodeID) {
 			db.stale = true
 		}
 	}
-	ctx.Send(v, t, proto.SetData{}) // all-⊥: permission to leave
+	ctx.Send(v, t, proto.SetData{Epoch: db.epoch}) // all-⊥: permission to leave
 }
 
 // getConfiguration implements Algorithm 3 GetConfiguration: send v its
@@ -199,7 +269,7 @@ func (s *Supervisor) getConfiguration(ctx sim.Context, t sim.Topic, v sim.NodeID
 	db := s.topic(t)
 	db.checkMultipleCopies(v)
 	if db.labelOf(v) == label.Bottom {
-		ctx.Send(v, t, proto.SetData{})
+		ctx.Send(v, t, proto.SetData{Epoch: db.epoch})
 		return
 	}
 	s.sendConfiguration(ctx, t, db, v)
@@ -208,7 +278,7 @@ func (s *Supervisor) getConfiguration(ctx sim.Context, t sim.Topic, v sim.NodeID
 func (s *Supervisor) sendConfiguration(ctx sim.Context, t sim.Topic, db *topicDB, v sim.NodeID) {
 	lab := db.labelOf(v)
 	pred, succ := db.neighbors(lab)
-	ctx.Send(v, t, proto.SetData{Pred: pred, Label: lab, Succ: succ})
+	ctx.Send(v, t, proto.SetData{Pred: pred, Label: lab, Succ: succ, Epoch: db.epoch})
 }
 
 // labelOf returns the (lowest) label stored for v, or ⊥.
@@ -250,6 +320,12 @@ func (db *topicDB) checkLabels() {
 			delete(db.db, l)
 			db.stale = true
 		}
+	}
+	if db.grace > 0 {
+		// Rebuild grace: survivors are still re-reporting their pre-failover
+		// labels; compacting now would reassign labels the rightful holders
+		// are about to claim and force the whole overlay to re-linearize.
+		return
 	}
 	n := uint64(len(db.db))
 	var missing []label.Label // wanted labels not present, ascending
@@ -332,7 +408,32 @@ func (db *topicDB) rebuild() {
 func (s *Supervisor) N(t sim.Topic) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.topic(t).db)
+	if db, ok := s.topics[t]; ok {
+		return len(db.db)
+	}
+	return 0
+}
+
+// Hosts reports whether this supervisor currently holds a database for the
+// topic — i.e. considers itself the topic's owner. Unlike the other
+// introspection methods it never instantiates an empty database, so probes
+// can ask every supervisor without perturbing ownership state.
+func (s *Supervisor) Hosts(t sim.Topic) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.topics[t]
+	return ok
+}
+
+// EpochOf returns the ownership epoch the hosted database serves at (0
+// when the topic is not hosted).
+func (s *Supervisor) EpochOf(t sim.Topic) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if db, ok := s.topics[t]; ok {
+		return db.epoch
+	}
+	return 0
 }
 
 // Topics returns all topics with a database, sorted.
@@ -351,7 +452,10 @@ func (s *Supervisor) Topics() []sim.Topic {
 func (s *Supervisor) Snapshot(t sim.Topic) map[label.Label]sim.NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	db := s.topic(t)
+	db, ok := s.topics[t]
+	if !ok {
+		return map[label.Label]sim.NodeID{}
+	}
 	out := make(map[label.Label]sim.NodeID, len(db.db))
 	for l, v := range db.db {
 		out[l] = v
@@ -363,7 +467,10 @@ func (s *Supervisor) Snapshot(t sim.Topic) map[label.Label]sim.NodeID {
 func (s *Supervisor) LabelOf(t sim.Topic, v sim.NodeID) label.Label {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.topic(t).labelOf(v)
+	if db, ok := s.topics[t]; ok {
+		return db.labelOf(v)
+	}
+	return label.Bottom
 }
 
 // Corrupted reports whether the database currently violates any of the four
@@ -371,7 +478,10 @@ func (s *Supervisor) LabelOf(t sim.Topic, v sim.NodeID) label.Label {
 func (s *Supervisor) Corrupted(t sim.Topic) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	db := s.topic(t)
+	db, ok := s.topics[t]
+	if !ok {
+		return false
+	}
 	n := uint64(len(db.db))
 	seen := make(map[sim.NodeID]bool, n)
 	for l, v := range db.db {

@@ -71,7 +71,7 @@ func (t *tape) publication() proto.Publication {
 
 // genBody draws one message body of the selected registered type.
 func genBody(sel uint8, tp *tape) any {
-	switch sel % 21 {
+	switch sel % 24 {
 	case 0:
 		return proto.Subscribe{V: tp.node()}
 	case 1:
@@ -131,8 +131,18 @@ func genBody(sel uint8, tp *tape) any {
 		return core.PublishCmd{Payload: tp.str()}
 	case 19:
 		return Hello{Base: tp.node(), Slots: uint32(tp.u64())}
-	default:
+	case 20:
 		return Welcome{Base: tp.node(), Slots: uint32(tp.u64())}
+	case 21:
+		return proto.Reregister{V: tp.node(), Label: tp.label(), Epoch: tp.u64()}
+	case 22:
+		return proto.OwnerAnnounce{Owner: tp.node(), Epoch: tp.u64()}
+	default:
+		var m proto.PlaneGossip
+		for i := int(tp.u8() % 4); i > 0; i-- {
+			m.Entries = append(m.Entries, proto.TopicEpoch{Topic: sim.Topic(uint32(tp.u64())), Epoch: tp.u64()})
+		}
+		return m
 	}
 }
 
@@ -180,6 +190,9 @@ func FuzzWireAdversarial(f *testing.F) {
 		proto.Token{Epoch: 1, Pending: []proto.Tuple{{L: label.MustParse("0"), Ref: 2}}},
 		core.PublishCmd{Payload: "seed"},
 		Hello{Base: 4096, Slots: 64},
+		proto.Reregister{V: 5, Label: label.MustParse("01"), Epoch: 3},
+		proto.OwnerAnnounce{Owner: 2, Epoch: 4},
+		proto.PlaneGossip{Entries: []proto.TopicEpoch{{Topic: 2, Epoch: 9}}},
 	} {
 		b, err := Marshal(sim.Message{To: 2, From: 3, Topic: 1, Body: body})
 		if err != nil {

@@ -41,6 +41,11 @@ const (
 	tagJoinTopic  = 17
 	tagLeaveTopic = 18
 	tagPublishCmd = 19
+	// Supervisor plane (crash-tolerant sharded supervision): ownership
+	// announcements, the re-registration handshake and the epoch gossip.
+	tagReregister    = 20
+	tagOwnerAnnounce = 21
+	tagPlaneGossip   = 22
 	// Transport control (package nettransport): connection handshake.
 	tagHello   = 32
 	tagWelcome = 33
@@ -114,9 +119,10 @@ var registry = map[uint64]entry{
 			e.tuple(m.Pred)
 			e.label(m.Label)
 			e.tuple(m.Succ)
+			e.uvarint(m.Epoch)
 		},
 		func(d *dec) any {
-			return proto.SetData{Pred: d.tuple(), Label: d.labelv(), Succ: d.tuple()}
+			return proto.SetData{Pred: d.tuple(), Label: d.labelv(), Succ: d.tuple(), Epoch: d.uvarint()}
 		}},
 	tagCheck: {"proto.Check", proto.Check{},
 		func(e *enc, b any) {
@@ -242,6 +248,45 @@ var registry = map[uint64]entry{
 	tagPublishCmd: {"core.PublishCmd", core.PublishCmd{},
 		func(e *enc, b any) { e.str(b.(core.PublishCmd).Payload) },
 		func(d *dec) any { return core.PublishCmd{Payload: d.str()} }},
+	tagReregister: {"proto.Reregister", proto.Reregister{},
+		func(e *enc, b any) {
+			m := b.(proto.Reregister)
+			e.node(m.V)
+			e.label(m.Label)
+			e.uvarint(m.Epoch)
+		},
+		func(d *dec) any {
+			return proto.Reregister{V: d.node(), Label: d.labelv(), Epoch: d.uvarint()}
+		}},
+	tagOwnerAnnounce: {"proto.OwnerAnnounce", proto.OwnerAnnounce{},
+		func(e *enc, b any) {
+			m := b.(proto.OwnerAnnounce)
+			e.node(m.Owner)
+			e.uvarint(m.Epoch)
+		},
+		func(d *dec) any {
+			return proto.OwnerAnnounce{Owner: d.node(), Epoch: d.uvarint()}
+		}},
+	tagPlaneGossip: {"proto.PlaneGossip", proto.PlaneGossip{},
+		func(e *enc, b any) {
+			m := b.(proto.PlaneGossip)
+			e.uvarint(uint64(len(m.Entries)))
+			for _, te := range m.Entries {
+				e.svarint(int64(te.Topic))
+				e.uvarint(te.Epoch)
+			}
+		},
+		func(d *dec) any {
+			n := d.sliceLen(2) // topic ≥ 1 byte + epoch ≥ 1 byte
+			var entries []proto.TopicEpoch
+			if n > 0 {
+				entries = make([]proto.TopicEpoch, 0, n)
+			}
+			for i := 0; i < n && d.err == nil; i++ {
+				entries = append(entries, proto.TopicEpoch{Topic: sim.Topic(d.svarint()), Epoch: d.uvarint()})
+			}
+			return proto.PlaneGossip{Entries: entries}
+		}},
 	tagHello: {"wire.Hello", Hello{},
 		func(e *enc, b any) {
 			m := b.(Hello)

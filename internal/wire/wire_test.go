@@ -46,6 +46,11 @@ var sampleBodies = []any{
 		Pending: []proto.Tuple{tup("11", 9), {}}, NextHop: proto.Tuple{}},
 	proto.TokenReturn{Epoch: 13, Complete: true, First: tup("0", 2), Last: tup("11", 9)},
 	proto.Register{V: 11, Label: lbl("0001")},
+	proto.Reregister{V: 12, Label: lbl("001"), Epoch: 1<<40 + 5},
+	proto.OwnerAnnounce{Owner: 3, Epoch: 7},
+	proto.PlaneGossip{Entries: []proto.TopicEpoch{{Topic: 1, Epoch: 2}, {Topic: 1 << 30, Epoch: 0}}},
+	proto.PlaneGossip{},
+	proto.SetData{Pred: tup("01", 4), Label: lbl("11"), Succ: tup("1", 6), Epoch: 9},
 	core.JoinTopic{},
 	core.LeaveTopic{},
 	core.PublishCmd{Payload: "payload with\x00bytes"},

@@ -61,6 +61,12 @@ type SimOptions struct {
 	Seed int64
 	// KeyLen is the publication key width (default 64).
 	KeyLen uint8
+	// Supervisors is the supervisor-plane size (default 1). With more than
+	// one, topics are sharded by consistent hashing over supervisors
+	// 1 … Supervisors, the plane is crash-tolerant (CrashSupervisor /
+	// RestartSupervisor), and subscriber IDs start after the supervisor
+	// block.
+	Supervisors int
 	// DisableFlooding / DisableAntiEntropy / DisableActionIV are the
 	// ablation switches described in DESIGN.md.
 	DisableFlooding    bool
@@ -106,18 +112,22 @@ func NewSimulation(opts SimOptions) *Simulation {
 	if ivl == 0 {
 		ivl = 2 * time.Millisecond
 	}
+	supers := opts.Supervisors
+	if supers < 1 {
+		supers = 1
+	}
 	switch opts.Runtime {
 	case RuntimeConcurrent:
 		crt := concurrent.NewRuntime(concurrent.Options{Interval: ivl, Seed: opts.Seed})
-		return &Simulation{live: cluster.NewLive(crt, clientOpts), lrt: crt, crt: crt, ivl: ivl}
+		return &Simulation{live: cluster.NewLiveN(crt, clientOpts, supers), lrt: crt, crt: crt, ivl: ivl}
 	case RuntimeNet:
 		nt, err := nettransport.NewLoopback(nettransport.Options{Interval: ivl, Seed: opts.Seed})
 		if err != nil {
 			panic(fmt.Sprintf("sspubsub: loopback transport: %v", err))
 		}
-		return &Simulation{live: cluster.NewLive(nt, clientOpts), lrt: nt, ivl: ivl}
+		return &Simulation{live: cluster.NewLiveN(nt, clientOpts, supers), lrt: nt, ivl: ivl}
 	case RuntimeSim, "":
-		return &Simulation{c: cluster.New(cluster.Options{Seed: opts.Seed, ClientOpts: clientOpts})}
+		return &Simulation{c: cluster.New(cluster.Options{Seed: opts.Seed, ClientOpts: clientOpts, Supervisors: supers})}
 	default:
 		panic(fmt.Sprintf("sspubsub: unknown runtime %q", opts.Runtime))
 	}
@@ -391,6 +401,40 @@ func (s *Simulation) Restart(id NodeID) bool {
 	return s.c.Restart(id)
 }
 
+// SupervisorIDs returns the static supervisor plane (node IDs
+// 1 … SimOptions.Supervisors), crashed or not.
+func (s *Simulation) SupervisorIDs() []NodeID {
+	return append([]NodeID(nil), s.harness().SupIDs...)
+}
+
+// CrashSupervisor fails a supervisor without warning (by node ID; see
+// SupervisorIDs). Its topics are orphaned until the surviving peers'
+// failure detector migrates them to their hashdht successors, which
+// rebuild the topic databases from the live subscribers. It reports false
+// for unknown or already-crashed supervisors, and refuses to crash the
+// last live supervisor (mirroring System.CrashSupervisor — a plane with
+// no live member owns nothing and cannot converge). Works on every
+// substrate.
+func (s *Simulation) CrashSupervisor(id NodeID) bool {
+	return s.harness().CrashSupervisor(id)
+}
+
+// RestartSupervisor brings a crashed supervisor back with the stale plane
+// state it crashed with; the ownership machinery lets it reclaim its
+// topics at a fresh epoch. It reports false when the supervisor was not
+// crashed.
+func (s *Simulation) RestartSupervisor(id NodeID) bool {
+	return s.harness().RestartSupervisor(id)
+}
+
+// harness returns the substrate-independent cluster harness.
+func (s *Simulation) harness() *cluster.Live {
+	if s.lrt != nil {
+		return s.live
+	}
+	return s.c.Live
+}
+
 // FaultAction is the verdict a message-fault filter returns; see the
 // Fault* constants.
 type FaultAction = sim.FaultAction
@@ -435,7 +479,7 @@ func (s *Simulation) StartChurn(seed int64) (stop func()) {
 	}
 	in := s.crt.NewInjector(concurrent.InjectorOptions{
 		Seed:    seed,
-		Protect: func(id NodeID) bool { return id == cluster.SupervisorID },
+		Protect: s.live.IsSupervisor,
 	})
 	s.churn = append(s.churn, in)
 	return in.Stop

@@ -37,7 +37,11 @@ type Options struct {
 	DisableFlooding bool
 	// Supervisors is the number of supervisor nodes (default 1). With more
 	// than one, topics are spread over the supervisors by consistent
-	// hashing — the scalability extension of Section 1.3.
+	// hashing — the scalability extension of Section 1.3 — and the
+	// supervisor plane is crash-tolerant: supervisors monitor each other,
+	// a crashed supervisor's topics migrate to their hashdht successors,
+	// and each successor rebuilds its topic databases from the live
+	// subscribers (see CrashSupervisor / RestartSupervisor).
 	Supervisors int
 	// Transport overrides the execution substrate the nodes run on. When
 	// nil, a concurrent goroutine runtime (internal/runtime/concurrent)
@@ -59,15 +63,21 @@ type Options struct {
 // System is a running supervised publish-subscribe system: one supervisor
 // plus any number of clients, each a goroutine-backed protocol node.
 type System struct {
-	opts Options
-	tr   sim.Transport
-	sups map[sim.NodeID]*supervisor.Supervisor
+	opts   Options
+	tr     sim.Transport
+	sups   map[sim.NodeID]*supervisor.Supervisor
+	supIDs []sim.NodeID
+	// ring is the live-supervisor view: crashed supervisors are removed and
+	// restarted ones re-added, so topic routing always follows the current
+	// owner (matching the supervisors' own plane view once their failure
+	// detector agrees).
 	ring *hashdht.Ring
 
 	mu       sync.Mutex
 	topics   map[string]sim.Topic
 	names    map[sim.Topic]string
 	topicSup map[sim.Topic]sim.NodeID
+	supDown  map[sim.NodeID]bool
 	clients  map[sim.NodeID]*Client
 	byName   map[string]*Client
 	nextID   sim.NodeID
@@ -97,14 +107,21 @@ func NewSystem(opts Options) *System {
 	}
 	sups := make(map[sim.NodeID]*supervisor.Supervisor, opts.Supervisors)
 	ring := hashdht.NewRing(64)
+	supIDs := make([]sim.NodeID, 0, opts.Supervisors)
 	for i := 0; i < opts.Supervisors; i++ {
 		id := supervisorID + sim.NodeID(i)
 		// Attached systems build the same topic→supervisor ring (the IDs
 		// are deterministic, so every process routes a topic to the same
 		// supervisor) but host no supervisor nodes themselves.
 		ring.Add(id)
-		if !opts.Attach {
+		supIDs = append(supIDs, id)
+	}
+	if !opts.Attach {
+		for _, id := range supIDs {
 			sup := supervisor.New(id, tr)
+			if opts.Supervisors > 1 {
+				sup.JoinPlane(supIDs)
+			}
 			tr.AddNode(id, sup)
 			sups[id] = sup
 		}
@@ -117,10 +134,12 @@ func NewSystem(opts Options) *System {
 		opts:     opts,
 		tr:       tr,
 		sups:     sups,
+		supIDs:   supIDs,
 		ring:     ring,
 		topics:   make(map[string]sim.Topic),
 		names:    make(map[sim.Topic]string),
 		topicSup: make(map[sim.Topic]sim.NodeID),
+		supDown:  make(map[sim.NodeID]bool),
 		clients:  make(map[sim.NodeID]*Client),
 		byName:   make(map[string]*Client),
 		nextID:   firstID,
@@ -175,10 +194,86 @@ func (s *System) topicID(name string) sim.Topic {
 	}
 	s.topics[name] = t
 	s.names[t] = name
-	if owner, ok := s.ring.Owner(name); ok {
+	// Placement hashes the wire ID (hashdht.TopicKey), never the name:
+	// it is the identity the supervisors' own plane shards by, so client
+	// routing and supervisor ownership agree by construction.
+	if owner, ok := s.ring.OwnerTopic(t); ok {
 		s.topicSup[t] = owner
 	}
 	return t
+}
+
+// SupervisorCount returns the number of supervisors the system was
+// configured with.
+func (s *System) SupervisorCount() int { return len(s.supIDs) }
+
+// CrashSupervisor fails supervisor i (0-based, of Options.Supervisors)
+// without warning. Its topics are orphaned until the surviving
+// supervisors' failure detector migrates them to their hashdht successors,
+// which rebuild the topic databases from the live subscribers; client
+// routing follows immediately. The supervisor's state is retained so
+// RestartSupervisor can bring it back (with that stale state).
+func (s *System) CrashSupervisor(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.Attach {
+		return fmt.Errorf("sspubsub: attached systems host no supervisors")
+	}
+	if i < 0 || i >= len(s.supIDs) {
+		return fmt.Errorf("sspubsub: supervisor index %d out of range [0,%d)", i, len(s.supIDs))
+	}
+	id := s.supIDs[i]
+	if s.supDown[id] {
+		return fmt.Errorf("sspubsub: supervisor %d already crashed", i)
+	}
+	live := 0
+	for _, sid := range s.supIDs {
+		if !s.supDown[sid] {
+			live++
+		}
+	}
+	if live <= 1 {
+		return fmt.Errorf("sspubsub: refusing to crash the last live supervisor")
+	}
+	s.supDown[id] = true
+	s.ring.Remove(id)
+	s.reroute()
+	s.tr.Crash(id)
+	return nil
+}
+
+// RestartSupervisor brings a crashed supervisor back with the stale state
+// it crashed with — an arbitrary initial plane state the self-stabilizing
+// ownership machinery repairs (the restarted supervisor reclaims its
+// topics at a fresh ownership epoch).
+func (s *System) RestartSupervisor(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.Attach {
+		return fmt.Errorf("sspubsub: attached systems host no supervisors")
+	}
+	if i < 0 || i >= len(s.supIDs) {
+		return fmt.Errorf("sspubsub: supervisor index %d out of range [0,%d)", i, len(s.supIDs))
+	}
+	id := s.supIDs[i]
+	if !s.supDown[id] {
+		return fmt.Errorf("sspubsub: supervisor %d is not crashed", i)
+	}
+	delete(s.supDown, id)
+	s.ring.Add(id)
+	s.reroute()
+	s.tr.AddNode(id, s.sups[id])
+	return nil
+}
+
+// reroute recomputes every known topic's owner after a supervisor
+// membership change. Lock held.
+func (s *System) reroute() {
+	for t := range s.names {
+		if owner, ok := s.ring.OwnerTopic(t); ok {
+			s.topicSup[t] = owner
+		}
+	}
 }
 
 // supervisorOf returns the supervisor node responsible for a topic.
@@ -225,6 +320,7 @@ func (s *System) NewClient(name string) (*Client, error) {
 		OnDeliver:       c.deliver,
 		DisableFlooding: s.opts.DisableFlooding,
 		SupervisorFor:   s.supervisorOf,
+		Supervisors:     s.supIDs,
 	})
 	s.clients[id] = c
 	s.byName[name] = c

@@ -334,3 +334,91 @@ func TestTopicIDsProcessIndependent(t *testing.T) {
 		t.Error("distinct topics share an ID")
 	}
 }
+
+// TestSystemSupervisorFailover drives the crash-tolerant supervisor plane
+// through the public API: crash a topic's owner supervisor, verify the
+// system re-stabilizes under the hashdht successor with subscriptions and
+// delivery intact, then restart the old owner and verify it reclaims the
+// topic.
+func TestSystemSupervisorFailover(t *testing.T) {
+	sys := NewSystem(Options{Interval: 2 * time.Millisecond, Seed: 99, Supervisors: 4})
+	t.Cleanup(sys.Close)
+	if got := sys.SupervisorCount(); got != 4 {
+		t.Fatalf("SupervisorCount = %d", got)
+	}
+
+	clients := make([]*Client, 5)
+	for i := range clients {
+		clients[i] = sys.MustClient(string(rune('a' + i)))
+		clients[i].Subscribe("orders")
+	}
+	if !sys.WaitStable("orders", len(clients), 20*time.Second) {
+		t.Fatalf("never stabilized: %s", sys.explain("orders"))
+	}
+
+	owner := sys.supervisorOf(sys.topicID("orders"))
+	ownerIdx := int(owner - supervisorID)
+	if err := sys.CrashSupervisor(ownerIdx); err != nil {
+		t.Fatal(err)
+	}
+	successor := sys.supervisorOf(sys.topicID("orders"))
+	if successor == owner {
+		t.Fatalf("routing still points at the crashed owner %d", owner)
+	}
+
+	// The successor rebuilds the database from the live overlay; the
+	// system must return to a fully legitimate state with all members.
+	if !sys.WaitStable("orders", len(clients), 20*time.Second) {
+		t.Fatalf("no re-stabilization after owner crash: %s", sys.explain("orders"))
+	}
+
+	// Pre-crash subscriptions keep delivering.
+	if err := clients[0].Publish("orders", "post-failover"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if len(clients[4].History("orders")) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("post-failover publication never delivered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Restart: the original owner reclaims the topic at a fresh epoch.
+	if err := sys.RestartSupervisor(ownerIdx); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.supervisorOf(sys.topicID("orders")); got != owner {
+		t.Fatalf("routing did not return to the restarted owner: %d", got)
+	}
+	if !sys.WaitStable("orders", len(clients), 20*time.Second) {
+		t.Fatalf("no re-stabilization after owner restart: %s", sys.explain("orders"))
+	}
+}
+
+// TestSystemCrashSupervisorValidation pins the public-API error surface.
+func TestSystemCrashSupervisorValidation(t *testing.T) {
+	sys := NewSystem(Options{Interval: 2 * time.Millisecond, Seed: 3, Supervisors: 2})
+	t.Cleanup(sys.Close)
+	if err := sys.CrashSupervisor(5); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := sys.RestartSupervisor(0); err == nil {
+		t.Error("restart of a live supervisor accepted")
+	}
+	if err := sys.CrashSupervisor(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CrashSupervisor(0); err == nil {
+		t.Error("double crash accepted")
+	}
+	if err := sys.CrashSupervisor(1); err == nil {
+		t.Error("crashing the last live supervisor accepted")
+	}
+	if err := sys.RestartSupervisor(0); err != nil {
+		t.Fatal(err)
+	}
+}
