@@ -143,10 +143,48 @@ func loadReport(path string) (Report, error) {
 	return rep, nil
 }
 
-// higherIsBetter classifies a metric's direction: throughput rates
-// (anything per second) improve upward, every other series — times,
-// bytes, allocations, rounds, hops, messages — improves downward.
-func higherIsBetter(unit string) bool { return strings.HasSuffix(unit, "/s") }
+// unitDirection is the explicit improvement direction per metric unit:
+// true = higher is better (throughput rates), false = lower is better
+// (times, bytes, allocations, rounds). Every unit a benchmark in this
+// repository emits must be listed — the suffix heuristic this table
+// replaced silently classified a typoed rate unit ("joins/sec") as
+// lower-is-better and let a 10× throughput collapse pass the gate.
+var unitDirection = map[string]bool{
+	// Throughput rates: higher is better.
+	"subs/s":  true,
+	"joins/s": true,
+	"pubs/s":  true,
+	"msgs/s":  true,
+	"ops/s":   true,
+	// Standard go-bench series: lower is better.
+	"ns/op":     false,
+	"B/op":      false,
+	"allocs/op": false,
+	// Scale-sweep series (cmd/srsim scale -bench): lower is better.
+	"p50-rounds":       false,
+	"p95-rounds":       false,
+	"max-rounds":       false,
+	"stabilize-rounds": false,
+	"db-bytes":         false,
+	"trie-bytes":       false,
+	"queue-bytes":      false,
+	"wall-sec":         false,
+	// Protocol experiment series: lower is better.
+	"rounds":   false,
+	"msgs":     false,
+	"hops":     false,
+	"messages": false,
+}
+
+// higherIsBetter resolves a unit's direction from the explicit table;
+// unlisted units fall back to the per-second heuristic so ad-hoc local
+// benchmarks still compare sensibly.
+func higherIsBetter(unit string) bool {
+	if hb, ok := unitDirection[unit]; ok {
+		return hb
+	}
+	return strings.HasSuffix(unit, "/s")
+}
 
 // compare writes a markdown delta table for every series present in both
 // reports and returns a description of each gated series that regressed

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -91,5 +92,76 @@ func TestCompareZeroBaseline(t *testing.T) {
 	regs := compare(&sb, old, rep(res("BenchA", map[string]float64{"allocs/op": 3})), 0.15, "allocs/op")
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %v, want 1", regs)
+	}
+}
+
+// Every series unit the repository's benchmarks and sweeps emit must have
+// an explicit direction: rates up, everything else down. One subtest per
+// unit so a future series added without a table entry fails by name.
+func TestUnitDirections(t *testing.T) {
+	cases := []struct {
+		unit   string
+		higher bool
+	}{
+		{"subs/s", true},
+		{"joins/s", true},
+		{"pubs/s", true},
+		{"msgs/s", true},
+		{"ops/s", true},
+		{"ns/op", false},
+		{"B/op", false},
+		{"allocs/op", false},
+		{"p50-rounds", false},
+		{"p95-rounds", false},
+		{"max-rounds", false},
+		{"stabilize-rounds", false},
+		{"db-bytes", false},
+		{"trie-bytes", false},
+		{"queue-bytes", false},
+		{"wall-sec", false},
+		{"rounds", false},
+		{"msgs", false},
+	}
+	for _, c := range cases {
+		t.Run(c.unit, func(t *testing.T) {
+			if _, listed := unitDirection[c.unit]; !listed {
+				t.Fatalf("unit %q missing from the explicit direction table", c.unit)
+			}
+			if got := higherIsBetter(c.unit); got != c.higher {
+				t.Fatalf("higherIsBetter(%q) = %v, want %v", c.unit, got, c.higher)
+			}
+		})
+	}
+	// Unlisted units fall back to the rate-suffix heuristic.
+	if !higherIsBetter("widgets/s") {
+		t.Fatal("unlisted rate unit should default to higher-is-better")
+	}
+	if higherIsBetter("widgets") {
+		t.Fatal("unlisted non-rate unit should default to lower-is-better")
+	}
+}
+
+// A regression in a higher-is-better scale series (throughput drop) must
+// gate, and an increase must not — the direction table, not the suffix,
+// decides.
+func TestCompareGatesScaleSeries(t *testing.T) {
+	old := Report{Results: []Result{{
+		Name: "BenchmarkScaleJoin/n=1000", Iterations: 1,
+		Metrics: map[string]float64{"joins/s": 1000, "p95-rounds": 3},
+	}}}
+	slower := Report{Results: []Result{{
+		Name: "BenchmarkScaleJoin/n=1000", Iterations: 1,
+		Metrics: map[string]float64{"joins/s": 100, "p95-rounds": 9},
+	}}}
+	regs := compare(io.Discard, old, slower, 0.15, "all")
+	if len(regs) != 2 {
+		t.Fatalf("expected both joins/s drop and p95-rounds rise to gate, got %v", regs)
+	}
+	faster := Report{Results: []Result{{
+		Name: "BenchmarkScaleJoin/n=1000", Iterations: 1,
+		Metrics: map[string]float64{"joins/s": 2000, "p95-rounds": 1},
+	}}}
+	if regs := compare(io.Discard, old, faster, 0.15, "all"); len(regs) != 0 {
+		t.Fatalf("improvements must not gate, got %v", regs)
 	}
 }

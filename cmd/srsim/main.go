@@ -10,6 +10,11 @@
 //	srsim -n 24 -supervisors 4              # crash-tolerant sharded supervisor plane
 //	srsim -scenarios                        # list scenarios
 //
+// Scale sweeps (the empirical O(log n) curves):
+//
+//	srsim scale -ns 1000,10000,100000       # sweep, table + exponent fits
+//	srsim scale -ns 1000000 -bench          # emit benchjson-ready series
+//
 // With -runtime=sim (the default) the run is a deterministic
 // discrete-event simulation and every corruption scenario is available.
 // With -runtime=concurrent the same protocol code runs on the live
@@ -63,13 +68,16 @@ func main() {
 		case "chaos":
 			runChaos(os.Args[2:])
 			return
+		case "scale":
+			runScale(os.Args[2:])
+			return
 		default:
 			// Anything that is not a flag must be a known subcommand: a typo
 			// like `srsim chaso` silently running the one-shot simulation
 			// would make the operator believe they ran something they did
 			// not.
 			if len(arg) > 0 && arg[0] != '-' {
-				fail("unknown subcommand %q (subcommands: serve, join, chaos; run without a subcommand for a one-shot simulation)", arg)
+				fail("unknown subcommand %q (subcommands: serve, join, chaos, scale; run without a subcommand for a one-shot simulation)", arg)
 			}
 		}
 	}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sspubsub/internal/metrics"
+	"sspubsub/internal/scale"
+)
+
+// runScale executes the scale sweep: for each n it drives n real-protocol
+// subscribers (multiplexed into pools, see internal/scale), measures join
+// latency, publish fan-out, post-crash stabilization and memory, then fits
+// power-law growth exponents across the sweep. With -bench the per-point
+// series are also printed as go-bench result lines, so the output pipes
+// straight into cmd/benchjson:
+//
+//	srsim scale -ns 1000,10000,100000 -bench | go run ./cmd/benchjson
+func runScale(args []string) {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	nsFlag := fs.String("ns", "1000,10000,100000", "comma-separated subscriber counts to sweep")
+	seed := fs.Int64("seed", 1, "random seed (runs are reproducible)")
+	poolSize := fs.Int("poolsize", 1024, "virtual subscribers per pool node")
+	historyCap := fs.Int("historycap", 0, "per-subscriber publication retention bound (0 = unlimited)")
+	cull := fs.Int("cull", 0, "supervisor cull budget per timeout (0 = auto, n/64)")
+	maxRounds := fs.Int("maxrounds", 512, "max rounds per convergence wait")
+	crash := fs.Float64("crash", 0.01, "fraction of subscribers crashed for the stabilization probe")
+	maxEvents := fs.Int("maxevents", 0, "scheduler event-queue ceiling (0 = unbounded; sheds load past it)")
+	bench := fs.Bool("bench", false, "emit go-bench result lines (pipe into cmd/benchjson)")
+	fs.Parse(args)
+
+	var ns []int
+	for _, part := range strings.Split(*nsFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			fail("scale: -ns entries must be positive integers, got %q", part)
+		}
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		fail("scale: -ns is empty")
+	}
+	if *crash < 0 || *crash >= 1 {
+		fail("scale: -crash must be in [0, 1), got %g", *crash)
+	}
+
+	results := make([]scale.Result, 0, len(ns))
+	for _, n := range ns {
+		fmt.Printf("# n=%d: running join → fan-out → crash-burst scenario...\n", n)
+		res := scale.Run(scale.Config{
+			N:               n,
+			PoolSize:        *poolSize,
+			Seed:            *seed,
+			HistoryCap:      *historyCap,
+			CullPerTimeout:  *cull,
+			MaxRounds:       *maxRounds,
+			CrashFrac:       *crash,
+			MaxQueuedEvents: *maxEvents,
+		})
+		results = append(results, res)
+		if !res.Converged {
+			fmt.Printf("# n=%d: DID NOT CONVERGE within %d rounds — curves below exclude it\n", n, *maxRounds)
+		}
+		if res.OverflowDropped > 0 {
+			fmt.Printf("# n=%d: event ceiling shed %d messages — latencies are load-shed, not protocol, numbers\n", n, res.OverflowDropped)
+		}
+		if *bench {
+			printBenchLines(res)
+		}
+	}
+
+	tbl := metrics.NewTable("n", "join p50/p95/max (rounds)", "joins/s",
+		"fanout p50/p95/max (rounds)", "stabilize (rounds)", "db bytes", "trie bytes")
+	for _, r := range results {
+		tbl.AddRow(r.N,
+			fmt.Sprintf("%.0f / %.0f / %.0f", r.JoinRounds.P50, r.JoinRounds.P95, r.JoinRounds.Max),
+			fmt.Sprintf("%.0f", r.JoinsPerSec),
+			fmt.Sprintf("%.0f / %.0f / %.0f", r.FanoutRounds.P50, r.FanoutRounds.P95, r.FanoutRounds.Max),
+			r.StabilizeRounds, r.SupDBBytes, r.SubTrieBytes)
+	}
+	fmt.Println()
+	fmt.Print(tbl.String())
+
+	// Exponent fits need at least two converged points.
+	var xs, joinP95, fanP95, stab, db, jps []float64
+	for _, r := range results {
+		if !r.Converged {
+			continue
+		}
+		xs = append(xs, float64(r.N))
+		joinP95 = append(joinP95, r.JoinRounds.P95)
+		fanP95 = append(fanP95, r.FanoutRounds.P95)
+		stab = append(stab, float64(r.StabilizeRounds))
+		db = append(db, float64(r.SupDBBytes))
+		jps = append(jps, r.JoinsPerSec)
+	}
+	if len(xs) < 2 {
+		fmt.Println("\n(fewer than two converged points: no exponent fit)")
+		return
+	}
+	fmt.Println("\nPower-law fits y = a·n^b across the sweep (b ≈ 1 linear; b ≪ 1 consistent with O(log n)):")
+	fit := func(name string, ys []float64, expect string) {
+		_, b := scale.FitPowerLaw(xs, ys)
+		fmt.Printf("  %-28s b = %+.3f   (paper: %s)\n", name, b, expect)
+	}
+	fit("join latency p95", joinP95, "O(log n)")
+	fit("publish fan-out p95", fanP95, "O(log n)")
+	fit("stabilize after 1% crash", stab, "O(n/cull-budget) sweep; ~flat with auto budget")
+	fit("supervisor DB bytes", db, "Θ(n)")
+	fit("joins/s", jps, "per-join work O(log n) → mildly sub-linear decay")
+}
+
+// printBenchLines renders one scale point as go-bench result lines
+// (name, iterations, then value-unit pairs — the even-field format
+// cmd/benchjson parses).
+func printBenchLines(r scale.Result) {
+	fmt.Printf("BenchmarkScaleJoin/n=%d 1 %.2f p50-rounds %.2f p95-rounds %.2f max-rounds %.0f joins/s %.3f wall-sec\n",
+		r.N, r.JoinRounds.P50, r.JoinRounds.P95, r.JoinRounds.Max, r.JoinsPerSec, r.JoinWallSec)
+	fmt.Printf("BenchmarkScaleFanout/n=%d 1 %.2f p50-rounds %.2f p95-rounds %.2f max-rounds\n",
+		r.N, r.FanoutRounds.P50, r.FanoutRounds.P95, r.FanoutRounds.Max)
+	fmt.Printf("BenchmarkScaleStabilize/n=%d 1 %d stabilize-rounds\n", r.N, r.StabilizeRounds)
+	fmt.Printf("BenchmarkScaleMemory/n=%d 1 %d db-bytes %d trie-bytes %d queue-bytes\n",
+		r.N, r.SupDBBytes, r.SubTrieBytes, r.QueueBytes)
+}

@@ -87,6 +87,23 @@
 // README's Performance section for the measured table and the exact
 // reproduction commands.
 //
+// # Scale
+//
+// internal/scale drives 10^5–10^6 real-protocol subscribers on one
+// machine by multiplexing thousands of unmodified client state machines
+// onto each physical node: the substrates' AddListener aliases every
+// virtual subscriber's node ID onto its hosting pool, so each keeps its
+// own identity on the wire while sharing one timeout chain and one
+// mailbox. `srsim scale -ns 1000,10000,100000` sweeps the population,
+// measures join latency, publish fan-out, post-crash stabilization and
+// memory at each point, and fits power-law growth exponents against the
+// paper's O(log n) bounds; -bench emits the series in benchjson form so
+// the nightly sweep accumulates a machine-readable scaling trajectory.
+// Options.HistoryCap (and SimOptions.HistoryCap) bound each subscriber's
+// retained publication history — at these populations an unbounded
+// history is the difference between a flat and a linearly growing
+// per-node footprint. See the README's Scale section for measured curves.
+//
 // # Supervisor plane
 //
 // The paper assumes one reliable supervisor. With Options.Supervisors > 1

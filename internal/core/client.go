@@ -43,6 +43,11 @@ type Options struct {
 	// empty or single-entry sets disable both (nothing to fail over to).
 	Supervisors []sim.NodeID
 
+	// HistoryCap bounds each topic trie to the newest-keyed HistoryCap
+	// publications (0 = unlimited, the paper's monotone store). See
+	// pubsub.Config.HistoryCap.
+	HistoryCap int
+
 	// Ablation switches (see DESIGN.md).
 	DisableFlooding    bool
 	DisableAntiEntropy bool
@@ -101,6 +106,7 @@ func (c *Client) ensure(t sim.Topic) *Instance {
 		FloodTargets:       sub.FloodTargets,
 		DisableFlooding:    c.opts.DisableFlooding,
 		DisableAntiEntropy: c.opts.DisableAntiEntropy,
+		HistoryCap:         c.opts.HistoryCap,
 	}
 	if c.opts.OnDeliver != nil {
 		topic := t
@@ -199,6 +205,29 @@ func (c *Client) Joined(t sim.Topic) bool {
 	defer c.mu.Unlock()
 	in, ok := c.inst[t]
 	return ok && !in.Sub.Departed()
+}
+
+// Labelled reports whether the client currently holds a non-⊥ label for
+// the topic. Unlike StateOf it allocates nothing — the scale harness polls
+// it across 10^5+ subscribers every round, where StateOf's shortcut-map
+// copy would dominate the run.
+func (c *Client) Labelled(t sim.Topic) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	return ok && !in.Sub.Departed() && !in.Sub.Label().IsBottom()
+}
+
+// PublicationCount returns the number of locally known publications for
+// the topic without materializing them (the scale harness' fan-out probe).
+func (c *Client) PublicationCount(t sim.Topic) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	if !ok {
+		return 0
+	}
+	return in.Eng.Trie().Len()
 }
 
 // Departed reports whether an unsubscribe completed for the topic.

@@ -42,13 +42,15 @@ func (w *Stopwatch) Converged() bool { return w.converged }
 
 // Rounds returns the measured convergence time (last fault → probes
 // pass), or -1 when convergence has not been recorded. A run with no
-// faults converges in 0 rounds by definition.
+// faults converges in 0 rounds by definition — even if no probe ever ran,
+// so the zero-fault check must precede the converged check (a fault-free
+// run previously reported -1 when Converge was never called).
 func (w *Stopwatch) Rounds() float64 {
-	if !w.converged {
-		return -1
-	}
 	if w.faults == 0 {
 		return 0
+	}
+	if !w.converged {
+		return -1
 	}
 	if w.convergedAt < w.faultAt {
 		return 0 // probes already held when the fault landed (no-op fault)

@@ -53,6 +53,31 @@ func TestStopwatchNoFaults(t *testing.T) {
 	}
 }
 
+// A fault-free run converges in 0 rounds by definition, even when no probe
+// ever recorded a convergence (regression: the converged check used to run
+// first and report -1).
+func TestStopwatchNoFaultsNoProbes(t *testing.T) {
+	var w Stopwatch
+	if got := w.Rounds(); got != 0 {
+		t.Fatalf("Rounds() = %g, want 0 for an untouched stopwatch", got)
+	}
+}
+
+// Fault and convergence observed at the same timestamp: zero rounds, not
+// negative and not -1 (the probes passed in the same instant the fault
+// landed).
+func TestStopwatchFaultAndConvergeSameInstant(t *testing.T) {
+	var w Stopwatch
+	w.Fault(12)
+	w.Converge(12)
+	if got := w.Rounds(); got != 0 {
+		t.Fatalf("Rounds() = %g, want 0 for same-instant fault+converge", got)
+	}
+	if !w.Converged() {
+		t.Fatal("Converged() = false after Converge")
+	}
+}
+
 func TestStopwatchUnconverged(t *testing.T) {
 	var w Stopwatch
 	w.Fault(3)

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -56,5 +57,47 @@ func TestInts(t *testing.T) {
 	got := Ints([]int{1, 2, 3})
 	if len(got) != 3 || got[2] != 3.0 {
 		t.Errorf("Ints = %v", got)
+	}
+}
+
+// Property test: on any sample, order statistics must be monotone
+// (Min ≤ P50 ≤ P95 ≤ P99 ≤ Max) and the mean must lie within [Min, Max].
+func TestSummarizeQuantileMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		sample := make([]float64, n)
+		for i := range sample {
+			switch rng.Intn(3) {
+			case 0:
+				sample[i] = rng.NormFloat64() * 100
+			case 1:
+				sample[i] = float64(rng.Intn(5)) // heavy ties
+			default:
+				sample[i] = rng.ExpFloat64()
+			}
+		}
+		s := Summarize(sample)
+		if s.Count != n {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, s.Count, n)
+		}
+		if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+			t.Fatalf("trial %d: quantiles not monotone: min %g p50 %g p95 %g p99 %g max %g (sample %v)",
+				trial, s.Min, s.P50, s.P95, s.P99, s.Max, sample)
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			t.Fatalf("trial %d: mean %g outside [%g, %g]", trial, s.Mean, s.Min, s.Max)
+		}
+		if s.Std < 0 {
+			t.Fatalf("trial %d: negative std %g", trial, s.Std)
+		}
+	}
+}
+
+// A single-element sample collapses every statistic onto that element.
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7.5})
+	if s.Min != 7.5 || s.P50 != 7.5 || s.P95 != 7.5 || s.P99 != 7.5 || s.Max != 7.5 || s.Mean != 7.5 || s.Std != 0 {
+		t.Fatalf("Summarize singleton = %+v", s)
 	}
 }

@@ -28,8 +28,18 @@ type Config struct {
 	// FloodTargets returns all neighbours in ER ∪ ES for PublishNew.
 	FloodTargets func() []sim.NodeID
 	// OnDeliver, if non-nil, is invoked exactly once per publication that
-	// becomes locally known.
+	// becomes locally known (once per time it becomes known: with a
+	// HistoryCap an evicted publication can be relearned through
+	// anti-entropy and delivered again — at-least-once in bounded mode).
 	OnDeliver func(proto.Publication)
+
+	// HistoryCap bounds the number of publications retained in the trie;
+	// when exceeded, the publications with the smallest keys are evicted.
+	// 0 means unlimited — the paper's model, where the trie grows
+	// monotonically ("no publish messages are deleted", Theorem 17).
+	// Eviction by smallest key keeps the retained set a pure function of
+	// the known set, so capped replicas still converge to identical tries.
+	HistoryCap int
 
 	// DisableFlooding turns off the PublishNew layer (ablation: anti-entropy
 	// only, as in the convergence proof of Theorem 17).
@@ -85,6 +95,9 @@ func (e *Engine) insert(p proto.Publication) bool {
 	}
 	if e.cfg.OnDeliver != nil {
 		e.cfg.OnDeliver(p)
+	}
+	for e.cfg.HistoryCap > 0 && e.t.Len() > e.cfg.HistoryCap {
+		e.t.DeleteMin()
 	}
 	return true
 }

@@ -112,13 +112,18 @@ type Runtime struct {
 }
 
 type node struct {
-	id   sim.NodeID
-	h    sim.Handler
-	rng  *rand.Rand // used only from the node's own goroutine
-	mbox *mailbox
-	recv *atomic.Int64
-	stop chan struct{}
-	rt   *Runtime
+	id sim.NodeID
+	h  sim.Handler
+	// owner is non-⊥ for listeners (AddListener): messages addressed to
+	// this ID are routed into the owner's mailbox and handled by the
+	// owner's handler on the owner's goroutine. Listeners have no
+	// goroutine, mailbox, rng or stop channel of their own.
+	owner sim.NodeID
+	rng   *rand.Rand // used only from the node's own goroutine
+	mbox  *mailbox
+	recv  *atomic.Int64
+	stop  chan struct{}
+	rt    *Runtime
 }
 
 // NewRuntime creates a concurrent runtime with no nodes.
@@ -183,6 +188,33 @@ func (r *Runtime) AddNode(id sim.NodeID, h sim.Handler) {
 	go n.loop()
 }
 
+// AddListener registers id as a virtual alias of an existing owner node:
+// messages addressed to id land in the owner's mailbox and are handled by
+// the owner's handler on the owner's goroutine (Message.To still names id,
+// so the owner can demultiplex). A listener costs one map entry — no
+// goroutine, mailbox or timer — which is what lets one pool node host
+// thousands of virtual subscribers. The owner is resolved per message, so
+// traffic to a listener whose owner crashed is dropped, exactly like the
+// deterministic Scheduler's semantics.
+func (r *Runtime) AddListener(id, owner sim.NodeID) {
+	if id == sim.None {
+		panic("concurrent: cannot add listener with ID 0")
+	}
+	if owner == sim.None {
+		panic("concurrent: listener needs a non-⊥ owner")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if _, dup := r.nodes[id]; dup {
+		panic(fmt.Sprintf("concurrent: duplicate node %d", id))
+	}
+	r.nodes[id] = &node{id: id, owner: owner, recv: r.recvCounter(id), rt: r}
+	delete(r.crashed, id)
+}
+
 // Restart is AddNode for a previously crashed node, typically with the
 // Handler it crashed with — its stale state is an arbitrary initial state
 // for the self-stabilization machinery to repair.
@@ -206,7 +238,7 @@ func (r *Runtime) stopNode(id sim.NodeID, crash bool) {
 		}
 	}
 	r.mu.Unlock()
-	if ok {
+	if ok && n.stop != nil { // listeners own no goroutine or mailbox
 		close(n.stop)
 		n.discard()
 	}
@@ -310,6 +342,11 @@ func (r *Runtime) Inject(m sim.Message) {
 	}
 	r.mu.RLock()
 	n, ok := r.nodes[m.To]
+	if ok && n.owner != sim.None {
+		// Listener: hand the message to the owning pool's mailbox. A missing
+		// owner means the pool crashed, failing its listeners with it.
+		n, ok = r.nodes[n.owner]
+	}
 	r.mu.RUnlock()
 	if !ok {
 		r.dropped.Add(1)
@@ -339,8 +376,10 @@ func (r *Runtime) Close() {
 	r.nodes = make(map[sim.NodeID]*node)
 	r.mu.Unlock()
 	for _, n := range nodes {
-		close(n.stop)
-		n.discard()
+		if n.stop != nil {
+			close(n.stop)
+			n.discard()
+		}
 	}
 	r.wg.Wait()
 }
@@ -477,14 +516,22 @@ func (r *Runtime) NodeIDs() []sim.NodeID {
 	return out
 }
 
-// Handler returns the handler registered under id, or nil.
+// Handler returns the handler registered under id, or nil. For a listener
+// it resolves the owning pool's handler.
 func (r *Runtime) Handler(id sim.NodeID) sim.Handler {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if n, ok := r.nodes[id]; ok {
-		return n.h
+	n, ok := r.nodes[id]
+	if !ok {
+		return nil
 	}
-	return nil
+	if n.owner != sim.None {
+		if o, up := r.nodes[n.owner]; up {
+			return o.h
+		}
+		return nil
+	}
+	return n.h
 }
 
 var _ sim.Transport = (*Runtime)(nil)

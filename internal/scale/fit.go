@@ -1,0 +1,39 @@
+package scale
+
+import "math"
+
+// FitPowerLaw fits y = a·n^b by least squares over (ln n, ln y) and
+// returns (a, b). The exponent b is the growth order the sweep reports:
+// b ≈ 1 is linear, b ≈ 0.5 square-root, and b ≪ 1 with small absolute
+// values is consistent with the paper's O(log n) bounds (a logarithm has
+// no constant power-law exponent; its fitted b drifts toward 0 as n
+// grows). Points with y ≤ 0 are clamped to a small epsilon so flat curves
+// (e.g. a latency that stays at 0 rounds) fit b ≈ 0 instead of blowing
+// up. Fewer than two points return (0, 0).
+func FitPowerLaw(ns, ys []float64) (a, b float64) {
+	if len(ns) != len(ys) || len(ns) < 2 {
+		return 0, 0
+	}
+	const eps = 1e-9
+	var sx, sy, sxx, sxy float64
+	for i := range ns {
+		x := math.Log(ns[i])
+		y := ys[i]
+		if y < eps {
+			y = eps
+		}
+		ly := math.Log(y)
+		sx += x
+		sy += ly
+		sxx += x * x
+		sxy += x * ly
+	}
+	n := float64(len(ns))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = math.Exp((sy - b*sx) / n)
+	return a, b
+}

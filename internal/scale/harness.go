@@ -1,0 +1,293 @@
+package scale
+
+import (
+	"fmt"
+	"time"
+
+	"sspubsub/internal/core"
+	"sspubsub/internal/metrics"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/supervisor"
+)
+
+// Config sizes one scale run.
+type Config struct {
+	// N is the number of virtual subscribers (the sweep variable).
+	N int
+	// PoolSize is how many virtual subscribers share one pool node.
+	// Default 1024.
+	PoolSize int
+	// Seed drives the deterministic scheduler.
+	Seed int64
+	// Topic is the single topic under measurement. Default 1.
+	Topic sim.Topic
+	// HistoryCap bounds each subscriber's retained publications; at 10^5+
+	// subscribers an unbounded history is the difference between a flat
+	// and a linearly growing per-node footprint. 0 = unlimited.
+	HistoryCap int
+	// CullPerTimeout is the supervisor's per-interval failure-detector
+	// budget. The default scales as max(1, N/64) so a full database sweep
+	// takes ~64 rounds at any N — with the paper's constant budget of 1,
+	// stabilization after a fault burst is O(N) rounds by construction
+	// (the round-robin sweep visits one entry per interval), which is a
+	// deployment parameter, not a protocol property.
+	CullPerTimeout int
+	// MaxQueuedEvents, if positive, caps the scheduler's event queue (see
+	// sim.SchedulerOptions.MaxQueuedEvents). Leave 0 for measurement runs:
+	// shed messages would distort latency curves. Result.OverflowDropped
+	// reports whether a cap interfered.
+	MaxQueuedEvents int
+	// MaxRounds bounds every convergence wait. Default 512.
+	MaxRounds int
+	// SettleRounds run between join convergence and the publish probe so
+	// shortcut edges (the O(log n) fan-out paths) can establish.
+	// Default 16.
+	SettleRounds int
+	// CrashFrac is the fraction of subscribers crashed for the
+	// stabilization probe. Default 0.01 (min 1 subscriber).
+	CrashFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize == 0 {
+		c.PoolSize = 1024
+	}
+	if c.Topic == 0 {
+		c.Topic = 1
+	}
+	if c.CullPerTimeout == 0 {
+		c.CullPerTimeout = c.N / 64
+		if c.CullPerTimeout < 1 {
+			c.CullPerTimeout = 1
+		}
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 512
+	}
+	if c.SettleRounds == 0 {
+		c.SettleRounds = 16
+	}
+	if c.CrashFrac == 0 {
+		c.CrashFrac = 0.01
+	}
+	return c
+}
+
+// SupervisorID is the harness' supervisor node ID.
+const SupervisorID sim.NodeID = 1
+
+// Harness hosts N real-protocol subscribers multiplexed into pools on the
+// deterministic scheduler, plus the probes the scaling curves are built
+// from. All N subscribers run the unmodified core.Client state machine;
+// only their scheduling is shared (see Pool).
+type Harness struct {
+	Cfg     Config
+	Sched   *sim.Scheduler
+	Sup     *supervisor.Supervisor
+	Pools   []*Pool
+	subBase sim.NodeID
+}
+
+// New builds the system: one supervisor, ceil(N/PoolSize) pool nodes, N
+// virtual subscribers (IDs contiguous from the first ID after the pools).
+func New(cfg Config) *Harness {
+	cfg = cfg.withDefaults()
+	sched := sim.NewScheduler(sim.SchedulerOptions{
+		Seed:            cfg.Seed,
+		MaxQueuedEvents: cfg.MaxQueuedEvents,
+	})
+	sup := supervisor.New(SupervisorID, sched)
+	sup.CullPerTimeout = cfg.CullPerTimeout
+	sched.AddNode(SupervisorID, sup)
+
+	numPools := (cfg.N + cfg.PoolSize - 1) / cfg.PoolSize
+	subBase := SupervisorID + 1 + sim.NodeID(numPools)
+	h := &Harness{Cfg: cfg, Sched: sched, Sup: sup, subBase: subBase}
+	opts := core.Options{HistoryCap: cfg.HistoryCap}
+	for j := 0; j < numPools; j++ {
+		base := subBase + sim.NodeID(j*cfg.PoolSize)
+		k := cfg.PoolSize
+		if rest := cfg.N - j*cfg.PoolSize; rest < k {
+			k = rest
+		}
+		p := NewPool(sched, base, k, SupervisorID, opts)
+		p.Register(sched, SupervisorID+1+sim.NodeID(j))
+		h.Pools = append(h.Pools, p)
+	}
+	return h
+}
+
+// ID returns the i-th subscriber's virtual node ID.
+func (h *Harness) ID(i int) sim.NodeID { return h.subBase + sim.NodeID(i) }
+
+// Client returns the i-th subscriber's state machine.
+func (h *Harness) Client(i int) *core.Client {
+	return h.Pools[i/h.Cfg.PoolSize].Client(i % h.Cfg.PoolSize)
+}
+
+// JoinAll issues a join command to every subscriber at the current time.
+func (h *Harness) JoinAll() {
+	for i := 0; i < h.Cfg.N; i++ {
+		id := h.ID(i)
+		h.Sched.Send(sim.Message{To: id, From: id, Topic: h.Cfg.Topic, Body: core.JoinTopic{}})
+	}
+}
+
+// AwaitLabelled advances rounds until every subscriber holds a label (or
+// MaxRounds elapse), returning the per-subscriber round at which its label
+// arrived. The poll is O(pending) per round: labelled subscribers leave
+// the scan set.
+func (h *Harness) AwaitLabelled() (rounds []int, ok bool) {
+	t := h.Cfg.Topic
+	rounds = make([]int, h.Cfg.N)
+	pending := make([]int, 0, h.Cfg.N)
+	for i := 0; i < h.Cfg.N; i++ {
+		if h.Client(i).Labelled(t) {
+			continue
+		}
+		pending = append(pending, i)
+	}
+	for r := 1; r <= h.Cfg.MaxRounds && len(pending) > 0; r++ {
+		h.Sched.RunRounds(1)
+		next := pending[:0]
+		for _, i := range pending {
+			if h.Client(i).Labelled(t) {
+				rounds[i] = r
+			} else {
+				next = append(next, i)
+			}
+		}
+		pending = next
+	}
+	return rounds, len(pending) == 0
+}
+
+// AwaitPublication advances rounds until every live subscriber knows at
+// least `want` publications, returning each subscriber's first round at or
+// past the threshold.
+func (h *Harness) AwaitPublication(want int) (rounds []int, ok bool) {
+	t := h.Cfg.Topic
+	rounds = make([]int, h.Cfg.N)
+	pending := make([]int, 0, h.Cfg.N)
+	for i := 0; i < h.Cfg.N; i++ {
+		if h.Client(i).PublicationCount(t) < want {
+			pending = append(pending, i)
+		}
+	}
+	for r := 1; r <= h.Cfg.MaxRounds && len(pending) > 0; r++ {
+		h.Sched.RunRounds(1)
+		next := pending[:0]
+		for _, i := range pending {
+			if h.Client(i).PublicationCount(t) >= want {
+				rounds[i] = r
+			} else {
+				next = append(next, i)
+			}
+		}
+		pending = next
+	}
+	return rounds, len(pending) == 0
+}
+
+// Publish makes subscriber i author a publication.
+func (h *Harness) Publish(i int, payload string) {
+	id := h.ID(i)
+	h.Sched.Send(sim.Message{To: id, From: id, Topic: h.Cfg.Topic, Body: core.PublishCmd{Payload: payload}})
+}
+
+// CrashFraction crashes Cfg.CrashFrac of the subscribers (at least one),
+// spread evenly across the ID range and therefore across pools, and
+// returns how many were crashed. Subscriber 0 is spared so the publish
+// probe's author stays alive.
+func (h *Harness) CrashFraction() int {
+	k := int(float64(h.Cfg.N) * h.Cfg.CrashFrac)
+	if k < 1 {
+		k = 1
+	}
+	if k >= h.Cfg.N {
+		k = h.Cfg.N - 1
+	}
+	stride := h.Cfg.N / k
+	if stride < 1 {
+		stride = 1
+	}
+	crashed := 0
+	for i := 1; i < h.Cfg.N && crashed < k; i += stride {
+		h.Sched.Crash(h.ID(i))
+		h.Pools[i/h.Cfg.PoolSize].Kill(i % h.Cfg.PoolSize)
+		crashed++
+	}
+	return crashed
+}
+
+// AwaitDBSize advances rounds until the supervisor database holds exactly
+// want entries (the stabilization predicate after a crash burst: every
+// dead subscriber culled, no live one evicted).
+func (h *Harness) AwaitDBSize(want int) (rounds int, ok bool) {
+	return h.Sched.RunRoundsUntil(h.Cfg.MaxRounds, func() bool {
+		return h.Sup.N(h.Cfg.Topic) == want
+	})
+}
+
+// Result is one scale point: everything cmd/srsim prints and benchjson
+// ingests.
+type Result struct {
+	N int
+	// Join: mass arrival of all N subscribers at t=0.
+	JoinRounds  metrics.Summary // rounds until a subscriber held its label
+	JoinWallSec float64         // wall-clock for the whole join phase
+	JoinsPerSec float64
+	// Fan-out: one publication reaching every live subscriber.
+	FanoutRounds metrics.Summary
+	// Stabilization: crash burst of CrashFrac·N, rounds until the
+	// supervisor database is exact again.
+	Crashed         int
+	StabilizeRounds int
+	// Memory, measured not estimated.
+	SupDBBytes      uint64 // supervisor database for the topic
+	SubTrieBytes    uint64 // one subscriber's publication trie
+	QueueBytes      uint64 // scheduler event-queue footprint (high water)
+	OverflowDropped int64  // non-zero means MaxQueuedEvents distorted the run
+	// Converged reports every phase finished inside MaxRounds.
+	Converged bool
+}
+
+// Run executes the full scenario at one N: join everyone, wait for
+// labels, settle, publish once and time the fan-out, sample memory, crash
+// a fraction and time the supervisor's re-stabilization.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	h := New(cfg)
+	res := Result{N: cfg.N, Converged: true}
+
+	start := time.Now()
+	h.JoinAll()
+	joinRounds, ok := h.AwaitLabelled()
+	res.JoinWallSec = time.Since(start).Seconds()
+	res.JoinRounds = metrics.Summarize(metrics.Ints(joinRounds))
+	if res.JoinWallSec > 0 {
+		res.JoinsPerSec = float64(cfg.N) / res.JoinWallSec
+	}
+	res.Converged = res.Converged && ok
+
+	h.Sched.RunRounds(cfg.SettleRounds)
+
+	h.Publish(0, fmt.Sprintf("pub-n%d", cfg.N))
+	fanRounds, ok := h.AwaitPublication(1)
+	res.FanoutRounds = metrics.Summarize(metrics.Ints(fanRounds))
+	res.Converged = res.Converged && ok
+
+	res.SupDBBytes = h.Sup.MemoryBytes(cfg.Topic)
+	if in, found := h.Client(0).Instance(cfg.Topic); found {
+		res.SubTrieBytes = in.Eng.Trie().MemoryBytes()
+	}
+	res.QueueBytes = h.Sched.QueueMemoryBytes()
+
+	res.Crashed = h.CrashFraction()
+	rounds, ok := h.AwaitDBSize(cfg.N - res.Crashed)
+	res.StabilizeRounds = rounds
+	res.Converged = res.Converged && ok
+
+	res.OverflowDropped = h.Sched.OverflowDropped()
+	return res
+}

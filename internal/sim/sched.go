@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"unsafe"
 )
 
 // SchedulerOptions configure a deterministic simulation.
@@ -20,6 +21,13 @@ type SchedulerOptions struct {
 	// answering "alive" — it models the eventually-correct detector of
 	// Section 3.3. Default 2 intervals.
 	DetectorGrace float64
+	// MaxQueuedEvents, when positive, caps the event queue: a Send that
+	// would push the queue past the ceiling drops the message instead
+	// (counted in OverflowDropped). Timeout events are never dropped —
+	// losing one would silently kill a node's self-renewing chain. The
+	// scale harness sets this so a 10^6-subscriber run degrades by
+	// shedding load instead of exhausting memory. 0 means unbounded.
+	MaxQueuedEvents int
 	// Trace, if non-nil, receives every delivered message and fired timeout.
 	Trace func(format string, args ...any)
 }
@@ -56,6 +64,7 @@ type Scheduler struct {
 	// accounting
 	delivered  int64
 	dropped    int64
+	overflow   int64 // messages shed by the MaxQueuedEvents ceiling
 	byType     map[string]int64
 	sentBy     map[NodeID]int64
 	receivedBy map[NodeID]int64
@@ -64,6 +73,7 @@ type Scheduler struct {
 type schedNode struct {
 	id    NodeID
 	h     Handler
+	owner NodeID // non-⊥ for listeners: the pool node handling our traffic
 	phase float64
 	next  float64 // next timeout
 	// gen distinguishes incarnations of the same node ID: a crashed node's
@@ -186,6 +196,32 @@ func (s *Scheduler) AddNode(id NodeID, h Handler) {
 	s.push(event{t: n.next, kind: evTimeout, node: id, gen: n.gen})
 }
 
+// AddListener registers id as a virtual alias of an existing owner node:
+// messages addressed to id are handled by the owner's handler (with the
+// Message.To field still naming id), and id owns no periodic timeout chain.
+// This is the multiplexing seam for the scale harness: one physical pool
+// node (AddNode) drives the timeouts of thousands of virtual subscribers,
+// while each virtual ID is a listener routing its inbound traffic back to
+// the pool. A listener costs one map entry instead of one self-renewing
+// timeout event, which is what makes 10^6 registered IDs tractable. The
+// owner is resolved at delivery time, so messages to a listener whose
+// owner has crashed are dropped — a pool crash fails all of its virtual
+// subscribers, exactly like a machine hosting many processes. Listeners
+// can Crash, be removed and be suspected like full nodes.
+func (s *Scheduler) AddListener(id, owner NodeID) {
+	if id == None {
+		panic("sim: cannot add listener with ID 0")
+	}
+	if owner == None {
+		panic("sim: listener needs a non-⊥ owner")
+	}
+	if _, dup := s.nodes[id]; dup {
+		panic(fmt.Sprintf("sim: duplicate node %d", id))
+	}
+	s.nodes[id] = &schedNode{id: id, owner: owner, gen: -1}
+	delete(s.crashed, id)
+}
+
 // RemoveNode gracefully deregisters a node (used for unsubscribed clients
 // that leave the system; in-flight messages to it are dropped on delivery).
 func (s *Scheduler) RemoveNode(id NodeID) { delete(s.nodes, id) }
@@ -260,7 +296,15 @@ func (s *Scheduler) Send(m Message) {
 		}
 	}
 	for i := 0; i < copies; i++ {
+		// Draw the delay even when the ceiling sheds the copy, so enabling
+		// MaxQueuedEvents never perturbs the random sequence of the
+		// messages that do get through.
 		delay := s.opts.MinDelay + s.rng.Float64()*(s.opts.MaxDelay-s.opts.MinDelay)
+		if s.opts.MaxQueuedEvents > 0 && len(s.events) >= s.opts.MaxQueuedEvents {
+			s.dropped++
+			s.overflow++
+			continue
+		}
 		s.inFlight++
 		s.push(event{t: s.now + delay + extra, kind: evDeliver, msg: m})
 	}
@@ -292,13 +336,22 @@ func (s *Scheduler) Step() bool {
 			s.dropped++
 			return true
 		}
+		h := n.h
+		if n.owner != None {
+			o, up := s.nodes[n.owner]
+			if !up {
+				s.dropped++ // owner pool crashed: its listeners fail with it
+				return true
+			}
+			h = o.h
+		}
 		s.delivered++
 		s.receivedBy[e.msg.To]++
 		if s.opts.Trace != nil {
 			s.opts.Trace("%.3f deliver %s", s.now, e.msg)
 		}
 		s.ctx = schedCtx{s: s, id: e.msg.To}
-		n.h.OnMessage(&s.ctx, e.msg)
+		h.OnMessage(&s.ctx, e.msg)
 	case evTimeout:
 		n, ok := s.nodes[e.node]
 		if !ok || n.gen != e.gen {
@@ -349,6 +402,23 @@ func (s *Scheduler) RunRoundsUntil(maxRounds int, pred func() bool) (rounds int,
 // InFlight returns the number of queued message deliveries.
 func (s *Scheduler) InFlight() int { return s.inFlight }
 
+// QueueLen returns the total number of queued events (deliveries plus
+// pending timeouts) — the quantity MaxQueuedEvents caps.
+func (s *Scheduler) QueueLen() int { return len(s.events) }
+
+// OverflowDropped returns how many messages the MaxQueuedEvents ceiling has
+// shed so far (a subset of Dropped). A non-zero value on a scale run means
+// the configured ceiling, not the protocol, bounded the measurement.
+func (s *Scheduler) OverflowDropped() int64 { return s.overflow }
+
+// QueueMemoryBytes estimates the event queue's resident footprint: the
+// heap slice's full capacity (slots persist across pops) at the static
+// event size. Message bodies are counted by pointer only — they are shared
+// with handler state, so attributing them here would double-count.
+func (s *Scheduler) QueueMemoryBytes() uint64 {
+	return uint64(cap(s.events)) * uint64(unsafe.Sizeof(event{}))
+}
+
 // Delivered returns the total number of delivered messages.
 func (s *Scheduler) Delivered() int64 { return s.delivered }
 
@@ -377,7 +447,7 @@ func (s *Scheduler) TypeNames() []string {
 // ResetCounters zeroes the message accounting (used to measure steady-state
 // rates after convergence).
 func (s *Scheduler) ResetCounters() {
-	s.delivered, s.dropped = 0, 0
+	s.delivered, s.dropped, s.overflow = 0, 0, 0
 	s.byType = make(map[string]int64)
 	s.sentBy = make(map[NodeID]int64)
 	s.receivedBy = make(map[NodeID]int64)
@@ -396,12 +466,20 @@ func (s *Scheduler) NodeIDs() []NodeID {
 	return out
 }
 
-// Handler returns the handler registered under id, or nil.
+// Handler returns the handler registered under id, or nil. For a listener
+// it resolves the owning pool's handler.
 func (s *Scheduler) Handler(id NodeID) Handler {
-	if n, ok := s.nodes[id]; ok {
-		return n.h
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil
 	}
-	return nil
+	if n.owner != None {
+		if o, up := s.nodes[n.owner]; up {
+			return o.h
+		}
+		return nil
+	}
+	return n.h
 }
 
 // schedCtx binds the scheduler to the currently executing node.

@@ -223,11 +223,10 @@ func (s *Supervisor) reconcileTopic(ctx sim.Context, t sim.Topic) {
 func (s *Supervisor) adopt(t sim.Topic) {
 	p := s.plane
 	epoch := p.known[t] + 1
-	s.topics[t] = &topicDB{
-		db:    make(map[label.Label]sim.NodeID),
-		epoch: epoch,
-		grace: rebuildGrace,
-	}
+	db := newTopicDB()
+	db.epoch = epoch
+	db.grace = rebuildGrace
+	s.topics[t] = db
 	p.known[t] = epoch
 }
 
@@ -238,12 +237,11 @@ func (s *Supervisor) adopt(t sim.Topic) {
 func (s *Supervisor) handover(ctx sim.Context, t sim.Topic, db *topicDB, owner sim.NodeID) {
 	next := db.epoch + 1
 	if owner != sim.None {
-		db.rebuild()
-		for _, e := range db.sorted {
-			if e.id != sim.None && e.id != s.self {
-				ctx.Send(e.id, t, proto.OwnerAnnounce{Owner: owner, Epoch: next})
+		db.idx.walk(func(_ label.Label, id sim.NodeID) {
+			if id != sim.None && id != s.self {
+				ctx.Send(id, t, proto.OwnerAnnounce{Owner: owner, Epoch: next})
 			}
-		}
+		})
 		ctx.Send(owner, t, proto.PlaneGossip{Entries: []proto.TopicEpoch{{Topic: t, Epoch: next}}})
 	}
 	delete(s.topics, t)
@@ -335,8 +333,11 @@ func (s *Supervisor) reregister(ctx sim.Context, t sim.Topic, b proto.Reregister
 	}
 	if b.Label.Valid() && !b.Label.IsBottom() {
 		if _, taken := db.db[b.Label]; !taken {
-			db.db[b.Label] = v
-			db.stale = true
+			db.put(b.Label, v)
+			// The re-reported label is whatever the survivor held before the
+			// failover — almost never the compact l(0 … n−1), so the
+			// post-grace CheckLabels has repair work.
+			db.dirty = true
 			if db.grace > 0 {
 				// Still rebuilding: extend the grace so the re-registration
 				// wave finishes before relabelling may run.
@@ -401,7 +402,9 @@ func (s *Supervisor) CorruptPlane(t sim.Topic, rng interface{ Intn(int) int }) {
 		// Routing poison: claim a topic we may not own (empty database at a
 		// bogus era) and poison the directory cache with a wrong owner.
 		if _, ok := s.topics[t]; !ok {
-			s.topics[t] = &topicDB{db: make(map[label.Label]sim.NodeID), epoch: uint64(rng.Intn(3))}
+			db := newTopicDB()
+			db.epoch = uint64(rng.Intn(3))
+			s.topics[t] = db
 		}
 		wrong := p.peers[rng.Intn(len(p.peers))]
 		p.dir.ForceOwner(hashdht.TopicKey(t), wrong)

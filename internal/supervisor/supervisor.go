@@ -23,6 +23,7 @@ package supervisor
 import (
 	"sort"
 	"sync"
+	"unsafe"
 
 	"sspubsub/internal/label"
 	"sspubsub/internal/proto"
@@ -49,12 +50,42 @@ type Supervisor struct {
 }
 
 // topicDB is the database for one topic plus the round-robin cursor.
+//
+// Three structures mirror the same tuple set so every per-request operation
+// is O(log n) instead of the O(n) scans (labelOf, checkMultipleCopies) and
+// O(n log n) re-sorts (neighbors) the first version paid — the structure
+// that fell over first when the scale harness pushed past 10^4 subscribers:
+//
+//   - db is the source of truth, label → subscriber.
+//   - byID inverts it for the common clean case (labelOf in O(1)); ids
+//     holding several labels — corruption case (ii) — are tracked in dup
+//     and fall back to the scan until CheckMultipleCopies repairs them.
+//   - idx orders the tuples by ring position for predecessor/successor and
+//     k-th queries (see ordindex.go).
+//
+// dirty gates the CheckLabels repair scan: the normal subscribe/unsubscribe
+// path preserves database validity, so the O(n) repair only runs after an
+// operation that can actually corrupt it (detector culls, reregistration
+// under rebuild grace, injected corruption).
 type topicDB struct {
 	// db maps label → subscriber. The ⊥ subscriber (sim.None) and labels
 	// outside {l(0) … l(n−1)} are representable on purpose: they are the
 	// corrupted states of Section 3.1 that CheckLabels repairs.
 	db   map[label.Label]sim.NodeID
+	byID map[sim.NodeID]label.Label
+	dup  map[sim.NodeID]bool
+	idx  ordIndex
 	next uint64
+	// cullNext is the failure-detector screen's own cursor. It advances by
+	// CullPerTimeout per Timeout — the width of the window it screened —
+	// unlike next, which advances by one (the refresh sends one
+	// configuration per interval by design). Sharing next for both roles
+	// was the scale harness' second finding: consecutive screen windows
+	// overlapped in all but one entry, so the sweep rate was one entry per
+	// interval regardless of the configured budget, and culling a 1%
+	// crash burst at n=10^4 took tens of thousands of rounds instead of
+	// n/CullPerTimeout.
+	cullNext uint64
 
 	// epoch is the ownership era this database serves at. It is carried in
 	// every SetData so subscribers can discriminate a deposed owner's stale
@@ -68,16 +99,104 @@ type topicDB struct {
 	// compaction rule would overwrite them — preserving the live overlay
 	// instead of rebuilding the ring from scratch.
 	grace int
-
-	// sorted caches the entries in r-order for predecessor/successor
-	// queries; rebuilt when stale.
-	sorted []entry
-	stale  bool
+	// dirty records that the database may violate validity (Section 3.1)
+	// and CheckLabels has repair work to do.
+	dirty bool
 }
 
 type entry struct {
 	l  label.Label
 	id sim.NodeID
+}
+
+func newTopicDB() *topicDB {
+	return &topicDB{
+		db:   make(map[label.Label]sim.NodeID),
+		byID: make(map[sim.NodeID]label.Label),
+	}
+}
+
+// put records l → v across all three mirrors. The ⊥ subscriber is kept in
+// db and idx (it is a representable corrupted state) but never indexed by
+// id.
+func (db *topicDB) put(l label.Label, v sim.NodeID) {
+	if old, ok := db.db[l]; ok {
+		if old == v {
+			return
+		}
+		db.unmapID(old, l)
+	}
+	db.db[l] = v
+	db.idx.insert(l, v)
+	db.mapID(v, l)
+}
+
+// del removes l across all three mirrors.
+func (db *topicDB) del(l label.Label) {
+	v, ok := db.db[l]
+	if !ok {
+		return
+	}
+	delete(db.db, l)
+	db.idx.remove(l)
+	db.unmapID(v, l)
+}
+
+// labelLess is the "lowest label" order labelOf has always used.
+func labelLess(a, b label.Label) bool { return a.Index() < b.Index() }
+
+func (db *topicDB) mapID(v sim.NodeID, l label.Label) {
+	if v == sim.None {
+		return
+	}
+	cur, ok := db.byID[v]
+	if !ok {
+		db.byID[v] = l
+		return
+	}
+	// v now holds more than one label (corruption case (ii)): keep byID at
+	// the lowest and remember the id needs CheckMultipleCopies.
+	if labelLess(l, cur) {
+		db.byID[v] = l
+	}
+	if db.dup == nil {
+		db.dup = make(map[sim.NodeID]bool)
+	}
+	db.dup[v] = true
+}
+
+func (db *topicDB) unmapID(v sim.NodeID, l label.Label) {
+	if v == sim.None {
+		return
+	}
+	if db.dup[v] {
+		// Rare (only reachable through injected corruption): recount v's
+		// labels to restore the lowest-label invariant.
+		best, count := label.Bottom, 0
+		for cl, w := range db.db {
+			if w != v {
+				continue
+			}
+			count++
+			if best == label.Bottom || labelLess(cl, best) {
+				best = cl
+			}
+		}
+		switch {
+		case count == 0:
+			delete(db.byID, v)
+			delete(db.dup, v)
+		case count == 1:
+			db.byID[v] = best
+			delete(db.dup, v)
+		default:
+			db.byID[v] = best
+		}
+		return
+	}
+	if db.byID[v] == l {
+		delete(db.byID, v)
+	}
 }
 
 // New creates a supervisor with the given node ID and failure detector.
@@ -99,7 +218,7 @@ func (s *Supervisor) ID() sim.NodeID { return s.self }
 func (s *Supervisor) topic(t sim.Topic) *topicDB {
 	db, ok := s.topics[t]
 	if !ok {
-		db = &topicDB{db: make(map[label.Label]sim.NodeID)}
+		db = newTopicDB()
 		s.topics[t] = db
 	}
 	return db
@@ -133,13 +252,15 @@ func (s *Supervisor) timeoutTopic(ctx sim.Context, t sim.Topic) {
 	if n == 0 {
 		return
 	}
-	// Cull crashed subscribers (Section 3.3): screen the round-robin target
-	// plus a bounded number of subsequent entries.
+	// Cull crashed subscribers (Section 3.3): screen a window of
+	// CullPerTimeout entries, then advance the cull cursor past the whole
+	// window so successive Timeouts sweep the database in n/CullPerTimeout
+	// intervals.
 	for i := 0; i < s.CullPerTimeout; i++ {
-		cursor := (db.next + 1 + uint64(i)) % n
+		cursor := (db.cullNext + uint64(i)) % n
 		if v, ok := db.db[label.FromIndex(cursor)]; ok && v != sim.None && s.detector.Suspects(v) {
-			delete(db.db, label.FromIndex(cursor))
-			db.stale = true
+			db.del(label.FromIndex(cursor))
+			db.dirty = true // the cull leaves a gap at the cursor's label
 			db.checkLabels()
 			n = uint64(len(db.db))
 			if n == 0 {
@@ -147,15 +268,15 @@ func (s *Supervisor) timeoutTopic(ctx sim.Context, t sim.Topic) {
 			}
 		}
 	}
+	db.cullNext = (db.cullNext + uint64(s.CullPerTimeout)) % n
 	db.next = (db.next + 1) % n
 	v, ok := db.db[label.FromIndex(db.next)]
 	if !ok && db.grace > 0 {
 		// During a rebuild grace the labels are whatever the survivors
-		// re-reported, not the compact l(0 … n−1): walk the sorted entries
+		// re-reported, not the compact l(0 … n−1): walk the r-ordered index
 		// so the round-robin refresh still reaches everyone.
-		db.rebuild()
-		if len(db.sorted) > 0 {
-			v, ok = db.sorted[int(db.next)%len(db.sorted)].id, true
+		if nn := db.idx.kth(int(db.next) % db.idx.len()); nn != nil {
+			v, ok = nn.id, true
 		}
 	}
 	if ok && v != sim.None {
@@ -218,8 +339,13 @@ func (s *Supervisor) subscribe(ctx sim.Context, t sim.Topic, v sim.NodeID) {
 		return
 	}
 	lab := db.nextFreeLabel()
-	db.db[lab] = v
-	db.stale = true
+	db.put(lab, v)
+	if db.grace > 0 {
+		// During a rebuild grace survivors hold arbitrary labels, so the
+		// probe may have landed in a gap: the post-grace CheckLabels must
+		// still compact.
+		db.dirty = true
+	}
 	s.sendConfiguration(ctx, t, db, v)
 }
 
@@ -249,13 +375,16 @@ func (s *Supervisor) unsubscribe(ctx sim.Context, t sim.Topic, v sim.NodeID) {
 		last := label.FromIndex(n - 1)
 		if n > 1 && lu != last {
 			w := db.db[last]
-			delete(db.db, last)
-			db.db[lu] = w // w takes over v's label
-			db.stale = true
+			db.del(last)
+			db.put(lu, w) // w takes over v's label
 			s.sendConfiguration(ctx, t, db, w)
 		} else {
-			delete(db.db, lu)
-			db.stale = true
+			db.del(lu)
+		}
+		if db.grace > 0 {
+			// The highest *compact* label may not be the entry the database
+			// actually holds mid-rebuild; let the post-grace repair recheck.
+			db.dirty = true
 		}
 	}
 	ctx.Send(v, t, proto.SetData{Epoch: db.epoch}) // all-⊥: permission to leave
@@ -281,11 +410,23 @@ func (s *Supervisor) sendConfiguration(ctx sim.Context, t sim.Topic, db *topicDB
 	ctx.Send(v, t, proto.SetData{Pred: pred, Label: lab, Succ: succ, Epoch: db.epoch})
 }
 
-// labelOf returns the (lowest) label stored for v, or ⊥.
+// labelOf returns the (lowest) label stored for v, or ⊥. O(1) through the
+// reverse index in the clean case; ids with duplicate labels (and queries
+// for the ⊥ subscriber) fall back to the scan until repaired.
 func (db *topicDB) labelOf(v sim.NodeID) label.Label {
+	if v == sim.None || db.dup[v] {
+		return db.scanLabelOf(v)
+	}
+	if l, ok := db.byID[v]; ok {
+		return l
+	}
+	return label.Bottom
+}
+
+func (db *topicDB) scanLabelOf(v sim.NodeID) label.Label {
 	best := label.Bottom
 	for l, w := range db.db {
-		if w == v && (best == label.Bottom || l.Index() < best.Index()) {
+		if w == v && (best == label.Bottom || labelLess(l, best)) {
 			best = l
 		}
 	}
@@ -294,16 +435,18 @@ func (db *topicDB) labelOf(v sim.NodeID) label.Label {
 
 // checkMultipleCopies removes all duplicate tuples for v except the one
 // with the lowest label (Algorithm 3, CheckMultipleCopies — corruption
-// case (ii)).
+// case (ii)). A no-op — O(1) — unless v is actually duplicated.
 func (db *topicDB) checkMultipleCopies(v sim.NodeID) {
-	if v == sim.None {
+	if v == sim.None || !db.dup[v] {
 		return
 	}
-	keep := db.labelOf(v)
+	keep := db.scanLabelOf(v)
 	for l, w := range db.db {
 		if w == v && l != keep {
-			delete(db.db, l)
-			db.stale = true
+			db.del(l)
+			// Removing the duplicate can leave a gap below l(n−1) —
+			// corruption case (iii) — so CheckLabels has work again.
+			db.dirty = true
 		}
 	}
 }
@@ -314,19 +457,28 @@ func (db *topicDB) checkMultipleCopies(v sim.NodeID) {
 // entries with the highest/out-of-range labels into the gaps. Purely local:
 // no messages are generated; the round-robin refresh propagates the
 // corrected labels.
+//
+// The repair scan only runs while the database is marked dirty: the normal
+// subscribe/unsubscribe path preserves validity, so per-request CheckLabels
+// calls are O(1) until a cull, a rebuild-grace insertion or injected
+// corruption actually gives the scan something to do.
 func (db *topicDB) checkLabels() {
+	if !db.dirty {
+		return
+	}
 	for l, v := range db.db {
 		if v == sim.None {
-			delete(db.db, l)
-			db.stale = true
+			db.del(l)
 		}
 	}
 	if db.grace > 0 {
 		// Rebuild grace: survivors are still re-reporting their pre-failover
 		// labels; compacting now would reassign labels the rightful holders
 		// are about to claim and force the whole overlay to re-linearize.
+		// The database stays dirty so the post-grace pass does compact.
 		return
 	}
+	defer func() { db.dirty = false }()
 	n := uint64(len(db.db))
 	var missing []label.Label // wanted labels not present, ascending
 	var extra []entry         // entries with labels outside l(0 … n−1)
@@ -352,10 +504,10 @@ func (db *topicDB) checkLabels() {
 		if i >= len(extra) {
 			break // cannot happen with a consistent map, defensive only
 		}
-		delete(db.db, extra[i].l)
-		db.db[gap] = extra[i].id
+		id := extra[i].id
+		db.del(extra[i].l)
+		db.put(gap, id)
 	}
-	db.stale = true
 }
 
 // extraRank orders out-of-range labels: generated labels by their index,
@@ -369,37 +521,27 @@ func extraRank(l label.Label) uint64 {
 
 // neighbors returns the predecessor and successor tuples of lab in the
 // r-ordering of the database, wrapping around the ring. With a single
-// entry both are ⊥.
+// entry both are ⊥. O(log n) through the ordered index — this runs on
+// every configuration send, so it must not touch all n entries.
 func (db *topicDB) neighbors(lab label.Label) (pred, succ proto.Tuple) {
-	db.rebuild()
-	n := len(db.sorted)
-	if n <= 1 {
+	if db.idx.len() <= 1 {
 		return proto.Tuple{}, proto.Tuple{}
 	}
-	i := sort.Search(n, func(i int) bool { return db.sorted[i].l.Frac() >= lab.Frac() })
-	if i == n || db.sorted[i].l != lab {
+	p := db.idx.pred(lab)
+	if p == nil {
+		p = db.idx.max()
+	}
+	var sn *onode
+	if db.idx.get(lab) != nil {
+		sn = db.idx.succ(lab)
+	} else {
 		// lab not present (transient corruption): neighbors of its position.
-		pi := (i - 1 + n) % n
-		si := i % n
-		return proto.Tuple{L: db.sorted[pi].l, Ref: db.sorted[pi].id},
-			proto.Tuple{L: db.sorted[si].l, Ref: db.sorted[si].id}
+		sn = db.idx.ceil(lab)
 	}
-	pi := (i - 1 + n) % n
-	si := (i + 1) % n
-	return proto.Tuple{L: db.sorted[pi].l, Ref: db.sorted[pi].id},
-		proto.Tuple{L: db.sorted[si].l, Ref: db.sorted[si].id}
-}
-
-func (db *topicDB) rebuild() {
-	if !db.stale && db.sorted != nil {
-		return
+	if sn == nil {
+		sn = db.idx.min()
 	}
-	db.sorted = db.sorted[:0]
-	for l, v := range db.db {
-		db.sorted = append(db.sorted, entry{l, v})
-	}
-	sort.Slice(db.sorted, func(i, j int) bool { return db.sorted[i].l.Frac() < db.sorted[j].l.Frac() })
-	db.stale = false
+	return proto.Tuple{L: p.l, Ref: p.id}, proto.Tuple{L: sn.l, Ref: sn.id}
 }
 
 // ---- introspection and corruption injection (tests and experiments) ----
@@ -463,6 +605,28 @@ func (s *Supervisor) Snapshot(t sim.Topic) map[label.Label]sim.NodeID {
 	return out
 }
 
+// MemoryBytes estimates the resident size of the topic database: the
+// label→subscriber map, the reverse index and the ordered index. It is an
+// accounting figure for the scale harness (deterministic, not a heap
+// measurement): per tuple, one treap node plus one entry in each of the two
+// maps (Go map entries cost roughly 2× their key+value payload once bucket
+// overhead and load factor are amortized).
+func (s *Supervisor) MemoryBytes(t sim.Topic) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.topics[t]
+	if !ok {
+		return 0
+	}
+	const (
+		nodeBytes  = uint64(unsafe.Sizeof(onode{}))
+		dbEntry    = 2 * uint64(unsafe.Sizeof(label.Label{})+unsafe.Sizeof(sim.NodeID(0)))
+		byIDEntry  = 2 * uint64(unsafe.Sizeof(sim.NodeID(0))+unsafe.Sizeof(label.Label{}))
+		perTupleSz = nodeBytes + dbEntry + byIDEntry
+	)
+	return uint64(unsafe.Sizeof(*db)) + uint64(len(db.db))*perTupleSz
+}
+
 // LabelOf returns the label recorded for v, or ⊥.
 func (s *Supervisor) LabelOf(t sim.Topic, v sim.NodeID) label.Label {
 	s.mu.Lock()
@@ -510,8 +674,8 @@ func (s *Supervisor) InjectRaw(t sim.Topic, l label.Label, v sim.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	db := s.topic(t)
-	db.db[l] = v
-	db.stale = true
+	db.put(l, v)
+	db.dirty = true
 }
 
 // DeleteLabel force-removes a label (tests: corruption case (iii)).
@@ -519,8 +683,8 @@ func (s *Supervisor) DeleteLabel(t sim.Topic, l label.Label) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	db := s.topic(t)
-	delete(db.db, l)
-	db.stale = true
+	db.del(l)
+	db.dirty = true
 }
 
 // RepairNow runs the local repair actions immediately (tests).

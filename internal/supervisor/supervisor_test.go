@@ -271,3 +271,45 @@ func TestMultiTopicIndependence(t *testing.T) {
 		t.Errorf("timeout sent %d messages for 2 topics", len(msgs))
 	}
 }
+
+// The failure-detector screen must sweep the whole database in
+// ~n/CullPerTimeout Timeouts. Regression test for the shared-cursor bug
+// the scale harness exposed: the screen window used to start at the
+// config-refresh cursor, which advances one entry per Timeout, so
+// consecutive windows overlapped in all but one entry and the sweep rate
+// was one entry per interval no matter the budget — culling a spread-out
+// crash burst took O(n) rounds even with CullPerTimeout ≫ 1.
+func TestCullSweepRateScalesWithBudget(t *testing.T) {
+	const n, budget = 256, 16
+	det := fakeDetector{}
+	s := New(1, det)
+	s.CullPerTimeout = budget
+	c := simtest.NewCtx(1)
+	for i := sim.NodeID(0); i < n; i++ {
+		sub(t, s, c, 1000+i)
+	}
+	// Crash every 16th subscriber: the dead entries are spread across the
+	// label range, so a screen that doesn't advance past its window will
+	// meet at most one per sweep.
+	dead := 0
+	for i := sim.NodeID(0); i < n; i += 16 {
+		det[1000+i] = true
+		dead++
+	}
+	// One full sweep is n/budget = 16 Timeouts; compaction moves entries
+	// under the cursor, so allow a few extra sweeps for re-screens.
+	limit := 4 * (n / budget)
+	rounds := 0
+	for ; rounds < limit && s.N(tp) != n-dead; rounds++ {
+		s.OnTimeout(c)
+		c.Take()
+	}
+	if s.N(tp) != n-dead {
+		t.Fatalf("after %d timeouts with budget %d: n=%d, want %d (sweep not scaling with budget)",
+			limit, budget, s.N(tp), n-dead)
+	}
+	if s.Corrupted(tp) {
+		t.Fatalf("db corrupted after cull sweep")
+	}
+	t.Logf("culled %d spread-out entries in %d timeouts (budget %d, n %d)", dead, rounds, budget, n)
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"unsafe"
 
 	"sspubsub/internal/proto"
 )
@@ -157,6 +158,72 @@ func (t *Trie) Insert(p proto.Publication) bool {
 		t.size++
 		return true
 	}
+}
+
+// DeleteMin removes and returns the publication with the smallest key.
+// ok is false for an empty trie.
+//
+// This is the eviction primitive for bounded publication stores: evicting
+// by smallest *key* (not insertion order) keeps eviction a pure function of
+// the stored set, so replicas that converged to the same set evict the same
+// publication and their root hashes stay equal — an insertion-order policy
+// would make equal sets hash-unequal forever under anti-entropy.
+func (t *Trie) DeleteMin() (proto.Publication, bool) {
+	if t.root == nil {
+		return proto.Publication{}, false
+	}
+	// The leftmost leaf holds the smallest key: walk() and All() visit
+	// Child[0] first and yield key order.
+	var pathBuf [64]*Node
+	path := pathBuf[:0]
+	cur := t.root
+	for !cur.IsLeaf() {
+		path = append(path, cur)
+		cur = cur.Child[0]
+	}
+	pub := cur.Pub
+	t.size--
+	if len(path) == 0 {
+		t.root = nil
+		return pub, true
+	}
+	// Splice out the leaf's parent: its other child takes the parent's
+	// place (an inner node always has exactly two children).
+	parent := path[len(path)-1]
+	sibling := parent.Child[1]
+	if len(path) == 1 {
+		t.root = sibling
+	} else {
+		grand := path[len(path)-2]
+		grand.Child[0] = sibling // parent was reached via Child[0]
+	}
+	for i := len(path) - 2; i >= 0; i-- {
+		path[i].leaves--
+		path[i].rehash()
+	}
+	return pub, true
+}
+
+// MemoryBytes estimates the resident size of the trie: a full binary tree
+// of 2·size−1 nodes plus the payload strings. Deterministic accounting for
+// the scale harness, not a heap measurement.
+func (t *Trie) MemoryBytes() uint64 {
+	if t.size == 0 {
+		return uint64(unsafe.Sizeof(*t))
+	}
+	nodes := uint64(2*t.size - 1)
+	total := uint64(unsafe.Sizeof(*t)) + nodes*uint64(unsafe.Sizeof(Node{}))
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.IsLeaf() {
+			total += uint64(len(n.Pub.Payload))
+			return
+		}
+		rec(n.Child[0])
+		rec(n.Child[1])
+	}
+	rec(t.root)
+	return total
 }
 
 // Has reports whether a publication with the given key is stored.

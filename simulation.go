@@ -72,6 +72,9 @@ type SimOptions struct {
 	DisableFlooding    bool
 	DisableAntiEntropy bool
 	DisableActionIV    bool
+	// HistoryCap bounds each subscriber's retained publications per topic
+	// (0 = unlimited; see Options.HistoryCap on the live System).
+	HistoryCap int
 }
 
 // NodeID identifies a simulated subscriber node.
@@ -107,6 +110,7 @@ func NewSimulation(opts SimOptions) *Simulation {
 		DisableFlooding:    opts.DisableFlooding,
 		DisableAntiEntropy: opts.DisableAntiEntropy,
 		DisableActionIV:    opts.DisableActionIV,
+		HistoryCap:         opts.HistoryCap,
 	}
 	ivl := opts.Interval
 	if ivl == 0 {

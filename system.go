@@ -29,9 +29,22 @@ type Options struct {
 	KeyLen uint8
 	// EventBuffer is each subscription's delivery channel capacity
 	// (default 256). When a consumer lags, the oldest buffered events are
-	// dropped from the channel — the full history remains available via
-	// Subscription.History.
+	// dropped from the channel — the retained history (the newest
+	// HistoryCap publications, or everything when HistoryCap is 0) remains
+	// available via Subscription.History.
 	EventBuffer int
+	// HistoryCap bounds how many publications each subscriber retains per
+	// topic: when the stored set exceeds the cap, the publications with
+	// the smallest keys are evicted. 0 means unlimited — the paper's
+	// monotone store, where every subscriber keeps every publication
+	// forever. Unlimited retention is an unbounded memory leak under
+	// sustained publishing (≈96 B + payload per publication per
+	// subscriber), so long-running deployments should set a cap; eviction
+	// is by key, a pure function of the stored set, so capped replicas
+	// still converge to identical tries. With a cap, a publication evicted
+	// and later relearned through anti-entropy is delivered again
+	// (at-least-once); with 0 delivery stays exactly-once.
+	HistoryCap int
 	// DisableFlooding turns off PublishNew (deliveries then come only
 	// through anti-entropy).
 	DisableFlooding bool
@@ -321,6 +334,7 @@ func (s *System) NewClient(name string) (*Client, error) {
 		DisableFlooding: s.opts.DisableFlooding,
 		SupervisorFor:   s.supervisorOf,
 		Supervisors:     s.supIDs,
+		HistoryCap:      s.opts.HistoryCap,
 	})
 	s.clients[id] = c
 	s.byName[name] = c
@@ -514,8 +528,10 @@ func (c *Client) Publish(topic, payload string) error {
 	return nil
 }
 
-// History returns every publication currently known for the topic, oldest
-// key first (the Patricia-trie contents, Section 4.2).
+// History returns the publications currently retained for the topic,
+// oldest key first (the Patricia-trie contents, Section 4.2). With
+// Options.HistoryCap set this is the newest HistoryCap publications by
+// key; with 0 it is everything ever known.
 func (c *Client) History(topic string) []Publication {
 	t := c.sys.topicID(topic)
 	pubs := c.cc.Publications(t)
@@ -584,13 +600,15 @@ func (s *Subscription) Topic() string { return s.topic }
 // Events returns the delivery channel. Every publication that becomes
 // known to this subscriber (via flooding or anti-entropy) is sent exactly
 // once; when the buffer overflows the oldest entries are dropped — each
-// drop is counted (Dropped) and the full set stays available via History.
+// drop is counted (Dropped) and the retained set stays available via
+// History.
 func (s *Subscription) Events() <-chan Publication { return s.events }
 
 // Dropped returns how many buffered events have been discarded because
 // the consumer lagged behind the delivery rate. A growing value means the
 // reader of Events is too slow for its EventBuffer; the events themselves
-// are not lost to the system — History still has them.
+// are not lost to the system — History still has them (up to the
+// configured HistoryCap).
 func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
 
 // History returns all publications currently known for the topic.
