@@ -72,15 +72,25 @@
 // zero allocations per message (slice-backed event heap, reused handler
 // context, cached type-name accounting shared with the wire registry);
 // the wire codec encodes frames append-only into pooled or caller-held
-// buffers (wire.AppendFrame, wire.WriteFrame) and decodes from a
-// per-connection reused buffer (wire.ReadFrameBuf); the networked
-// transport coalesces each flush window into a single wire.Batch frame;
-// and the concurrent runtime's loss-free overflow tier recycles pooled
-// segments. On the pinned fan-out benchmark (one publication flooded to
-// 16 subscribers, BenchmarkHotPathPublishFanout) this cut whole-system
-// allocations per publication by 9.0x on the sim substrate, 12.0x on
-// the concurrent runtime and 5.7x over TCP. testing.AllocsPerRun guards
-// in internal/wire, internal/sim, internal/runtime/concurrent and the
+// buffers (wire.AppendFrame, wire.WriteFrame) and decodes through a
+// per-connection wire.DecodeState whose arena bump-allocates payload
+// strings and batch scaffolds and whose direct-mapped cache interns
+// repeated fan-out bodies; and the concurrent runtime's loss-free
+// overflow tier recycles pooled segments. The networked transport runs
+// an encode-once egress pipeline: a single router goroutine encodes each
+// distinct outbound body once into a pooled refcounted slab and hands
+// slab references to the per-peer writers over lock-free single-
+// producer/single-consumer rings (internal/ring — runtime-agnostic, a
+// candidate for the concurrent runtime's mailbox tier), and each writer
+// coalesces its ring bursts into length-prefixed wire.Batch2 frames by
+// splicing the shared slabs, never re-encoding. On the pinned fan-out
+// benchmark (one publication flooded to 16 subscribers,
+// BenchmarkHotPathPublishFanout) this cut whole-system allocations per
+// publication by 9.0x on the sim substrate, 12.0x on the concurrent
+// runtime and 24x over TCP (647 to 27 allocs/op), and a 16-way
+// multicast of one body costs one encode and 16 boxed deliveries
+// (BenchmarkNetEgressMulticast). testing.AllocsPerRun guards in
+// internal/wire, internal/sim, internal/runtime/concurrent and the
 // root package hold each layer to its budget, and CI diffs every run's
 // BENCH_<sha>.json against the committed baseline, failing on >15%
 // regressions in allocs/op or B/op (cmd/benchjson -compare). See the

@@ -1,0 +1,231 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCapacityRounding: capacities round up to powers of two, minimum 2.
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}, {4096, 4096},
+	} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestFullEmptyBoundaries pins the edge behavior: a full ring rejects
+// pushes without losing anything, an empty ring pops nothing, and the
+// count stays exact through both boundaries.
+func TestFullEmptyBoundaries(t *testing.T) {
+	r := New[int](4)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on empty ring returned an item")
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push %d rejected below capacity", i)
+		}
+	}
+	if r.Push(99) {
+		t.Fatal("Push accepted on a full ring")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d after filling, want 4", r.Len())
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on drained ring returned an item")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", r.Len())
+	}
+}
+
+// TestWraparound cycles the indices far past the capacity so the masked
+// addressing and the head/tail distance survive wrap.
+func TestWraparound(t *testing.T) {
+	r := New[int](8)
+	next := 0
+	for round := 0; round < 10_000; round++ {
+		// Variable-size bursts so head/tail hit every alignment.
+		k := round%8 + 1
+		for i := 0; i < k; i++ {
+			if !r.Push(next + i) {
+				t.Fatalf("round %d: push rejected with Len=%d", round, r.Len())
+			}
+		}
+		for i := 0; i < k; i++ {
+			v, ok := r.Pop()
+			if !ok || v != next+i {
+				t.Fatalf("round %d: Pop = (%d, %v), want (%d, true)", round, v, ok, next+i)
+			}
+		}
+		next += k
+	}
+}
+
+// TestPopNBatch: PopN moves up to len(dst) items in FIFO order and arms
+// the wake flag when empty.
+func TestPopNBatch(t *testing.T) {
+	r := New[int](16)
+	dst := make([]int, 8)
+	if n := r.PopN(dst); n != 0 {
+		t.Fatalf("PopN on empty = %d", n)
+	}
+	for i := 0; i < 12; i++ {
+		r.Push(i)
+	}
+	if n := r.PopN(dst); n != 8 {
+		t.Fatalf("PopN = %d, want 8", n)
+	}
+	for i := 0; i < 8; i++ {
+		if dst[i] != i {
+			t.Fatalf("dst[%d] = %d", i, dst[i])
+		}
+	}
+	if n := r.PopN(dst); n != 4 {
+		t.Fatalf("second PopN = %d, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		if dst[i] != 8+i {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], 8+i)
+		}
+	}
+}
+
+// TestSlotsZeroed: consumed slots must not retain references (the
+// transport parks pointer-bearing entries here; a retained pointer would
+// pin refcounted slabs past their release).
+func TestSlotsZeroed(t *testing.T) {
+	r := New[*int](4)
+	v := new(int)
+	r.Push(v)
+	r.Pop()
+	for i, p := range r.buf {
+		if p != nil {
+			t.Fatalf("slot %d still holds a pointer after Pop", i)
+		}
+	}
+	r.Push(v)
+	r.Push(v)
+	dst := make([]*int, 2)
+	r.PopN(dst)
+	for i, p := range r.buf {
+		if p != nil {
+			t.Fatalf("slot %d still holds a pointer after PopN", i)
+		}
+	}
+}
+
+// TestWakeHandshake: a consumer that found the ring empty and blocks on
+// Wake() must be woken by the next Push — the lost-wakeup property the
+// seq-cst arm/re-check protocol guarantees.
+func TestWakeHandshake(t *testing.T) {
+	r := New[int](4)
+	got := make(chan int)
+	go func() {
+		for {
+			v, ok := r.Pop()
+			if !ok {
+				select {
+				case <-r.Wake():
+					continue
+				case <-time.After(5 * time.Second):
+					close(got)
+					return
+				}
+			}
+			got <- v
+			return
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer arm and block
+	r.Push(42)
+	v, ok := <-got
+	if !ok {
+		t.Fatal("consumer timed out: wakeup lost")
+	}
+	if v != 42 {
+		t.Fatalf("woke with %d", v)
+	}
+}
+
+// TestConcurrentStress runs one producer against one consumer across the
+// full/empty boundaries for a while; under -race this doubles as the
+// memory-model proof for the slot handoff. The consumer alternates Pop
+// and PopN and sleeps on Wake() when empty, so the wake protocol is
+// exercised continuously, not just once.
+func TestConcurrentStress(t *testing.T) {
+	const total = 100_000
+	r := New[uint64](64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer: yields only when full
+		defer wg.Done()
+		for i := uint64(0); i < total; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var sum uint64
+	go func() { // consumer
+		defer wg.Done()
+		dst := make([]uint64, 16)
+		var seen uint64
+		var expect uint64
+		for seen < total {
+			if seen%3 == 0 {
+				v, ok := r.Pop()
+				if !ok {
+					select {
+					case <-r.Wake():
+					case <-time.After(time.Millisecond):
+					}
+					continue
+				}
+				if v != expect {
+					t.Errorf("out of order: got %d want %d", v, expect)
+					return
+				}
+				expect++
+				sum += v
+				seen++
+				continue
+			}
+			n := r.PopN(dst)
+			if n == 0 {
+				select {
+				case <-r.Wake():
+				case <-time.After(time.Millisecond):
+				}
+				continue
+			}
+			for _, v := range dst[:n] {
+				if v != expect {
+					t.Errorf("out of order: got %d want %d", v, expect)
+					return
+				}
+				expect++
+				sum += v
+			}
+			seen += uint64(n)
+		}
+	}()
+	wg.Wait()
+	if want := uint64(total) * (total - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d: items lost or duplicated", sum, want)
+	}
+}

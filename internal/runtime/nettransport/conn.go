@@ -8,23 +8,27 @@ import (
 
 	"bufio"
 
+	"sspubsub/internal/ring"
 	"sspubsub/internal/sim"
 	"sspubsub/internal/wire"
 )
 
-// peerQueueDepth bounds the frames buffered toward one link. A full queue
-// drops (message loss, which the protocol tolerates) rather than blocking
-// a protocol handler.
-const peerQueueDepth = 4096
-
-// peer is one link: a frame queue, a writer that batches queued frames
-// into coalesced flushes, and a reader that dispatches arriving frames.
-// Dial-side peers (addr != "") redial with exponential backoff when the
-// link drops; accepted peers live exactly as long as their connection.
+// peer is one link: a lock-free SPSC ring of pre-encoded frames fed by
+// the egress router, a writer that drains the ring into coalesced Batch2
+// frames, and a reader that dispatches arriving frames. Dial-side peers
+// (addr != "") redial with exponential backoff when the link drops;
+// accepted peers live exactly as long as their connection.
+//
+// Ring roles: the egress router is the only producer for every peer; the
+// current writeLoop goroutine is the only consumer. The consumer role
+// migrates across reconnects — run() provably waits for the previous
+// writeLoop to exit before starting the next — and ends at the Close-time
+// sweep, which drains survivors only after wg.Wait has retired every
+// goroutine.
 type peer struct {
 	t    *Transport
 	addr string // dial target; "" for accepted connections
-	q    chan sim.Message
+	rb   *ring.SPSC[outFrame]
 	stop chan struct{}
 	once sync.Once
 
@@ -33,40 +37,51 @@ type peer struct {
 	down time.Time // zero while the link is up
 }
 
-// newDialPeer starts a link that dials addr and keeps redialing.
-func (t *Transport) newDialPeer(addr string) *peer {
-	p := &peer{
+func (t *Transport) newPeer(addr string) *peer {
+	return &peer{
 		t:    t,
 		addr: addr,
-		q:    make(chan sim.Message, peerQueueDepth),
+		rb:   ring.New[outFrame](int(t.opts.QueueDepth)),
 		stop: make(chan struct{}),
-		down: time.Now(), // down until the first dial succeeds
 	}
+}
+
+// newDialPeer starts a link that dials addr and keeps redialing. Dial
+// peers exist before the transport is usable, so unlike accepted peers
+// they cannot race Close.
+func (t *Transport) newDialPeer(addr string) *peer {
+	p := t.newPeer(addr)
+	p.down = time.Now() // down until the first dial succeeds
+	t.mu.Lock()
+	t.allPeers = append(t.allPeers, p)
+	t.mu.Unlock()
 	t.wg.Add(1)
 	go p.run()
 	return p
 }
 
-// newAcceptedPeer wraps an accepted connection.
+// newAcceptedPeer wraps an accepted connection. The closed-check and the
+// registration are one critical section: either this runs before Close
+// collects its peer list (so Close shuts this peer down too), or it
+// observes closed and refuses.
 func (t *Transport) newAcceptedPeer(conn net.Conn) *peer {
+	p := t.newPeer("")
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		conn.Close()
 		return nil
 	}
-	p := &peer{
-		t:    t,
-		q:    make(chan sim.Message, peerQueueDepth),
-		stop: make(chan struct{}),
-	}
 	p.conn = conn
+	t.allPeers = append(t.allPeers, p)
 	t.accepted = append(t.accepted, p)
 	t.wg.Add(2)
 	t.mu.Unlock()
 	dead := make(chan struct{})
+	writerDone := make(chan struct{})
 	go func() {
 		defer t.wg.Done()
+		defer close(writerDone)
 		p.writeLoop(conn, dead)
 	}()
 	go func() {
@@ -74,11 +89,15 @@ func (t *Transport) newAcceptedPeer(conn net.Conn) *peer {
 		p.readLoop(conn)
 		close(dead)
 		conn.Close()
+		<-writerDone
 		p.markDown()
 		// The peer stays reachable through any block that points at it (so
 		// the failure detector can time its absence), but drop it from the
 		// accepted list: a reconnecting joiner creates a fresh peer every
-		// time, and retaining dead ones would leak.
+		// time, and retaining dead ones would leak. Frames the router still
+		// routes here are stranded in the ring until the Close-time sweep
+		// counts them as loss — the same fate they had unread in the old
+		// channel, now with the slabs reclaimed.
 		t.dropAccepted(p)
 	}()
 	return p
@@ -126,14 +145,19 @@ func (p *peer) run() {
 		}
 		p.markUp()
 		dead := make(chan struct{})
+		writerDone := make(chan struct{})
 		p.t.wg.Add(1)
 		go func() {
 			defer p.t.wg.Done()
+			defer close(writerDone)
 			p.writeLoop(conn, dead)
 		}()
 		p.readLoop(conn)
 		conn.Close()
 		close(dead)
+		// The ring is single-consumer: the next connection's writeLoop may
+		// not start until this one has provably exited.
+		<-writerDone
 		p.markDown()
 		p.t.opts.logf("nettransport: link to %s lost; reconnecting", p.addr)
 	}
@@ -141,72 +165,112 @@ func (p *peer) run() {
 
 // readLoop dispatches frames until the connection fails. Garbage frames
 // are counted and skipped — the stream stays aligned; only framing-level
-// corruption or I/O failure ends the connection. One frame buffer is
-// reused for the whole life of the connection (decoded messages never
-// reference it), so the steady-state read path allocates only what the
-// decoded bodies themselves need.
+// corruption or I/O failure ends the connection. One frame buffer and one
+// decode state (arena + body intern cache) are reused for the whole life
+// of the connection, so the steady-state read path allocates only what
+// escapes into the runtime — and for a fan-out of one shareable body,
+// that is a single boxed value served from the cache.
 func (p *peer) readLoop(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var buf []byte
+	st := wire.NewDecodeState()
 	for {
-		m, b, err := wire.ReadFrameBuf(br, buf)
+		m, b, err := wire.ReadFrameBufState(br, buf, st)
 		buf = b
 		if err != nil {
 			if errors.Is(err, wire.ErrGarbage) {
 				p.t.garbage.Add(1)
 				p.t.opts.logf("nettransport: dropped garbage frame: %v", err)
+				st.EndFrame() // a failed decode's scaffolding is reusable too
 				continue
 			}
 			return
 		}
-		if batch, ok := m.Body.(wire.Batch); ok {
+		switch batch := m.Body.(type) {
+		case wire.Batch:
 			for _, im := range batch.Msgs {
 				p.t.dispatch(im, p)
 			}
-			continue
+		case wire.Batch2:
+			for _, im := range batch.Msgs {
+				p.t.dispatch(im, p)
+			}
+		default:
+			p.t.dispatch(m, p)
 		}
-		p.t.dispatch(m, p)
+		// Dispatch injects message values into mailboxes (copies), so the
+		// frame's scaffold slices can be rewound for the next frame.
+		st.EndFrame()
 	}
 }
 
-// maxBatch bounds the messages per Batch frame. 64 messages keeps a
-// typical batch far below wire.MaxFrame while still amortizing the frame
-// header and the encode/dispatch bookkeeping across a whole coalescing
-// window.
+// maxBatch bounds the frames drained from the ring per write pass, and
+// with it the members per Batch2 frame. 64 keeps a typical batch far
+// below wire.MaxFrame while amortizing the frame header and the
+// dispatch bookkeeping across a whole coalescing window.
 const maxBatch = 64
 
-// writeLoop drains the frame queue into the connection, gathering every
-// message queued within one coalescing window into Batch frames of up to
-// maxBatch messages, and flushing the socket once per FlushEvery window.
-// Frames are encoded into a scratch buffer reused across the connection's
-// lifetime, so the steady-state write path performs no allocations.
+// frameBudget is the soft size cap of one composed Batch2 frame. Chunks
+// are cut so members beyond the budget start a new frame; a single
+// member larger than the budget goes out as a standalone frame, where
+// only wire.MaxFrame (enforced by the codec) bounds it.
+const frameBudget = 256 << 10
+
+// writeLoop drains the peer's ring into the connection: each PopN burst
+// is composed into standalone frames or Batch2 frames (size-budgeted),
+// stamping the router's pre-encoded slabs under per-destination
+// envelopes — no message is re-encoded here. Slab references are dropped
+// once their bytes have left for the socket (or the frame is shed), and
+// the scratch buffer is reused across the connection's lifetime, so the
+// steady-state write path performs no allocations.
 func (p *peer) writeLoop(conn net.Conn, dead chan struct{}) {
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	flush := time.NewTicker(p.t.opts.FlushEvery)
 	defer flush.Stop()
 	dirty := false
 	scratch := make([]byte, 0, 4096)
-	batch := make([]sim.Message, 0, maxBatch)
+	frames := make([]outFrame, maxBatch)
 
-	// writeOne emits a single-message frame. It reports false only on an
-	// I/O failure; an unencodable or oversize message is shed as counted
-	// loss and the stream continues.
-	writeOne := func(m sim.Message) bool {
+	// keepScratch caps the frame buffer capacity retained across flushes:
+	// an occasional giant frame may balloon scratch transiently, but must
+	// not pin that memory for the connection's lifetime.
+	const keepScratch = 1 << 20
+
+	// writeChunk composes fs into one wire frame and writes it through the
+	// fault hook. It reports false only on an I/O failure; oversize and
+	// fault-shed frames are counted loss and the stream continues. Every
+	// message in fs ends in exactly one of delivered-to-bw or frameLost,
+	// so loopback in-flight holds cannot leak.
+	writeChunk := func(fs []outFrame) bool {
 		var err error
-		scratch, err = wire.AppendFrame(scratch[:0], m)
-		if err != nil {
-			p.frameLost()
-			return true // only this message is bad; the stream is fine
+		if len(fs) == 1 {
+			f := fs[0]
+			scratch, err = wire.AppendFrameRaw(scratch[:0], f.to, f.from, f.topic, f.s.b)
+		} else {
+			scratch = wire.BeginBatchFrame(scratch[:0], len(fs))
+			for _, f := range fs {
+				scratch = wire.AppendBatchMember(scratch, f.to, f.from, f.topic, f.s.b)
+			}
+			scratch, err = wire.FinishFrame(scratch, 0)
 		}
-		write, corrupted := p.applyFrameFault(scratch, 1)
+		if err != nil {
+			// Oversize: only this chunk is bad; shed it as counted loss.
+			for range fs {
+				p.frameLost()
+			}
+			return true
+		}
+		write, corrupted := p.applyFrameFault(scratch, len(fs))
 		if !write {
 			return true // frame shed by the fault hook
 		}
 		if _, err := bw.Write(scratch); err != nil {
 			if corrupted {
-				p.t.lost.Add(1) // holds already released by the corrupt path
+				p.t.lost.Add(int64(len(fs))) // holds already released by the corrupt path
 			} else {
-				p.frameLost()
+				for range fs {
+					p.frameLost()
+				}
 			}
 			return false // I/O failure: let the reader's error path reconnect
 		}
@@ -214,109 +278,65 @@ func (p *peer) writeLoop(conn net.Conn, dead chan struct{}) {
 		return true
 	}
 
-	// keepScratch caps the frame buffer capacity retained across flushes:
-	// an occasional giant batch (up to maxBatch members of up to
-	// wire.MaxFrame each) may balloon scratch transiently, but must not
-	// pin that memory for the connection's lifetime.
-	const keepScratch = 1 << 20
+	// release drops the slab references of fs and clears the entries.
+	release := func(fs []outFrame) {
+		for i := range fs {
+			fs[i].s.unref(p.t)
+			fs[i] = outFrame{}
+		}
+	}
 
-	// flushBatch emits the gathered messages: a plain frame for a single
-	// message, one Batch frame otherwise. A batch that cannot be encoded
-	// as one frame (oversize) falls back to per-message frames so one
-	// bad member costs only itself. Resets batch in all paths; every
-	// gathered message ends in exactly one of delivered-to-bw or
-	// frameLost, so loopback in-flight holds cannot leak.
-	flushBatch := func() bool {
-		defer func() {
-			for i := range batch {
-				batch[i] = sim.Message{} // release Body references
-			}
-			batch = batch[:0]
-			if cap(scratch) > keepScratch {
-				scratch = make([]byte, 0, 4096)
-			}
-		}()
-		switch len(batch) {
-		case 0:
-			return true
-		case 1:
-			return writeOne(batch[0])
-		}
-		var err error
-		scratch, err = wire.AppendFrame(scratch[:0], sim.Message{Body: wire.Batch{Msgs: batch}})
-		if err != nil {
-			for i, m := range batch {
-				if !writeOne(m) {
-					// I/O failure mid-fallback: the rest of the batch is
-					// already dequeued and will never be written.
-					for range batch[i+1:] {
-						p.frameLost()
-					}
-					return false
+	// emit writes one PopN burst as size-budgeted chunks. On I/O failure
+	// the unwritten tail is counted loss (it was dequeued and will never
+	// be written); all slab references are dropped in every path.
+	emit := func(fs []outFrame) bool {
+		i := 0
+		for i < len(fs) {
+			n := 1
+			size := wire.BatchMemberSize(fs[i].to, fs[i].from, fs[i].topic, len(fs[i].s.b))
+			for i+n < len(fs) {
+				f := fs[i+n]
+				next := wire.BatchMemberSize(f.to, f.from, f.topic, len(f.s.b))
+				if size+next > frameBudget {
+					break
 				}
+				size += next
+				n++
 			}
-			return true
-		}
-		write, corrupted := p.applyFrameFault(scratch, len(batch))
-		if !write {
-			return true // batch frame shed by the fault hook
-		}
-		if _, err := bw.Write(scratch); err != nil {
-			if corrupted {
-				p.t.lost.Add(int64(len(batch))) // holds already released
-			} else {
-				for range batch {
+			ok := writeChunk(fs[i : i+n]) // accounts its own messages in all paths
+			release(fs[i : i+n])
+			i += n
+			if !ok {
+				for range fs[i:] {
 					p.frameLost()
 				}
+				release(fs[i:])
+				return false
 			}
-			return false
 		}
-		dirty = true
 		return true
 	}
 
-	// gather appends m to the current batch, shedding messages the codec
-	// cannot carry (as counted loss) before they can poison a whole
-	// batch's encode.
-	gather := func(m sim.Message) {
-		if !wire.Encodable(m.Body) {
-			p.frameLost()
-			return
-		}
-		batch = append(batch, m)
-	}
-
 	for {
+		if n := p.rb.PopN(frames); n > 0 {
+			if !emit(frames[:n]) {
+				conn.Close()
+				return
+			}
+			if cap(scratch) > keepScratch {
+				scratch = make([]byte, 0, 4096)
+			}
+			continue
+		}
+		// Ring empty (wake flag armed by PopN): sleep until the router
+		// pushes, the flush window closes, or the connection dies.
 		select {
 		case <-p.stop:
 			bw.Flush()
 			return
 		case <-dead:
 			return
-		case m := <-p.q:
-			for {
-				gather(m)
-				for more := true; more && len(batch) < maxBatch; {
-					select {
-					case m2 := <-p.q:
-						gather(m2)
-					default:
-						more = false
-					}
-				}
-				if !flushBatch() {
-					conn.Close()
-					return
-				}
-				// A burst larger than one batch: keep chunking while the
-				// queue stays non-empty.
-				select {
-				case m = <-p.q:
-					continue
-				default:
-				}
-				break
-			}
+		case <-p.rb.Wake():
 		case <-flush.C:
 			if dirty {
 				if bw.Flush() != nil {
@@ -367,19 +387,30 @@ func (p *peer) frameLost() {
 	}
 }
 
-// enqueue queues a frame for the link, dropping when the queue is full or
-// the peer is shut down.
-func (p *peer) enqueue(m sim.Message) bool {
+// push appends a frame to the peer's ring (router only — the ring is
+// single-producer), refusing when the peer is shut down or the ring is
+// full; the caller owns the loss accounting and the slab reference.
+func (p *peer) push(f outFrame) bool {
 	select {
 	case <-p.stop:
 		return false
 	default:
 	}
-	select {
-	case p.q <- m:
-		return true
-	default:
-		return false
+	return p.rb.Push(f)
+}
+
+// drainRing empties the ring as counted loss, reclaiming the slab
+// references. Only the Close path calls it, after wg.Wait has retired
+// the router and every writer — the ring has no other producer or
+// consumer left, so the sweep is race-free and final.
+func (p *peer) drainRing() {
+	for {
+		f, ok := p.rb.Pop()
+		if !ok {
+			return
+		}
+		f.s.unref(p.t)
+		p.frameLost()
 	}
 }
 

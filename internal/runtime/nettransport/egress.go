@@ -1,0 +1,219 @@
+package nettransport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sspubsub/internal/sim"
+	"sspubsub/internal/wire"
+)
+
+// This file is the encode-once egress pipeline. Every outbound message —
+// protocol sends intercepted by Redirect, hub relays, Welcome grants —
+// funnels through one router goroutine (egressRouter) instead of being
+// encoded by each per-peer writer:
+//
+//	handlers ──egressCh──▶ router ──SPSC ring──▶ per-peer writeLoop
+//
+// The router encodes each distinct message body exactly once into a
+// pooled, refcounted byte slab (wire.AppendBody: tag + body, no
+// envelope) and pushes one outFrame per destination — envelope fields by
+// value, slab by reference — onto that destination's lock-free ring. A
+// publication fanning out to k peers therefore costs one encode, not k.
+// Writers stamp the shared slab into standalone frames or Batch2 members
+// (wire.AppendFrameRaw / AppendBatchMember) and release their reference
+// when the socket write has completed; the last release returns the slab
+// to the pool.
+//
+// Loss accounting is unchanged from the channel-based egress: every
+// message either reaches a socket write or is counted in lost exactly
+// once — at egress saturation, at encode failure, at a full ring, at the
+// fault hook, at an I/O failure, or in the Close-time ring sweep — and,
+// on the loopback role, each of those loss points also releases the
+// message's in-flight hold so the quiesce barrier stays exact.
+
+// egressItem is one routed message: the frame to send and the link that
+// must carry it (resolved under t.mu by the caller, as before).
+type egressItem struct {
+	m sim.Message
+	p *peer
+}
+
+// outFrame is one frame bound for a peer's writer: the envelope by
+// value, the tagged body as a shared slab reference.
+type outFrame struct {
+	to, from sim.NodeID
+	topic    sim.Topic
+	s        *slab
+}
+
+// slab is a pooled, refcounted buffer holding one encoded tagged body.
+// The router acquires it with one creator reference, takes one more per
+// ring push, and drops the creator reference at the end of the burst;
+// writers (and the loss paths) drop theirs after the bytes are written
+// or the frame is shed. The final drop returns the slab to the pool.
+type slab struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+var slabPool = sync.Pool{New: func() any { return new(slab) }}
+
+// keepSlab caps the slab capacity retained by the pool; an occasional
+// giant payload must not pin its buffer forever.
+const keepSlab = 64 << 10
+
+// acquireSlab takes a slab from the pool with one (creator) reference.
+func (t *Transport) acquireSlab() *slab {
+	s := slabPool.Get().(*slab)
+	s.b = s.b[:0]
+	s.refs.Store(1)
+	t.slabAcquired.Add(1)
+	return s
+}
+
+// ref takes one more reference (router only, while it still holds the
+// creator reference, so the count cannot be racing toward zero).
+func (s *slab) ref() { s.refs.Add(1) }
+
+// unref drops one reference; the last drop counts the release and pools
+// the slab. Writers on different goroutines drop concurrently, so the
+// count must be atomic.
+func (s *slab) unref(t *Transport) {
+	if s.refs.Add(-1) == 0 {
+		t.slabReleased.Add(1)
+		if cap(s.b) <= keepSlab {
+			slabPool.Put(s)
+		}
+	}
+}
+
+// SlabStats returns how many encode slabs have been acquired from and
+// released back to the pool. After Close the two are equal — the leak
+// property the slab tests pin.
+func (t *Transport) SlabStats() (acquired, released int64) {
+	return t.slabAcquired.Load(), t.slabReleased.Load()
+}
+
+// egressSend hands a message to the router, non-blocking: a saturated
+// egress queue is counted loss (exactly like the full per-peer queue it
+// replaces), releasing the loopback in-flight hold.
+func (t *Transport) egressSend(m sim.Message, p *peer) {
+	select {
+	case t.egressCh <- egressItem{m: m, p: p}:
+	default:
+		t.egressLost()
+	}
+}
+
+// egressLost accounts one message that left Redirect but will never
+// reach a socket: count it and release its loopback in-flight hold.
+func (t *Transport) egressLost() {
+	t.lost.Add(1)
+	if t.role == roleLoopback {
+		t.inflight.Add(-1)
+	}
+}
+
+// startEgress wires the router; called once per transport, before any
+// peer exists. The channel is a staging hop, not the buffer — the
+// per-peer rings hold the real backlog — so its capacity only needs to
+// absorb a sender burst while the router works through one routing
+// pass; it scales with QueueDepth for small test configurations but is
+// capped so a transport's fixed footprint stays modest.
+func (t *Transport) startEgress() {
+	depth := 2 * int(t.opts.QueueDepth)
+	if depth > 1024 {
+		depth = 1024
+	}
+	t.egressCh = make(chan egressItem, depth)
+	t.egressStop = make(chan struct{})
+	t.wg.Add(1)
+	go t.egressRouter()
+}
+
+// egressBurst bounds the messages routed per wake-up. One burst is the
+// encode-sharing window: identical bodies within it share one slab.
+const egressBurst = 256
+
+// egressRouter is the single producer of every peer ring. It drains the
+// egress channel in bursts, encodes each distinct shareable body once
+// (distinct-by-== within the burst; wire.CanShare guarantees the compare
+// is safe), and fans the slabs out to the destination rings.
+func (t *Transport) egressRouter() {
+	defer t.wg.Done()
+	burst := make([]egressItem, 0, egressBurst)
+	type encoded struct {
+		body any // nil for non-shareable bodies (never matched)
+		s    *slab
+	}
+	groups := make([]encoded, 0, 16)
+	for {
+		select {
+		case it := <-t.egressCh:
+			burst = append(burst, it)
+		case <-t.egressStop:
+			// The runtime is closed: no sender is left, so whatever is
+			// still queued is counted loss and the router retires.
+			for {
+				select {
+				case <-t.egressCh:
+					t.egressLost()
+				default:
+					return
+				}
+			}
+		}
+		for len(burst) < egressBurst {
+			select {
+			case it := <-t.egressCh:
+				burst = append(burst, it)
+			default:
+				goto route
+			}
+		}
+	route:
+		for _, it := range burst {
+			var s *slab
+			share := wire.CanShare(it.m.Body)
+			if share {
+				for i := range groups {
+					if groups[i].body != nil && groups[i].body == it.m.Body {
+						s = groups[i].s
+						break
+					}
+				}
+			}
+			if s == nil {
+				s = t.acquireSlab()
+				var err error
+				s.b, err = wire.AppendBody(s.b[:0], it.m.Body)
+				if err != nil {
+					// Unencodable body: shed as counted loss before it can
+					// poison a frame, exactly as the old gather() did.
+					s.unref(t)
+					t.egressLost()
+					continue
+				}
+				var key any
+				if share {
+					key = it.m.Body
+				}
+				groups = append(groups, encoded{body: key, s: s})
+			}
+			s.ref()
+			if !it.p.push(outFrame{to: it.m.To, from: it.m.From, topic: it.m.Topic, s: s}) {
+				// Ring full or peer shut down: counted loss, like the full
+				// per-peer channel it replaces.
+				s.unref(t)
+				t.egressLost()
+			}
+		}
+		for i := range groups {
+			groups[i].s.unref(t) // creator reference held through the burst
+			groups[i] = encoded{}
+		}
+		groups = groups[:0]
+		burst = burst[:0]
+	}
+}

@@ -62,6 +62,11 @@ type Options struct {
 	FlushEvery time.Duration
 	// Slots is the node-ID block size a joiner requests. Default 1024.
 	Slots uint32
+	// QueueDepth bounds the frames buffered toward one link (the per-peer
+	// egress ring; capacities round up to a power of two). A full ring
+	// drops (message loss, which the protocol tolerates) rather than
+	// blocking a protocol handler. Default 4096.
+	QueueDepth uint32
 	// HandshakeTimeout bounds a joiner's wait for its Welcome. Default 5s.
 	HandshakeTimeout time.Duration
 	// MaxBackoff caps the reconnect backoff. Default 2s.
@@ -82,6 +87,9 @@ func (o *Options) fill() {
 	}
 	if o.Slots == 0 {
 		o.Slots = 1024
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 4096
 	}
 	if o.HandshakeTimeout == 0 {
 		o.HandshakeTimeout = 5 * time.Second
@@ -137,10 +145,19 @@ type Transport struct {
 	// wire-corruption fault).
 	frameFault atomic.Pointer[func() FrameFault]
 
+	// egressCh feeds the encode-once router (see egress.go); egressStop
+	// retires it during Close. The slab counters expose the refcounted-
+	// slab leak invariant (SlabStats).
+	egressCh     chan egressItem
+	egressStop   chan struct{}
+	slabAcquired atomic.Int64
+	slabReleased atomic.Int64
+
 	mu       sync.Mutex
 	local    map[sim.NodeID]bool
 	blocks   []*block // hub: granted ID blocks, routing table
 	accepted []*peer  // every accepted connection, for shutdown
+	allPeers []*peer  // every peer ever created, for the Close ring sweep
 	up       *peer    // loopback/joiner: the dialed upstream link
 	base     sim.NodeID
 	slots    uint32
@@ -202,6 +219,7 @@ func NewJoiner(opts Options) (*Transport, error) {
 		ready: make(chan struct{}),
 	}
 	t.rt = t.newRuntime()
+	t.startEgress()
 	t.up = t.newDialPeer(opts.Hub)
 	select {
 	case <-t.ready:
@@ -226,6 +244,7 @@ func newTransport(opts Options, r role) (*Transport, error) {
 		next:  firstJoinerBase,
 	}
 	t.rt = t.newRuntime()
+	t.startEgress()
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -381,7 +400,10 @@ func (t *Transport) Suspects(id sim.NodeID) bool {
 	return true
 }
 
-// Close stops the listener, all peer links and the embedded runtime.
+// Close stops the listener, all peer links, the egress router and the
+// embedded runtime, then sweeps every peer ring: frames stranded between
+// the router and a writer are counted loss and their slabs reclaimed, so
+// SlabStats balances on a closed transport.
 func (t *Transport) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -404,8 +426,18 @@ func (t *Transport) Close() {
 	for _, p := range peers {
 		p.shutdown()
 	}
+	// Runtime first (no handler is left to call egressSend), then the
+	// router (drains the egress queue as loss and exits), then the
+	// barrier: after wg.Wait no goroutine touches any ring.
 	t.rt.Close()
+	close(t.egressStop)
 	t.wg.Wait()
+	t.mu.Lock()
+	all := t.allPeers
+	t.mu.Unlock()
+	for _, p := range all {
+		p.drainRing()
+	}
 }
 
 // ---- driver conveniences (Simulation facade parity) ----
@@ -443,17 +475,18 @@ var _ sim.Transport = (*Transport)(nil)
 // ---- routing ----
 
 // redirect is the runtime's Redirect hook: it decides, for every send,
-// whether the message stays in-process or crosses a socket.
+// whether the message stays in-process or crosses a socket. Messages
+// that cross hand off to the egress router (encode-once, lock-free
+// rings); the router and its loss paths own the rest of the accounting.
 func (t *Transport) redirect(m sim.Message) bool {
 	switch t.role {
 	case roleLoopback:
 		// Everything crosses the socket, even self-sends: the point of the
-		// loopback role is that no message skips the codec.
+		// loopback role is that no message skips the codec. The in-flight
+		// hold taken here is released at Inject or at whichever loss point
+		// claims the message first.
 		t.inflight.Add(1)
-		if !t.up.enqueue(m) {
-			t.inflight.Add(-1)
-			t.lost.Add(1)
-		}
+		t.egressSend(m, t.up)
 		return true
 	case roleJoiner:
 		t.mu.Lock()
@@ -463,9 +496,7 @@ func (t *Transport) redirect(m sim.Message) bool {
 		if isLocal {
 			return false
 		}
-		if !up.enqueue(m) {
-			t.lost.Add(1)
-		}
+		t.egressSend(m, up)
 		return true
 	default: // hub
 		t.mu.Lock()
@@ -475,9 +506,11 @@ func (t *Transport) redirect(m sim.Message) bool {
 		if isLocal {
 			return false
 		}
-		if p == nil || !p.enqueue(m) {
+		if p == nil {
 			t.lost.Add(1)
+			return true
 		}
+		t.egressSend(m, p)
 		return true
 	}
 }
@@ -530,9 +563,7 @@ func (t *Transport) deliverOrRelay(m sim.Message) {
 	case isLocal:
 		t.rt.Inject(m)
 	case relay != nil:
-		if !relay.enqueue(m) {
-			t.lost.Add(1)
-		}
+		t.egressSend(m, relay)
 	default:
 		// Target unknown: the node never existed, its process left, or the
 		// frame is stale. Message loss, by design.
@@ -589,7 +620,7 @@ func (t *Transport) handleHello(h wire.Hello, from *peer) {
 	}
 	t.opts.logf("nettransport: granted block [%d,%d) to %s", granted.base,
 		granted.base+sim.NodeID(granted.n), from.describe())
-	from.enqueue(sim.Message{Body: wire.Welcome{Base: granted.base, Slots: granted.n}})
+	t.egressSend(sim.Message{Body: wire.Welcome{Base: granted.base, Slots: granted.n}}, from)
 }
 
 // overlapsLocked reports whether [base, base+n) intersects any granted

@@ -106,6 +106,79 @@ func TestReadFrameBufAllocs(t *testing.T) {
 	}
 }
 
+// TestArenaBatchDecodeAllocs: decoding the PublishBatch16 shape through a
+// DecodeState costs at most 2 allocations per frame — the body boxing and
+// the amortized arena chunk — instead of the 18 discrete allocations of
+// the stateless path (16 payload strings, the publication slice, boxing).
+func TestArenaBatchDecodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	frame, err := Marshal(benchMessages()["PublishBatch16"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewDecodeState()
+	if _, err := UnmarshalState(frame, st); err != nil { // warm: size the arena chunks
+		t.Fatal(err)
+	}
+	st.Reset()
+	avg := testing.AllocsPerRun(200, func() {
+		m, err := UnmarshalState(frame, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(m.Body.(proto.PublishBatch).Pubs); got != 16 {
+			t.Fatalf("decoded %d pubs", got)
+		}
+		st.EndFrame()
+		st.Reset() // the benchmark's lifetime model: caller owns the frame's values
+	})
+	if avg > 2 {
+		t.Errorf("arena decode of PublishBatch16 allocates %.2f objects/op, want ≤ 2", avg)
+	}
+}
+
+// TestArenaBatch2FanoutAllocs: a warm intern cache makes the decode of a
+// fan-out Batch2 frame (same shareable body, many destinations) cost at
+// most 1 allocation — everything but the batch box is served from the
+// cache and the arena scaffold.
+func TestArenaBatch2FanoutAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	body := proto.PublishNew{Pub: proto.Publication{
+		Key: proto.Key{Bits: 0x9e37, Len: 64}, Origin: 3,
+		Payload: "payload-with-some-realistic-length",
+	}}
+	var members []sim.Message
+	for i := 0; i < 16; i++ {
+		members = append(members, sim.Message{To: sim.NodeID(i), From: 3, Topic: 1, Body: body})
+	}
+	frame, err := Marshal(sim.Message{Body: Batch2{Msgs: members}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewDecodeState()
+	if _, err := UnmarshalState(frame, st); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	st.EndFrame()
+	avg := testing.AllocsPerRun(200, func() {
+		m, err := UnmarshalState(frame, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(m.Body.(Batch2).Msgs); got != 16 {
+			t.Fatalf("decoded %d members", got)
+		}
+		st.EndFrame()
+	})
+	if avg > 1 {
+		t.Errorf("interned decode of a 16-way fan-out batch allocates %.2f objects/op, want ≤ 1", avg)
+	}
+}
+
 // TestRegistryNamesMatchReflection: the registry's canonical names seed
 // the shared accounting name table (sim.TypeName), so each must equal the
 // %T rendering it replaces — otherwise CountByType keys would silently

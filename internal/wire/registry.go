@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
 	"reflect"
 	"sort"
@@ -51,6 +52,8 @@ const (
 	tagWelcome = 33
 	// Transport batching: one frame carrying many messages.
 	tagBatch = 34
+	// Transport batching, length-prefixed members (see Batch2).
+	tagBatch2 = 35
 )
 
 // Hello is the first frame on a dialed connection: the joiner asks the hub
@@ -79,10 +82,25 @@ type Batch struct {
 	Msgs []sim.Message
 }
 
-// checkBatchable reports why a body may not ride inside a Batch: it must
-// be a registered type and must not itself be a Batch.
+// Batch2 is Batch with length-prefixed members: each member's envelope,
+// tag and body are preceded by a uvarint byte length. The prefix lets a
+// reader know a member's exact byte range before decoding it — which is
+// what the per-connection intern cache (DecodeCache) keys on to
+// recognize a body it has already decoded — and lets a writer splice a
+// pre-encoded tagged body (AppendBody) into a batch without
+// re-encoding. Semantics otherwise match Batch: batches do not nest
+// (neither Batch nor Batch2 may be a member of either), a member whose
+// decoded size disagrees with its prefix is garbage, and any garbage
+// member poisons the whole frame.
+type Batch2 struct {
+	Msgs []sim.Message
+}
+
+// checkBatchable reports why a body may not ride inside a Batch or
+// Batch2: it must be a registered type and must not itself be a batch.
 func checkBatchable(body any) error {
-	if _, isBatch := body.(Batch); isBatch {
+	switch body.(type) {
+	case Batch, Batch2:
 		return fmt.Errorf("wire: batch inside batch")
 	}
 	_, _, err := lookupBody(body)
@@ -177,10 +195,7 @@ var registry = map[uint64]entry{
 		},
 		func(d *dec) any {
 			n := d.sliceLen(3) // key ≥ 2 bytes, origin ≥ 1, payload len ≥ 1 — conservative floor
-			var pubs []proto.Publication
-			if n > 0 {
-				pubs = make([]proto.Publication, 0, n)
-			}
+			pubs := d.grabPubs(n)
 			for i := 0; i < n && d.err == nil; i++ {
 				pubs = append(pubs, d.publication())
 			}
@@ -326,24 +341,101 @@ func init() {
 		func(d *dec) any {
 			// Cheapest possible member: three 1-byte svarints + 1-byte tag.
 			n := d.sliceLen(4)
-			var msgs []sim.Message
-			if n > 0 {
-				msgs = make([]sim.Message, 0, n)
-			}
+			msgs := d.grabMsgs(n)
 			for i := 0; i < n && d.err == nil; i++ {
 				msgs = append(msgs, d.message())
 			}
 			return Batch{Msgs: msgs}
 		}}
+	registry[tagBatch2] = entry{"wire.Batch2", Batch2{},
+		func(e *enc, b any) {
+			m := b.(Batch2)
+			e.uvarint(uint64(len(m.Msgs)))
+			for _, im := range m.Msgs {
+				e.memberLP(im)
+			}
+		},
+		func(d *dec) any {
+			// Cheapest member: 1-byte length prefix + Batch's 4-byte floor.
+			n := d.sliceLen(5)
+			msgs := d.grabMsgs(n)
+			for i := 0; i < n && d.err == nil; i++ {
+				ln := d.uvarint()
+				if d.err != nil {
+					break
+				}
+				if ln < 4 || ln > uint64(len(d.b)-d.off) {
+					d.fail("batch member length %d out of range", ln)
+					break
+				}
+				end := d.off + int(ln)
+				m := d.memberLP(end)
+				if d.err == nil && d.off != end {
+					d.fail("batch member decoded to %d bytes, length prefix said %d", int(ln)-(end-d.off), ln)
+				}
+				if d.err != nil {
+					break
+				}
+				msgs = append(msgs, m)
+			}
+			return Batch2{Msgs: msgs}
+		}}
 	tagOf = make(map[reflect.Type]uint64, len(registry))
+	shareTag = make(map[uint64]bool, len(registry))
 	for tag, ent := range registry {
 		t := reflect.TypeOf(ent.zero)
 		if _, dup := tagOf[t]; dup {
 			panic(fmt.Sprintf("wire: type %v registered twice", t))
 		}
 		tagOf[t] = tag
+		shareTag[tag] = shareableType(t)
 		sim.RegisterTypeName(ent.zero, ent.name)
 	}
+}
+
+// shareTag marks tags whose decoded bodies may be shared by reference
+// across deliveries; built from the registry's zero values at init.
+var shareTag map[uint64]bool
+
+// shareableType reports whether every value of t is safe to hand to any
+// number of concurrent readers as one boxed copy: no slices, maps,
+// pointers, channels, funcs or interfaces anywhere in the value. Strings
+// are fine (immutable). Shareable types are a strict subset of Go's
+// comparable types, so the transport may also group bodies with == when
+// this holds.
+func shareableType(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool, reflect.String,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return shareableType(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !shareableType(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// CanShare reports whether decoded bodies of this body's type may be
+// shared by reference across deliveries (see shareableType). The
+// transport uses it on the encode side to group identical bodies with ==
+// (shareable implies comparable) and the decoder uses the same predicate
+// to gate the intern cache, so both ends agree on which bodies are
+// singleton-safe. Unregistered bodies report false.
+func CanShare(body any) bool {
+	if body == nil {
+		return false
+	}
+	tag, ok := tagOf[reflect.TypeOf(body)]
+	return ok && shareTag[tag]
 }
 
 func lookupBody(body any) (uint64, entry, error) {
@@ -439,7 +531,7 @@ func (d *dec) publication() proto.Publication {
 // checkBatchable, so the lookups here cannot fail.
 func (e *enc) message(m sim.Message) {
 	tag, ent, err := lookupBody(m.Body)
-	if err != nil || tag == tagBatch {
+	if err != nil || tag == tagBatch || tag == tagBatch2 {
 		// Unreachable by construction; panicking here would turn an
 		// internal invariant slip into a transport crash, so encode the
 		// member as a GetConfiguration to ⊥ instead — the receiver drops
@@ -454,6 +546,22 @@ func (e *enc) message(m sim.Message) {
 	ent.enc(e, m.Body)
 }
 
+// memberLP encodes one Batch2 member: the uvarint byte length, then the
+// member exactly as in a Batch. The length is unknown until the member
+// is encoded, so the member is written first and shifted right to make
+// room for the prefix (memmove on what was just written — still cheaper
+// than encoding twice).
+func (e *enc) memberLP(m sim.Message) {
+	start := len(e.b)
+	e.message(m)
+	n := len(e.b) - start
+	var tmp [binary.MaxVarintLen64]byte
+	ln := binary.PutUvarint(tmp[:], uint64(n))
+	e.b = append(e.b, tmp[:ln]...)
+	copy(e.b[start+ln:], e.b[start:start+n])
+	copy(e.b[start:], tmp[:ln])
+}
+
 // message decodes one Batch member. A nested batch or unknown tag fails
 // the whole frame: the stream is still aligned (the outer length prefix
 // delimits it), so the damage is bounded to this batch.
@@ -466,7 +574,7 @@ func (d *dec) message() sim.Message {
 	if d.err != nil {
 		return sim.Message{}
 	}
-	if tag == tagBatch {
+	if tag == tagBatch || tag == tagBatch2 {
 		d.fail("nested batch")
 		return sim.Message{}
 	}
@@ -474,6 +582,51 @@ func (d *dec) message() sim.Message {
 	if !ok {
 		d.fail("unknown type tag %d in batch", tag)
 		return sim.Message{}
+	}
+	m.Body = ent.dec(d)
+	return m
+}
+
+// memberLP decodes one Batch2 member whose bytes end at offset end (the
+// caller validated end against the input). When the member's tag is
+// shareable and this decode carries an intern cache, the tag+body byte
+// range is the cache key: a hit returns the previously decoded body
+// without touching the bytes again, a miss decodes and then interns.
+func (d *dec) memberLP(end int) sim.Message {
+	var m sim.Message
+	m.To = sim.NodeID(d.svarint())
+	m.From = sim.NodeID(d.svarint())
+	m.Topic = sim.Topic(d.svarint())
+	tagStart := d.off
+	tag := d.uvarint()
+	if d.err != nil {
+		return sim.Message{}
+	}
+	if d.off > end {
+		d.fail("batch member envelope overruns its length")
+		return sim.Message{}
+	}
+	if tag == tagBatch || tag == tagBatch2 {
+		d.fail("nested batch")
+		return sim.Message{}
+	}
+	ent, ok := registry[tag]
+	if !ok {
+		d.fail("unknown type tag %d in batch", tag)
+		return sim.Message{}
+	}
+	if d.cache != nil && shareTag[tag] {
+		key := d.b[tagStart:end]
+		if body, hit := d.cache.lookup(key); hit {
+			m.Body = body
+			d.off = end
+			return m
+		}
+		m.Body = ent.dec(d)
+		if d.err == nil && d.off == end {
+			d.cache.store(key, m.Body)
+		}
+		return m
 	}
 	m.Body = ent.dec(d)
 	return m

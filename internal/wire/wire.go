@@ -45,6 +45,7 @@ import (
 	"io"
 	"sync"
 
+	"sspubsub/internal/proto"
 	"sspubsub/internal/sim"
 )
 
@@ -92,10 +93,17 @@ func AppendFrame(dst []byte, m sim.Message) ([]byte, error) {
 	if err != nil {
 		return dst, err
 	}
-	if b, ok := m.Body.(Batch); ok {
+	switch b := m.Body.(type) {
+	case Batch:
 		// Validate every nested body up front: the per-type encoding funcs
 		// cannot fail mid-frame, so a batch with an unencodable or nested-
 		// batch member must be rejected before any byte is written.
+		for _, bm := range b.Msgs {
+			if err := checkBatchable(bm.Body); err != nil {
+				return dst, err
+			}
+		}
+	case Batch2:
 		for _, bm := range b.Msgs {
 			if err := checkBatchable(bm.Body); err != nil {
 				return dst, err
@@ -125,7 +133,14 @@ func AppendFrame(dst []byte, m sim.Message) ([]byte, error) {
 
 // Unmarshal decodes one complete frame (length prefix included). The
 // buffer must contain exactly one frame; trailing bytes are an error.
-func Unmarshal(b []byte) (sim.Message, error) {
+func Unmarshal(b []byte) (sim.Message, error) { return UnmarshalState(b, nil) }
+
+// UnmarshalState is Unmarshal decoding through st (nil st is plain
+// Unmarshal): batch scaffolding, publication slices and payload strings
+// come out of st's arena, and shareable Batch2 member bodies are served
+// from st's intern cache when their exact bytes were decoded before. See
+// DecodeState for the lifetime contract on the returned message.
+func UnmarshalState(b []byte, st *DecodeState) (sim.Message, error) {
 	if len(b) < 4 {
 		return sim.Message{}, fmt.Errorf("%w: short length prefix", ErrGarbage)
 	}
@@ -136,11 +151,12 @@ func Unmarshal(b []byte) (sim.Message, error) {
 	if int(n) != len(b)-4 {
 		return sim.Message{}, fmt.Errorf("%w: length prefix %d over %d payload bytes", ErrGarbage, n, len(b)-4)
 	}
-	return decodePayload(b[4:])
+	return decodePayload(b[4:], st)
 }
 
-// decodePayload decodes the frame contents after the length prefix.
-func decodePayload(p []byte) (sim.Message, error) {
+// decodePayload decodes the frame contents after the length prefix,
+// optionally through a DecodeState.
+func decodePayload(p []byte, st *DecodeState) (sim.Message, error) {
 	if len(p) < 3 {
 		return sim.Message{}, fmt.Errorf("%w: short header", ErrGarbage)
 	}
@@ -152,6 +168,10 @@ func decodePayload(p []byte) (sim.Message, error) {
 	}
 	d := decPool.Get().(*dec)
 	*d = dec{b: p[3:]}
+	if st != nil {
+		d.arena = &st.arena
+		d.cache = &st.cache
+	}
 	defer func() {
 		*d = dec{}
 		decPool.Put(d)
@@ -232,6 +252,14 @@ func ReadFrame(r io.Reader) (sim.Message, error) {
 //
 // Error semantics match ReadFrame.
 func ReadFrameBuf(r io.Reader, buf []byte) (sim.Message, []byte, error) {
+	return ReadFrameBufState(r, buf, nil)
+}
+
+// ReadFrameBufState is ReadFrameBuf decoding through st (nil st is plain
+// ReadFrameBuf); see UnmarshalState. A connection read loop pairs one
+// buffer with one DecodeState and calls st.EndFrame after dispatching
+// each frame's messages.
+func ReadFrameBufState(r io.Reader, buf []byte, st *DecodeState) (sim.Message, []byte, error) {
 	// The header is read through buf as well: a local array would escape
 	// through the io.Reader interface call and cost one allocation per
 	// frame.
@@ -253,7 +281,7 @@ func ReadFrameBuf(r io.Reader, buf []byte) (sim.Message, []byte, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return sim.Message{}, buf, err
 	}
-	m, err := decodePayload(buf)
+	m, err := decodePayload(buf, st)
 	return m, buf, err
 }
 
@@ -279,11 +307,15 @@ func (e *enc) str(s string) { e.uvarint(uint64(len(s))); e.b = append(e.b, s...)
 
 // dec is a cursor over one frame payload. The first failure latches in err
 // and turns every later read into a zero-value no-op, so per-type decoders
-// can read field-by-field without checking after each call.
+// can read field-by-field without checking after each call. When arena and
+// cache are set (stateful decode), strings and batch scaffolding come out
+// of the arena and length-prefixed members consult the intern cache.
 type dec struct {
-	b   []byte
-	off int
-	err error
+	b     []byte
+	off   int
+	err   error
+	arena *Arena
+	cache *DecodeCache
 }
 
 func (d *dec) fail(format string, args ...any) {
@@ -365,9 +397,37 @@ func (d *dec) str() string {
 		d.fail("string length %d exceeds %d remaining bytes", n, len(d.b)-d.off)
 		return ""
 	}
-	s := string(d.b[d.off : d.off+int(n)])
+	var s string
+	if d.arena != nil {
+		s = d.arena.grabString(d.b[d.off : d.off+int(n)])
+	} else {
+		s = string(d.b[d.off : d.off+int(n)])
+	}
 	d.off += int(n)
 	return s
+}
+
+// grabMsgs allocates batch scaffolding — arena-bumped on the stateful
+// path, a discrete slice otherwise. Empty stays nil (canonical form).
+func (d *dec) grabMsgs(n int) []sim.Message {
+	if n == 0 {
+		return nil
+	}
+	if d.arena != nil {
+		return d.arena.grabMsgs(n)
+	}
+	return make([]sim.Message, 0, n)
+}
+
+// grabPubs is grabMsgs for publication slices.
+func (d *dec) grabPubs(n int) []proto.Publication {
+	if n == 0 {
+		return nil
+	}
+	if d.arena != nil {
+		return d.arena.grabPubs(n)
+	}
+	return make([]proto.Publication, 0, n)
 }
 
 // sliceLen validates a decoded element count against the remaining input:
@@ -383,4 +443,104 @@ func (d *dec) sliceLen(minBytes int) int {
 		return 0
 	}
 	return int(n)
+}
+
+// ---- raw frame assembly (encode-once transport path) ----
+//
+// The networked transport encodes each distinct body exactly once with
+// AppendBody and then stamps that tagged encoding into as many frames as
+// there are destinations — either one standalone frame per message
+// (AppendFrameRaw) or as length-prefixed members of a Batch2 frame
+// (BeginBatchFrame / AppendBatchMember / FinishFrame). The bytes these
+// produce are identical to AppendFrame over the equivalent message, so
+// readers cannot tell the paths apart.
+
+// AppendBody appends the tagged encoding of body (type tag + per-type
+// body; no envelope, no frame header) to dst. This is the unit the
+// transport encodes once and shares across every destination. Batch
+// bodies are rejected — a batch is framing, not payload.
+func AppendBody(dst []byte, body any) ([]byte, error) {
+	if err := checkBatchable(body); err != nil {
+		return dst, err
+	}
+	tag, ent, _ := lookupBody(body)
+	e := encPool.Get().(*enc)
+	e.b = dst
+	e.uvarint(tag)
+	ent.enc(e, body)
+	out := e.b
+	e.b = nil
+	encPool.Put(e)
+	return out, nil
+}
+
+// AppendFrameRaw appends one complete frame wrapping a pre-encoded
+// tagged body (from AppendBody) under the given envelope.
+func AppendFrameRaw(dst []byte, to, from sim.NodeID, topic sim.Topic, tagged []byte) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, magic0, magic1, Version)
+	dst = binary.AppendVarint(dst, int64(to))
+	dst = binary.AppendVarint(dst, int64(from))
+	dst = binary.AppendVarint(dst, int64(topic))
+	dst = append(dst, tagged...)
+	return FinishFrame(dst, start)
+}
+
+// BeginBatchFrame starts a Batch2 frame that will carry count members;
+// append each with AppendBatchMember and close the frame with
+// FinishFrame, passing the len(dst) from before this call as start.
+func BeginBatchFrame(dst []byte, count int) []byte {
+	dst = append(dst, 0, 0, 0, 0, magic0, magic1, Version)
+	dst = append(dst, 0, 0, 0) // To, From, Topic: ⊥ envelope (svarint 0 ×3)
+	dst = binary.AppendUvarint(dst, tagBatch2)
+	return binary.AppendUvarint(dst, uint64(count))
+}
+
+// AppendBatchMember appends one length-prefixed Batch2 member wrapping a
+// pre-encoded tagged body under the given envelope.
+func AppendBatchMember(dst []byte, to, from sim.NodeID, topic sim.Topic, tagged []byte) []byte {
+	n := svarintSize(int64(to)) + svarintSize(int64(from)) + svarintSize(int64(topic)) + len(tagged)
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = binary.AppendVarint(dst, int64(to))
+	dst = binary.AppendVarint(dst, int64(from))
+	dst = binary.AppendVarint(dst, int64(topic))
+	return append(dst, tagged...)
+}
+
+// BatchMemberSize returns the exact byte count AppendBatchMember will
+// append for this member — the writer's frame-size budgeting primitive.
+func BatchMemberSize(to, from sim.NodeID, topic sim.Topic, taggedLen int) int {
+	n := svarintSize(int64(to)) + svarintSize(int64(from)) + svarintSize(int64(topic)) + taggedLen
+	return uvarintSize(uint64(n)) + n
+}
+
+// BatchFrameOverhead returns the byte count of a Batch2 frame outside
+// its members: length prefix, header, ⊥ envelope, tag and member count.
+func BatchFrameOverhead(count int) int {
+	return 4 + 3 + 3 + uvarintSize(tagBatch2) + uvarintSize(uint64(count))
+}
+
+// FinishFrame patches the length prefix of the frame started at offset
+// start and validates the payload against MaxFrame (on failure dst is
+// truncated back to start).
+func FinishFrame(dst []byte, start int) ([]byte, error) {
+	payload := len(dst) - start - 4
+	if payload > MaxFrame {
+		return dst[:start], fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, payload)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(payload))
+	return dst, nil
+}
+
+func uvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func svarintSize(v int64) int {
+	return uvarintSize(uint64(v)<<1 ^ uint64(v>>63))
 }

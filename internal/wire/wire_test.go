@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"unsafe"
 
 	"sspubsub/internal/core"
 	"sspubsub/internal/label"
@@ -60,6 +61,14 @@ var sampleBodies = []any{
 		{To: 5, From: 9, Topic: 1, Body: proto.Check{Sender: tup("011", 9), YourLabel: lbl("01"), Flag: proto.LIN}},
 		{To: 9, From: 1, Topic: 1, Body: proto.SetData{Pred: tup("01", 4), Label: lbl("011"), Succ: tup("11", 7)}},
 		{To: 2, From: 3, Topic: 2, Body: core.PublishCmd{Payload: "batched"}},
+	}},
+	Batch2{Msgs: []sim.Message{
+		// The same shareable body to two destinations (the encode-once
+		// multicast shape), plus a slice-bearing body that must bypass
+		// the intern cache.
+		{To: 5, From: 9, Topic: 1, Body: proto.PublishNew{Pub: proto.Publication{Key: proto.Key{Bits: 7, Len: 8}, Origin: 9, Payload: "fan-out"}}},
+		{To: 6, From: 9, Topic: 1, Body: proto.PublishNew{Pub: proto.Publication{Key: proto.Key{Bits: 7, Len: 8}, Origin: 9, Payload: "fan-out"}}},
+		{To: 2, From: 3, Topic: 2, Body: proto.PublishBatch{Pubs: []proto.Publication{{Key: proto.Key{Bits: 1, Len: 2}, Origin: 3, Payload: "x"}}}},
 	}},
 }
 
@@ -157,6 +166,49 @@ func TestGarbageRejected(t *testing.T) {
 		"huge string len":   mustFrame(t, func(e *enc) { e.svarint(1); e.svarint(2); e.svarint(3); e.uvarint(tagPublishCmd); e.uvarint(1 << 40) }),
 		"nonminimal varint": mustFrame(t, func(e *enc) { e.raw(0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) }),
 		"body after empty":  mustFrame(t, func(e *enc) { e.svarint(1); e.svarint(2); e.svarint(3); e.uvarint(tagJoinTopic); e.u8(0) }),
+		"batch2 member len beyond frame": mustFrame(t, func(e *enc) {
+			e.svarint(0)
+			e.svarint(0)
+			e.svarint(0)
+			e.uvarint(tagBatch2)
+			e.uvarint(1)  // one member…
+			e.uvarint(50) // …claiming 50 bytes with none present
+		}),
+		"batch2 member len below floor": mustFrame(t, func(e *enc) {
+			e.svarint(0)
+			e.svarint(0)
+			e.svarint(0)
+			e.uvarint(tagBatch2)
+			e.uvarint(1)
+			e.uvarint(3) // a member cannot fit in 3 bytes
+			e.raw(0, 0, 0)
+		}),
+		"batch2 member trailing byte": mustFrame(t, func(e *enc) {
+			e.svarint(0)
+			e.svarint(0)
+			e.svarint(0)
+			e.uvarint(tagBatch2)
+			e.uvarint(1)
+			e.uvarint(5) // envelope(3) + JoinTopic tag(1) decode to 4 — 1 byte lies beyond
+			e.svarint(1)
+			e.svarint(2)
+			e.svarint(3)
+			e.uvarint(tagJoinTopic)
+			e.u8(0xEE)
+		}),
+		"batch2 nested batch": mustFrame(t, func(e *enc) {
+			e.svarint(0)
+			e.svarint(0)
+			e.svarint(0)
+			e.uvarint(tagBatch2)
+			e.uvarint(1)
+			e.uvarint(5)
+			e.svarint(1)
+			e.svarint(2)
+			e.svarint(3)
+			e.uvarint(tagBatch)
+			e.uvarint(0)
+		}),
 	}
 
 	for name, b := range cases {
@@ -242,6 +294,158 @@ func TestStreamReadWrite(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, msgs) {
 		t.Errorf("stream round trip:\n got %v\nwant %v", got, msgs)
+	}
+}
+
+// TestStateDecodeMatchesPlain: decoding through a DecodeState must yield
+// exactly what the plain decoder yields, for every registered type, and
+// must keep doing so when the state (arena chunks, intern cache) is warm
+// from previous frames.
+func TestStateDecodeMatchesPlain(t *testing.T) {
+	st := NewDecodeState()
+	for pass := 0; pass < 3; pass++ { // pass 0 cold, later passes warm/interned
+		for i, body := range sampleBodies {
+			m := sim.Message{To: 3, From: 9, Topic: sim.Topic(i + 1), Body: body}
+			b, err := Marshal(m)
+			if err != nil {
+				t.Fatalf("Marshal(%T): %v", body, err)
+			}
+			want, err := Unmarshal(b)
+			if err != nil {
+				t.Fatalf("Unmarshal(%T): %v", body, err)
+			}
+			got, err := UnmarshalState(b, st)
+			if err != nil {
+				t.Fatalf("pass %d: UnmarshalState(%T): %v", pass, body, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("pass %d: state decode of %T:\n got %#v\nwant %#v", pass, body, got, want)
+			}
+			st.EndFrame()
+		}
+	}
+}
+
+// TestBatch2Interning: two identical shareable members decoded through
+// one DecodeState must come back as the same boxed body — the decode-side
+// half of encode-once multicast.
+func TestBatch2Interning(t *testing.T) {
+	pub := proto.PublishNew{Pub: proto.Publication{Key: proto.Key{Bits: 9, Len: 16}, Origin: 4, Payload: "shared"}}
+	m := sim.Message{Body: Batch2{Msgs: []sim.Message{
+		{To: 5, From: 4, Topic: 1, Body: pub},
+		{To: 6, From: 4, Topic: 1, Body: pub},
+	}}}
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewDecodeState()
+	got, err := UnmarshalState(b, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := got.Body.(Batch2).Msgs
+	if len(msgs) != 2 {
+		t.Fatalf("decoded %d members, want 2", len(msgs))
+	}
+	p0 := reflect.ValueOf(msgs[0].Body)
+	p1 := reflect.ValueOf(msgs[1].Body)
+	if msgs[0].Body != msgs[1].Body {
+		t.Fatalf("identical members decoded to different values: %#v vs %#v", p0, p1)
+	}
+	// Same value is necessary but not sufficient — a second frame with the
+	// same member must hit the cache, observable as the string payloads
+	// aliasing the same backing memory.
+	got2, err := UnmarshalState(b, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := msgs[0].Body.(proto.PublishNew).Pub.Payload
+	s2 := got2.Body.(Batch2).Msgs[0].Body.(proto.PublishNew).Pub.Payload
+	if unsafe.StringData(s1) != unsafe.StringData(s2) {
+		t.Error("second decode of an identical member did not return the interned body")
+	}
+}
+
+// TestRawAssemblyMatchesAppendFrame: the transport's raw builders must
+// produce byte-identical frames to AppendFrame over the equivalent
+// message — readers cannot tell the encode-once path apart.
+func TestRawAssemblyMatchesAppendFrame(t *testing.T) {
+	body := proto.PublishNew{Pub: proto.Publication{Key: proto.Key{Bits: 3, Len: 4}, Origin: -7, Payload: "raw"}}
+	tagged, err := AppendBody(nil, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendBody(nil, Batch{}); err == nil {
+		t.Error("AppendBody accepted a Batch body")
+	}
+
+	m := sim.Message{To: -3, From: 1 << 20, Topic: 5, Body: body}
+	want, err := AppendFrame(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AppendFrameRaw(nil, m.To, m.From, m.Topic, tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("AppendFrameRaw:\n got %x\nwant %x", got, want)
+	}
+
+	members := []sim.Message{
+		{To: 5, From: -9, Topic: 1, Body: body},
+		{To: 1 << 30, From: 9, Topic: -2, Body: body},
+	}
+	want, err = AppendFrame(nil, sim.Message{Body: Batch2{Msgs: members}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = BeginBatchFrame(nil, len(members))
+	if len(got) != BatchFrameOverhead(len(members)) {
+		t.Errorf("BatchFrameOverhead(%d) = %d, frame head is %d bytes",
+			len(members), BatchFrameOverhead(len(members)), len(got))
+	}
+	for _, mm := range members {
+		before := len(got)
+		got = AppendBatchMember(got, mm.To, mm.From, mm.Topic, tagged)
+		if sz := BatchMemberSize(mm.To, mm.From, mm.Topic, len(tagged)); len(got)-before != sz {
+			t.Errorf("BatchMemberSize = %d, member occupied %d bytes", sz, len(got)-before)
+		}
+	}
+	got, err = FinishFrame(got, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("batch assembly:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestCanShare pins the share predicate on representative types: value
+// types (strings included) are shareable, anything carrying a slice is
+// not, batches never are.
+func TestCanShare(t *testing.T) {
+	for _, tc := range []struct {
+		body any
+		want bool
+	}{
+		{proto.PublishNew{Pub: proto.Publication{Payload: "p"}}, true},
+		{proto.SetData{}, true},
+		{core.PublishCmd{Payload: "x"}, true},
+		{core.JoinTopic{}, true},
+		{Hello{}, true},
+		{proto.PublishBatch{}, false},
+		{proto.CheckTrie{}, false},
+		{proto.Token{}, false},
+		{Batch{}, false},
+		{Batch2{}, false},
+		{nil, false},
+		{struct{ X int }{}, false}, // unregistered
+	} {
+		if got := CanShare(tc.body); got != tc.want {
+			t.Errorf("CanShare(%T) = %v, want %v", tc.body, got, tc.want)
+		}
 	}
 }
 
