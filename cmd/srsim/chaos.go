@@ -28,6 +28,7 @@ func runChaos(args []string) {
 	runtime := fs.String("runtime", "sim", "execution substrate: sim | concurrent | net")
 	n := fs.Int("n", 12, "initial member count")
 	supervisors := fs.Int("supervisors", 1, "supervisor-plane size (a scenario's own supervisor count wins when set)")
+	repFactor := fs.Int("repfactor", 0, "directory replication factor (a scenario's own ReplicationFactor wins when set)")
 	seed := fs.Int64("seed", 1, "scenario seed (random scenarios replay exactly from it on -runtime=sim)")
 	count := fs.Int("count", 1, "number of runs; run i uses seed+i-1")
 	interval := fs.Duration("interval", 2*time.Millisecond, "timeout interval (concurrent/net substrates)")
@@ -52,6 +53,9 @@ func runChaos(args []string) {
 	}
 	if *supervisors < 1 {
 		fail("-supervisors must be at least 1, got %d", *supervisors)
+	}
+	if *repFactor < 0 {
+		fail("-repfactor must be non-negative, got %d", *repFactor)
 	}
 	if *count < 1 {
 		fail("-count must be positive, got %d", *count)
@@ -81,12 +85,13 @@ func runChaos(args []string) {
 			sc = chaos.Generate(runSeed)
 		}
 		cfg := chaos.Config{
-			Substrate:      sub,
-			N:              *n,
-			Supervisors:    *supervisors,
-			Seed:           runSeed,
-			Interval:       *interval,
-			ConvergeRounds: *rounds,
+			Substrate:         sub,
+			N:                 *n,
+			Supervisors:       *supervisors,
+			ReplicationFactor: *repFactor,
+			Seed:              runSeed,
+			Interval:          *interval,
+			ConvergeRounds:    *rounds,
 		}
 		if *verbose {
 			cfg.Log = func(format string, args ...any) {
@@ -105,6 +110,9 @@ func runChaos(args []string) {
 		replay := fmt.Sprintf("srsim chaos -scenario=%s -runtime=%s -n=%d -seed=%d", *scenario, sub, *n, runSeed)
 		if *supervisors != 1 {
 			replay += fmt.Sprintf(" -supervisors=%d", *supervisors)
+		}
+		if *repFactor != 0 {
+			replay += fmt.Sprintf(" -repfactor=%d", *repFactor)
 		}
 		if *rounds != 0 {
 			replay += fmt.Sprintf(" -rounds=%d", *rounds)

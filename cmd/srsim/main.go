@@ -14,6 +14,7 @@
 //
 //	srsim scale -ns 1000,10000,100000       # sweep, table + exponent fits
 //	srsim scale -ns 1000000 -bench          # emit benchjson-ready series
+//	srsim failover -ns 1000,10000 -rf 2     # supervisor failover-to-convergence sweep
 //
 // With -runtime=sim (the default) the run is a deterministic
 // discrete-event simulation and every corruption scenario is available.
@@ -71,13 +72,16 @@ func main() {
 		case "scale":
 			runScale(os.Args[2:])
 			return
+		case "failover":
+			runFailover(os.Args[2:])
+			return
 		default:
 			// Anything that is not a flag must be a known subcommand: a typo
 			// like `srsim chaso` silently running the one-shot simulation
 			// would make the operator believe they ran something they did
 			// not.
 			if len(arg) > 0 && arg[0] != '-' {
-				fail("unknown subcommand %q (subcommands: serve, join, chaos, scale; run without a subcommand for a one-shot simulation)", arg)
+				fail("unknown subcommand %q (subcommands: serve, join, chaos, scale, failover; run without a subcommand for a one-shot simulation)", arg)
 			}
 		}
 	}

@@ -133,6 +133,17 @@
 // the paper's reliable-supervisor assumption, extending the
 // self-stabilization guarantee to the one component the paper exempts.
 //
+// With Options.ReplicationFactor > 0 the plane additionally replicates
+// each topic's directory to the topic's hashdht successors: owners
+// stream bounded delta batches and run a periodic anti-entropy digest
+// exchange (mismatch triggers a bounded-chunk full sync, so an
+// arbitrarily corrupted replica converges — the replication protocol is
+// itself self-stabilizing, with no unbounded logs). On owner failure the
+// successor adopts the warm replica at a fresh epoch and announces
+// itself to the recorded subscribers directly, making failover time
+// near-constant in the subscriber count; the Reregister rebuild above
+// remains the fallback when the replica is stale or absent.
+//
 // # Chaos testing
 //
 // Simulation.Restart brings a crashed subscriber back with its stale

@@ -74,6 +74,11 @@ const (
 	// directory: hosting flags dropped or fabricated, epochs regressed,
 	// the routing cache poisoned. A no-op on a single-supervisor plane.
 	CorruptDirectory
+	// CorruptReplica scrambles a warm directory replica on one of the
+	// topic's expected replica holders: bogus entries, amnesia, or a
+	// poisoned digest/era. Anti-entropy must detect and repair it. A safe
+	// no-op when ReplicationFactor is 0 or the plane has one supervisor.
+	CorruptReplica
 
 	kindCount // sentinel
 )
@@ -100,6 +105,7 @@ var kindNames = [...]string{
 	CrashSupervisor:    "crash-sup",
 	RestartSupervisors: "restart-sups",
 	CorruptDirectory:   "corrupt-directory",
+	CorruptReplica:     "corrupt-replica",
 }
 
 // String names the kind.
@@ -129,7 +135,7 @@ func (a Action) String() string {
 		return fmt.Sprintf("%s(k=%d)", a.Kind, a.K)
 	case Loss, Duplicate, Reorder, WireGarbage:
 		return fmt.Sprintf("%s(%.2f)", a.Kind, a.Rate)
-	case Heal, CorruptStates, CorruptDB, CorruptToken, RestartSupervisors, CorruptDirectory:
+	case Heal, CorruptStates, CorruptDB, CorruptToken, RestartSupervisors, CorruptDirectory, CorruptReplica:
 		return a.Kind.String()
 	default:
 		return fmt.Sprintf("%s(%d)", a.Kind, a.Count)

@@ -53,6 +53,12 @@ type Config struct {
 	// (CrashSupervisor, RestartSupervisors, CorruptDirectory) become
 	// meaningful; the ownership-convergence probe is checked either way.
 	Supervisors int
+	// ReplicationFactor is the plane's directory replication factor
+	// (default 0; a scenario's own ReplicationFactor wins when set). With
+	// a factor ≥ 1 supervisor failover adopts warm replicas, the
+	// CorruptReplica fault bites, and the replica-consistency probe is
+	// enforced.
+	ReplicationFactor int
 	// Seed drives every random choice: victim selection, corruption
 	// content, fault coin flips, and — on SubstrateSim — the entire event
 	// schedule. Identical (scenario, config) pairs replay identically on
@@ -285,17 +291,18 @@ func newEnv(cfg Config) (*env, error) {
 	e.driver.cfg = cfg
 	switch cfg.Substrate {
 	case SubstrateSim:
-		c := cluster.New(cluster.Options{Seed: cfg.Seed, Supervisors: cfg.Supervisors})
+		c := cluster.New(cluster.Options{Seed: cfg.Seed, Supervisors: cfg.Supervisors,
+			ReplicationFactor: cfg.ReplicationFactor})
 		e.l, e.sched = c.Live, c.Sched
 	case SubstrateConcurrent:
 		rt := concurrent.NewRuntime(concurrent.Options{Interval: cfg.Interval, Seed: cfg.Seed})
-		e.l, e.lrt = cluster.NewLiveN(rt, core.Options{}, cfg.Supervisors), rt
+		e.l, e.lrt = cluster.NewLiveRF(rt, core.Options{}, cfg.Supervisors, cfg.ReplicationFactor), rt
 	case SubstrateNet:
 		nt, err := nettransport.NewLoopback(nettransport.Options{Interval: cfg.Interval, Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("chaos: loopback transport: %w", err)
 		}
-		e.l, e.lrt, e.nt = cluster.NewLiveN(nt, core.Options{}, cfg.Supervisors), nt, nt
+		e.l, e.lrt, e.nt = cluster.NewLiveRF(nt, core.Options{}, cfg.Supervisors, cfg.ReplicationFactor), nt, nt
 	default:
 		return nil, fmt.Errorf("chaos: unknown substrate %q", cfg.Substrate)
 	}
@@ -496,6 +503,16 @@ func (e *env) apply(a Action) {
 			id := live[e.rng.Intn(len(live))]
 			e.freeze(func() { e.l.Sups[id].CorruptPlane(e.topic, e.rng) })
 		}
+
+	case CorruptReplica:
+		// Target a live expected replica holder; Supervisor.CorruptReplica
+		// itself is a no-op when that holder has no replica yet, and
+		// ExpectedReplicas is empty with ReplicationFactor 0 — either way a
+		// safe no-op, so random scenarios stay valid on every configuration.
+		if targets := e.l.ExpectedReplicas(e.topic); len(targets) > 0 {
+			id := targets[e.rng.Intn(len(targets))]
+			e.freeze(func() { e.l.Sups[id].CorruptReplica(e.topic, e.rng) })
+		}
 	}
 }
 
@@ -508,6 +525,9 @@ func Run(sc Scenario, cfg Config) Result {
 	}
 	if sc.Supervisors > 0 {
 		cfg.Supervisors = sc.Supervisors
+	}
+	if sc.ReplicationFactor > 0 {
+		cfg.ReplicationFactor = sc.ReplicationFactor
 	}
 	if sc.Token {
 		return runToken(sc, cfg)

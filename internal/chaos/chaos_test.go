@@ -127,7 +127,8 @@ func TestReplayDeterministic(t *testing.T) {
 // seed on the deterministic substrate — ownership migration, DB rebuild
 // and epoch bumps included.
 func TestSupervisorScenarioReplayDeterministic(t *testing.T) {
-	for _, name := range []string{"supervisor-crash", "supervisor-crash-restart", "supervisor-double-crash", "supervisor-directory-corruption"} {
+	for _, name := range []string{"supervisor-crash", "supervisor-crash-restart", "supervisor-double-crash", "supervisor-directory-corruption",
+		"replica-warm-failover", "supervisor-crash-during-sync", "supervisor-crash-corrupted-replica"} {
 		sc, ok := Lookup(name)
 		if !ok {
 			t.Fatalf("scenario %q not registered", name)
@@ -236,4 +237,43 @@ func TestSubstrateParsing(t *testing.T) {
 	if _, err := ParseSubstrate("quantum"); err == nil {
 		t.Fatal("ParseSubstrate accepted an unknown substrate")
 	}
+}
+
+// TestCorruptReplicaNoopWithoutReplication pins the generator-safety
+// contract: the corrupt-replica fault is a safe no-op on configurations
+// with no replicas (single supervisor, or a sharded plane with
+// ReplicationFactor 0), so seed-generated random scenarios — which draw
+// it blindly — stay valid everywhere.
+func TestCorruptReplicaNoopWithoutReplication(t *testing.T) {
+	sc := Scenario{
+		Name: "corrupt-replica-noop",
+		Actions: []Action{
+			{Kind: Settle, Rounds: 8},
+			{Kind: CorruptReplica},
+			{Kind: Settle, Rounds: 4},
+		},
+	}
+	for _, cfg := range []Config{
+		{Substrate: SubstrateSim, Seed: 1},
+		{Substrate: SubstrateSim, Seed: 1, Supervisors: 4},
+	} {
+		res := Run(sc, cfg)
+		if !res.Converged {
+			t.Errorf("supervisors=%d: corrupt-replica was not a no-op: %s", cfg.Supervisors, res.Violation)
+		}
+	}
+}
+
+// TestRandomGeneratorDrawsReplicaFault: the random-scenario vocabulary
+// includes the corrupt-replica kind (satellite of the replication PR —
+// soaks must exercise the new machinery without hand-written scenarios).
+func TestRandomGeneratorDrawsReplicaFault(t *testing.T) {
+	for seed := int64(1); seed <= 400; seed++ {
+		for _, a := range Generate(seed).Actions {
+			if a.Kind == CorruptReplica {
+				return
+			}
+		}
+	}
+	t.Fatal("400 seeds never drew a corrupt-replica action")
 }

@@ -11,6 +11,7 @@ import (
 var ProbeNames = []string{
 	"ownership-convergence",
 	"supervisor-db",
+	"replica-consistency",
 	"overlay-connectivity",
 	"overlay-legitimacy",
 	"trie-consistency",
@@ -31,6 +32,9 @@ func (e *env) violation() string {
 	}
 	if v := e.dbMembershipViolation(); v != "" {
 		return "supervisor-db: " + v
+	}
+	if v := e.replicaViolation(); v != "" {
+		return "replica-consistency: " + v
 	}
 	if v := e.connectivityViolation(); v != "" {
 		return "overlay-connectivity: " + v
@@ -83,6 +87,15 @@ func (e *env) dbMembershipViolation() string {
 		}
 	}
 	return ""
+}
+
+// replicaViolation checks warm-replica convergence when directory
+// replication is on: every expected replica holder's digest (era, entry
+// count, content hash) must match the owner's database. Trivially "" with
+// ReplicationFactor 0, so the probe chain is unchanged for the classic
+// configurations.
+func (e *env) replicaViolation() string {
+	return e.l.ExplainReplication(e.topic)
 }
 
 // connectivityViolation checks that the union graph of every member's

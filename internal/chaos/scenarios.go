@@ -15,6 +15,9 @@ type Scenario struct {
 	N int
 	// Supervisors overrides the configured supervisor-plane size when > 0.
 	Supervisors int
+	// ReplicationFactor overrides the configured directory replication
+	// factor when > 0 (warm-replica supervisor failover).
+	ReplicationFactor int
 	// Token runs the scenario on the token-passing supervisor stack
 	// (the deterministic variant of the paper's conclusion) instead of the
 	// database stack.
@@ -201,6 +204,47 @@ var Registry = []Scenario{
 		},
 	},
 	{
+		Name:              "replica-warm-failover",
+		Note:              "with directory replication on, the owner crashes mid-publish-load; the successor adopts its warm replica and announces immediately — no subscriber rebuild",
+		Supervisors:       4,
+		ReplicationFactor: 2,
+		Actions: []Action{
+			{Kind: Settle, Rounds: 12},
+			{Kind: Publish, Count: 3},
+			{Kind: Settle, Rounds: 8},
+			{Kind: CrashSupervisor, Count: 1},
+			{Kind: Publish, Count: 3},
+			{Kind: Settle, Rounds: 10},
+		},
+	},
+	{
+		Name:              "supervisor-crash-during-sync",
+		Note:              "a replica is corrupted so a bounded-chunk full sync is in flight when the owner crashes; adoption must cope with the half-applied sync",
+		Supervisors:       4,
+		ReplicationFactor: 1,
+		Actions: []Action{
+			{Kind: Settle, Rounds: 12},
+			{Kind: CorruptReplica},
+			{Kind: Settle, Rounds: 2},
+			{Kind: CrashSupervisor, Count: 1},
+			{Kind: Settle, Rounds: 20},
+			{Kind: RestartSupervisors},
+		},
+	},
+	{
+		Name:              "supervisor-crash-corrupted-replica",
+		Note:              "the successor's replica is corrupted and the owner crashes before anti-entropy can repair it; failover must detect the damage or self-stabilize from the bad warm state",
+		Supervisors:       4,
+		ReplicationFactor: 1,
+		Actions: []Action{
+			{Kind: Settle, Rounds: 12},
+			{Kind: CorruptReplica},
+			{Kind: CrashSupervisor, Count: 1},
+			{Kind: Publish, Count: 2},
+			{Kind: Settle, Rounds: 10},
+		},
+	},
+	{
 		Name:  "token-corruption",
 		Note:  "token-passing supervisor variant: O(1) supervisor state and member states scrambled",
 		N:     8,
@@ -285,7 +329,7 @@ func Generate(seed int64) Scenario {
 // supervisor), while `-supervisors=4` soaks compose them with every other
 // fault class.
 func randomAction(rng *rand.Rand) Action {
-	switch rng.Intn(17) {
+	switch rng.Intn(18) {
 	case 0:
 		return Action{Kind: CrashBurst, Count: 1 + rng.Intn(3)}
 	case 1:
@@ -318,6 +362,8 @@ func randomAction(rng *rand.Rand) Action {
 		return Action{Kind: RestartSupervisors}
 	case 15:
 		return Action{Kind: CorruptDirectory}
+	case 16:
+		return Action{Kind: CorruptReplica}
 	default:
 		return Action{Kind: Settle, Rounds: 3 + rng.Intn(10)}
 	}

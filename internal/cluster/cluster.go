@@ -28,6 +28,10 @@ type Options struct {
 	// one, topics are sharded by consistent hashing and supervisor crashes
 	// are recoverable (see internal/supervisor's plane).
 	Supervisors int
+	// ReplicationFactor is how many hashdht successors each topic owner
+	// replicates its directory to (default 0: failover falls back to the
+	// Reregister rebuild). Only meaningful with Supervisors > 1.
+	ReplicationFactor int
 }
 
 // Cluster is a deterministic simulation of the full system: the shared
@@ -48,7 +52,7 @@ func New(opts Options) *Cluster {
 	if supers < 1 {
 		supers = 1
 	}
-	return &Cluster{Live: NewLiveN(s, opts.ClientOpts, supers), Sched: s}
+	return &Cluster{Live: NewLiveRF(s, opts.ClientOpts, supers, opts.ReplicationFactor), Sched: s}
 }
 
 // RunUntilConverged advances rounds until the topic is legitimate with

@@ -47,6 +47,9 @@ type Live struct {
 	// client routing (SupervisorFor) and the expected-ownership oracle the
 	// legitimacy checks compare the plane against.
 	viewRing *hashdht.Ring
+	// RepFactor is the plane's directory replication factor (0 when warm
+	// failover is off); the replica predicates key off it.
+	RepFactor int
 }
 
 // NewLive starts a single supervisor on the transport and returns the
@@ -60,8 +63,19 @@ func NewLive(tr sim.Transport, clientOpts core.Options) *Live {
 // hashing, with crash-tolerant ownership when supervisors > 1. Client IDs
 // follow the supervisor block.
 func NewLiveN(tr sim.Transport, clientOpts core.Options, supervisors int) *Live {
+	return NewLiveRF(tr, clientOpts, supervisors, 0)
+}
+
+// NewLiveRF is NewLiveN with directory replication: every topic owner
+// streams its database to repFactor hashdht successors, so a supervisor
+// crash is repaired from a warm replica instead of the Θ(n) Reregister
+// rebuild (see internal/supervisor's replica layer).
+func NewLiveRF(tr sim.Transport, clientOpts core.Options, supervisors, repFactor int) *Live {
 	if supervisors < 1 {
 		supervisors = 1
+	}
+	if repFactor < 0 || supervisors == 1 {
+		repFactor = 0
 	}
 	ids := make([]sim.NodeID, supervisors)
 	for i := range ids {
@@ -85,11 +99,15 @@ func NewLiveN(tr sim.Transport, clientOpts core.Options, supervisors int) *Live 
 		downed:     make(map[sim.NodeID]*core.Client),
 		downedSups: make(map[sim.NodeID]bool),
 		viewRing:   viewRing,
+		RepFactor:  repFactor,
 	}
 	for _, id := range ids {
 		sup := supervisor.New(id, tr)
 		if supervisors > 1 {
 			sup.JoinPlane(ids)
+			if repFactor > 0 {
+				sup.SetReplicationFactor(repFactor)
+			}
 		}
 		tr.AddNode(id, sup)
 		l.Sups[id] = sup
@@ -213,6 +231,58 @@ func (l *Live) ExplainOwnership(t sim.Topic) string {
 	}
 	return ""
 }
+
+// ExpectedReplicas returns the supervisors that ought to hold a warm
+// replica of t's directory: the RepFactor hashdht successors of the
+// expected owner on the live ring. Empty when replication is off or the
+// plane is too small.
+func (l *Live) ExpectedReplicas(t sim.Topic) []sim.NodeID {
+	if l.RepFactor <= 0 || len(l.SupIDs) <= 1 {
+		return nil
+	}
+	return l.viewRing.Successors(hashdht.TopicKey(t), l.RepFactor)
+}
+
+// ExplainReplication checks replica convergence for a topic: every
+// expected replica holder's held digest matches the owner's directory
+// digest (epoch, entry count and content hash). It returns "" when all
+// replicas are warm, and trivially when replication is off.
+func (l *Live) ExplainReplication(t sim.Topic) string {
+	if l.RepFactor <= 0 || len(l.SupIDs) <= 1 {
+		return ""
+	}
+	owner, ok := l.ExpectedOwner(t)
+	if !ok {
+		return "no live supervisor"
+	}
+	epoch, hash, count, ok := l.Sups[owner].DirectoryDigest(t)
+	if !ok {
+		return fmt.Sprintf("owner %d does not host topic %d", owner, t)
+	}
+	for _, id := range l.ExpectedReplicas(t) {
+		if l.downedSups[id] {
+			continue
+		}
+		rEpoch, rHash, rCount, held := l.Sups[id].HeldReplicaDigest(t)
+		if !held {
+			return fmt.Sprintf("supervisor %d holds no replica of topic %d", id, t)
+		}
+		if rEpoch != epoch {
+			return fmt.Sprintf("replica %d at epoch %d, owner at epoch %d", id, rEpoch, epoch)
+		}
+		if rCount != count {
+			return fmt.Sprintf("replica %d has %d entries, owner has %d", id, rCount, count)
+		}
+		if rHash != hash {
+			return fmt.Sprintf("replica %d digest mismatch against owner %d", id, owner)
+		}
+	}
+	return ""
+}
+
+// ReplicasConverged reports whether every expected replica of t matches
+// the owner's directory digest.
+func (l *Live) ReplicasConverged(t sim.Topic) bool { return l.ExplainReplication(t) == "" }
 
 // AddClient creates and registers one client node, returning its ID.
 func (l *Live) AddClient() sim.NodeID {

@@ -218,6 +218,31 @@ func (c *Client) Labelled(t sim.Topic) bool {
 	return ok && !in.Sub.Departed() && !in.Sub.Label().IsBottom()
 }
 
+// ReportsTo returns the supervisor the client currently believes owns the
+// topic (sim.None without an instance). Allocation-free like Labelled —
+// the scale harness' failover probe polls it across 10^5+ subscribers.
+func (c *Client) ReportsTo(t sim.Topic) sim.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	if !ok {
+		return sim.None
+	}
+	return in.Sub.Supervisor()
+}
+
+// CurrentLabel returns the client's label for the topic (⊥ without an
+// instance), without StateOf's allocations.
+func (c *Client) CurrentLabel(t sim.Topic) label.Label {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.inst[t]
+	if !ok {
+		return label.Bottom
+	}
+	return in.Sub.Label()
+}
+
 // PublicationCount returns the number of locally known publications for
 // the topic without materializing them (the scale harness' fan-out probe).
 func (c *Client) PublicationCount(t sim.Topic) int {

@@ -122,6 +122,33 @@ func (r *Ring) Owner(topic string) (sim.NodeID, bool) {
 // OwnerTopic is Owner over the canonical TopicKey of a wire topic ID.
 func (r *Ring) OwnerTopic(t sim.Topic) (sim.NodeID, bool) { return r.Owner(TopicKey(t)) }
 
+// Successors returns up to k distinct supervisors after the topic's owner
+// in ring order, owner excluded — the replica set of the warm-failover
+// replication layer. When the owner's points are removed from the ring, its
+// first successor becomes the topic's new owner, so replicating to the
+// successors places the warm state exactly where an adoption will look for
+// it. Fewer than k members besides the owner yields a shorter slice.
+func (r *Ring) Successors(topic string, k int) []sim.NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if k <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	h := hashPoint("topic-" + topic)
+	base := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h }) % len(r.points)
+	owner := r.points[base].id
+	seen := map[sim.NodeID]bool{owner: true}
+	var out []sim.NodeID
+	for j := 1; j <= len(r.points) && len(out) < k; j++ {
+		id := r.points[(base+j)%len(r.points)].id
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Spread reports how many of the given topics each supervisor owns — the
 // balance measurement for the extension experiment.
 func (r *Ring) Spread(topics []string) map[sim.NodeID]int {

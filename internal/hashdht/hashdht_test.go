@@ -385,3 +385,55 @@ func TestRebalanceMinimality(t *testing.T) {
 		t.Errorf("adding one of three supervisors moved %d/%d topics — not minimal", len(moved), len(ts))
 	}
 }
+
+// TestSuccessorsExcludeOwnerAndDedup: the replica set never contains the
+// owner, never repeats a member, and is capped by both k and the member
+// count — the contract the replication layer's fan-out depends on.
+func TestSuccessorsExcludeOwnerAndDedup(t *testing.T) {
+	r := NewRing(0)
+	for i := sim.NodeID(1); i <= 5; i++ {
+		r.Add(i)
+	}
+	for _, tp := range topics(100) {
+		owner, _ := r.Owner(tp)
+		for k := 0; k <= 7; k++ {
+			succs := r.Successors(tp, k)
+			want := k
+			if want > 4 {
+				want = 4 // 5 members minus the owner
+			}
+			if len(succs) != want {
+				t.Fatalf("topic %s k=%d: %d successors, want %d", tp, k, len(succs), want)
+			}
+			seen := map[sim.NodeID]bool{owner: true}
+			for _, id := range succs {
+				if seen[id] {
+					t.Fatalf("topic %s k=%d: duplicate or owner %d in %v", tp, k, id, succs)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+// TestSuccessorBecomesOwnerOnRemoval pins the placement property the warm
+// failover rests on: remove a topic's owner and the new owner is exactly
+// the first successor the replication layer was streaming to.
+func TestSuccessorBecomesOwnerOnRemoval(t *testing.T) {
+	for _, tp := range topics(200) {
+		r := NewRing(0)
+		for i := sim.NodeID(1); i <= 4; i++ {
+			r.Add(i)
+		}
+		owner, _ := r.Owner(tp)
+		succs := r.Successors(tp, 2)
+		if len(succs) != 2 {
+			t.Fatalf("topic %s: %d successors, want 2", tp, len(succs))
+		}
+		r.Remove(owner)
+		next, ok := r.Owner(tp)
+		if !ok || next != succs[0] {
+			t.Fatalf("topic %s: owner after removal %d, want first successor %d", tp, next, succs[0])
+		}
+	}
+}

@@ -232,6 +232,63 @@ type PlaneGossip struct {
 	Entries []TopicEpoch
 }
 
+// ---- directory replication (warm-replica supervisor failover) ----
+//
+// With ReplicationFactor > 0 every topic owner continuously replicates its
+// (label, subscriber) database to the topic's hashdht successors, so an
+// adopting successor starts from a warm replica instead of an empty
+// database and the Reregister rebuild demotes to the fallback repair path.
+// Replication itself is self-stabilizing: deltas are fire-and-forget (no
+// logs, no acknowledgements), and a periodic anti-entropy digest exchange
+// detects any divergence — lost deltas, reordered updates, arbitrary
+// replica corruption — and repairs it with a bounded-chunk full sync.
+
+// ReplicaEntry is one (label, subscriber) tuple of a replicated topic
+// directory.
+type ReplicaEntry struct {
+	L label.Label
+	V sim.NodeID
+}
+
+// ReplicaDelta streams a bounded batch of directory mutations (label
+// assignments/replacements in Put, releases in Del) from a topic's owner to
+// a replica holder. Epoch is the owner's current ownership era; replicas
+// ignore deltas from older eras, which makes a deposed owner's stream
+// harmless. Delivery is best-effort — anti-entropy repairs any gap.
+type ReplicaDelta struct {
+	Epoch uint64
+	Put   []ReplicaEntry
+	Del   []label.Label
+}
+
+// ReplicaDigest is the anti-entropy exchange. With Probe set it is the
+// owner's periodic push of its database root digest (an order-independent
+// fold of per-entry hashes, same 16-byte truncated-SHA-256 construction as
+// the trie's structural hash); the replica compares and answers — Probe
+// clear, carrying its own digest — only on mismatch, which makes the
+// steady state silent. An owner receiving a mismatching answer ships a
+// bounded-chunk ReplicaSync.
+type ReplicaDigest struct {
+	Probe bool
+	Epoch uint64
+	Count uint64
+	Hash  [16]byte
+}
+
+// ReplicaSync is one bounded chunk of a full directory sync: chunk Seq of
+// Chunks total, for sync round Round at ownership era Epoch. The replica
+// stages chunks (chunks of an older round or era are dropped, duplicates
+// are idempotent) and atomically replaces its replica when the round is
+// complete — so an arbitrarily corrupted replica converges to the owner's
+// state without any unbounded log.
+type ReplicaSync struct {
+	Epoch   uint64
+	Round   uint64
+	Seq     uint64
+	Chunks  uint64
+	Entries []ReplicaEntry
+}
+
 // ---- deterministic token-passing variant (paper's conclusion) ----
 
 // Token is the circulating refresh of the token-passing supervisor

@@ -1,0 +1,60 @@
+package scale
+
+import (
+	"testing"
+)
+
+// TestFailoverWarm exercises the tentpole end to end at pooled scale: with
+// a positive replication factor the successor adopts its warm replica, so
+// failover converges without relabelling a single survivor.
+func TestFailoverWarm(t *testing.T) {
+	res := RunFailover(FailoverConfig{N: 300, PoolSize: 64, Seed: 1, ReplicationFactor: 2})
+	if !res.Converged {
+		t.Fatalf("warm failover did not converge: %+v", res)
+	}
+	if !res.ReplicaWarm {
+		t.Fatalf("replicas were not warm at crash time: %+v", res)
+	}
+	if res.Relabelled != 0 {
+		t.Fatalf("warm failover relabelled %d survivors, want 0", res.Relabelled)
+	}
+}
+
+// TestFailoverCold measures the PR 5 baseline (ReplicationFactor 0): the
+// successor must rebuild from subscriber Reregisters. It still converges —
+// the point of the warm path is speed, not reachability.
+func TestFailoverCold(t *testing.T) {
+	res := RunFailover(FailoverConfig{N: 300, PoolSize: 64, Seed: 1})
+	if !res.Converged {
+		t.Fatalf("cold failover did not converge: %+v", res)
+	}
+	if res.ReplicaWarm {
+		t.Fatalf("ReplicaWarm true with ReplicationFactor 0: %+v", res)
+	}
+}
+
+// TestFailoverWarmFasterThanCold pins the headline claim: warm adoption
+// beats the cold rebuild at the same N and seed.
+func TestFailoverWarmFasterThanCold(t *testing.T) {
+	warm := RunFailover(FailoverConfig{N: 400, PoolSize: 64, Seed: 7, ReplicationFactor: 1})
+	cold := RunFailover(FailoverConfig{N: 400, PoolSize: 64, Seed: 7})
+	if !warm.Converged || !cold.Converged {
+		t.Fatalf("non-convergence: warm=%+v cold=%+v", warm, cold)
+	}
+	if warm.FailoverRounds >= cold.FailoverRounds {
+		t.Fatalf("warm failover (%d rounds) not faster than cold (%d rounds)",
+			warm.FailoverRounds, cold.FailoverRounds)
+	}
+}
+
+// TestFailoverDeterministic replays the same configuration twice and
+// requires bit-identical results — the scheduler is deterministic and the
+// harness must not introduce map-order or time dependence.
+func TestFailoverDeterministic(t *testing.T) {
+	cfg := FailoverConfig{N: 200, PoolSize: 64, Seed: 3, ReplicationFactor: 2}
+	a := RunFailover(cfg)
+	b := RunFailover(cfg)
+	if a != b {
+		t.Fatalf("failover run not deterministic:\n a=%+v\n b=%+v", a, b)
+	}
+}

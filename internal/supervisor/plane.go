@@ -169,6 +169,7 @@ func (s *Supervisor) planeTimeout(ctx sim.Context) {
 			}
 		}
 	}
+	s.replicaTimeout(ctx)
 	if p.tick%gossipEvery != 0 {
 		return
 	}
@@ -211,21 +212,45 @@ func (s *Supervisor) reconcileTopic(ctx sim.Context, t sim.Topic) {
 	db, hosting := s.topics[t]
 	switch {
 	case owner == s.self && !hosting:
-		s.adopt(t)
+		s.adopt(ctx, t)
 	case owner != s.self && hosting:
 		s.handover(ctx, t, db, owner)
 	}
 }
 
-// adopt starts hosting a topic at a fresh ownership epoch with an empty
-// database under rebuild grace: the subscribers re-populate it through the
-// Reregister handshake, preserving their labels. Lock held.
-func (s *Supervisor) adopt(t sim.Topic) {
+// adopt starts hosting a topic at a fresh ownership epoch. With a warm,
+// current replica of the topic's directory (replica.go) the new database
+// is seeded from it and the adopter announces itself to every recorded
+// subscriber immediately — the subscribers re-home in one round trip and
+// keep their labels, so failover cost no longer scales with the
+// subscriber count. Without one (replication off, replica stale or
+// absent) the era opens with an empty database under the full rebuild
+// grace and the subscribers re-populate it through the Reregister
+// handshake, as before. Either way the grace budget graceCeil caps how
+// long in-grace Reregisters can keep relabelling deferred. Lock held.
+func (s *Supervisor) adopt(ctx sim.Context, t sim.Topic) {
 	p := s.plane
 	epoch := p.known[t] + 1
 	db := newTopicDB()
 	db.epoch = epoch
+	db.track = s.repFactor > 0
 	db.grace = rebuildGrace
+	db.graceCeil = graceCeiling
+	if rep := s.replicas[t]; s.warmUsable(rep, t) {
+		db.seedFromReplica(rep)
+		// A short grace still covers stragglers, and one post-grace
+		// CheckLabels pass verifies compactness in case the replica missed
+		// the owner's last few mutations.
+		db.grace = warmGrace
+		db.graceCeil = rebuildGrace
+		db.dirty = true
+		delete(s.replicas, t)
+		db.idx.walk(func(_ label.Label, id sim.NodeID) {
+			if id != sim.None && id != s.self {
+				ctx.Send(id, t, proto.OwnerAnnounce{Owner: s.self, Epoch: epoch})
+			}
+		})
+	}
 	s.topics[t] = db
 	p.known[t] = epoch
 }
@@ -310,7 +335,7 @@ func (s *Supervisor) reregister(ctx sim.Context, t sim.Topic, b proto.Reregister
 		// this Reregister IS the rebuild starting — open a fresh era under
 		// rebuild grace like any other adoption.
 		if s.plane != nil {
-			s.adopt(t)
+			s.adopt(ctx, t)
 			db = s.topics[t]
 		} else {
 			db = s.topic(t)
@@ -340,8 +365,13 @@ func (s *Supervisor) reregister(ctx sim.Context, t sim.Topic, b proto.Reregister
 			db.dirty = true
 			if db.grace > 0 {
 				// Still rebuilding: extend the grace so the re-registration
-				// wave finishes before relabelling may run.
-				db.grace = rebuildGrace
+				// wave finishes before relabelling may run — but never past
+				// the era's remaining grace budget, or a sustained
+				// Reregister stream (chaos churn) could defer relabelling
+				// forever.
+				if g := min(rebuildGrace, db.graceCeil); g > db.grace {
+					db.grace = g
+				}
 			}
 			s.sendConfiguration(ctx, t, db, v)
 			return
@@ -404,6 +434,7 @@ func (s *Supervisor) CorruptPlane(t sim.Topic, rng interface{ Intn(int) int }) {
 		if _, ok := s.topics[t]; !ok {
 			db := newTopicDB()
 			db.epoch = uint64(rng.Intn(3))
+			db.track = s.repFactor > 0
 			s.topics[t] = db
 		}
 		wrong := p.peers[rng.Intn(len(p.peers))]

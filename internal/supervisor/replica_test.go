@@ -1,0 +1,231 @@
+package supervisor
+
+import (
+	"math/rand"
+	"testing"
+
+	"sspubsub/internal/label"
+	"sspubsub/internal/proto"
+	"sspubsub/internal/sim"
+	"sspubsub/internal/simtest"
+)
+
+// replicaPair builds a two-supervisor plane at replication factor 1 and
+// returns the replica-holding side (supervisor 2); supervisor 1 plays the
+// owner in the tests, which drive messages into 2 directly.
+func replicaSide(t *testing.T) *Supervisor {
+	t.Helper()
+	ids := []sim.NodeID{1, 2}
+	s := New(2, fakeDetector{})
+	s.JoinPlane(ids)
+	s.SetReplicationFactor(1)
+	return s
+}
+
+func delta(puts []proto.ReplicaEntry, dels []label.Label) sim.Message {
+	return sim.Message{To: 2, From: 1, Topic: tp, Body: proto.ReplicaDelta{Put: puts, Del: dels}}
+}
+
+// TestReplicaDeltaIdempotent: applying the same delta batch twice leaves
+// the replica's recomputed root digest (and entry count) unchanged — the
+// property that makes the fire-and-forget stream safe under duplication.
+func TestReplicaDeltaIdempotent(t *testing.T) {
+	s := replicaSide(t)
+	c := simtest.NewCtx(2)
+	puts := []proto.ReplicaEntry{
+		{L: label.FromIndex(0), V: 10},
+		{L: label.FromIndex(1), V: 11},
+		{L: label.FromIndex(2), V: 12},
+	}
+	d := delta(puts, []label.Label{label.FromIndex(5)})
+	s.OnMessage(c, d)
+	e1, h1, n1, ok := s.HeldReplicaDigest(tp)
+	if !ok || n1 != 3 {
+		t.Fatalf("first delta: held=%v count=%d", ok, n1)
+	}
+	s.OnMessage(c, d) // exact duplicate
+	e2, h2, n2, _ := s.HeldReplicaDigest(tp)
+	if e1 != e2 || h1 != h2 || n1 != n2 {
+		t.Fatalf("duplicate delta changed the replica: (%d,%x,%d) vs (%d,%x,%d)", e1, h1, n1, e2, h2, n2)
+	}
+	// The incrementally maintained digest must agree with the recompute.
+	s.mu.Lock()
+	rep := s.replicas[tp]
+	if rep.hash != digestOf(rep.db) {
+		t.Errorf("incremental digest %x diverged from content digest %x", rep.hash, digestOf(rep.db))
+	}
+	s.mu.Unlock()
+}
+
+// TestReplicaSyncIdempotent: replaying a completed full-sync round
+// rebuilds the identical replica — chunk duplication and round replays are
+// no-ops on the root digest.
+func TestReplicaSyncIdempotent(t *testing.T) {
+	s := replicaSide(t)
+	c := simtest.NewCtx(2)
+	round := []sim.Message{
+		{To: 2, From: 1, Topic: tp, Body: proto.ReplicaSync{
+			Epoch: 1, Round: 1, Seq: 0, Chunks: 2,
+			Entries: []proto.ReplicaEntry{{L: label.FromIndex(0), V: 10}, {L: label.FromIndex(1), V: 11}},
+		}},
+		{To: 2, From: 1, Topic: tp, Body: proto.ReplicaSync{
+			Epoch: 1, Round: 1, Seq: 1, Chunks: 2,
+			Entries: []proto.ReplicaEntry{{L: label.FromIndex(2), V: 12}},
+		}},
+	}
+	for _, m := range round {
+		s.OnMessage(c, m)
+	}
+	e1, h1, n1, ok := s.HeldReplicaDigest(tp)
+	if !ok || n1 != 3 || e1 != 1 {
+		t.Fatalf("sync round did not install: held=%v count=%d epoch=%d", ok, n1, e1)
+	}
+	// Scramble, then replay the same round: it must restore the state.
+	s.CorruptReplica(tp, rand.New(rand.NewSource(4)))
+	for _, m := range round {
+		s.OnMessage(c, m)
+	}
+	e2, h2, n2, _ := s.HeldReplicaDigest(tp)
+	if e1 != e2 || h1 != h2 || n1 != n2 {
+		t.Fatalf("replayed sync diverged: (%d,%x,%d) vs (%d,%x,%d)", e1, h1, n1, e2, h2, n2)
+	}
+	// And a third, unprovoked replay is a pure no-op.
+	for _, m := range round {
+		s.OnMessage(c, m)
+	}
+	if _, h3, _, _ := s.HeldReplicaDigest(tp); h3 != h1 {
+		t.Fatalf("idle replay changed the digest: %x vs %x", h3, h1)
+	}
+}
+
+// TestReplicaDeltaOldEpochDropped: a deposed owner's stream (older era)
+// must not perturb the replica.
+func TestReplicaDeltaOldEpochDropped(t *testing.T) {
+	s := replicaSide(t)
+	c := simtest.NewCtx(2)
+	s.OnMessage(c, sim.Message{To: 2, From: 1, Topic: tp, Body: proto.ReplicaDelta{
+		Epoch: 3, Put: []proto.ReplicaEntry{{L: label.FromIndex(0), V: 10}},
+	}})
+	_, h1, n1, _ := s.HeldReplicaDigest(tp)
+	s.OnMessage(c, sim.Message{To: 2, From: 1, Topic: tp, Body: proto.ReplicaDelta{
+		Epoch: 2, Put: []proto.ReplicaEntry{{L: label.FromIndex(0), V: 99}},
+	}})
+	e2, h2, n2, _ := s.HeldReplicaDigest(tp)
+	if e2 != 3 || h2 != h1 || n2 != n1 {
+		t.Fatalf("old-era delta perturbed the replica: epoch=%d", e2)
+	}
+}
+
+// TestGraceCeilingCapsExtension is the satellite-1 regression: a sustained
+// in-grace Reregister stream re-arms the rebuild grace each tick, but the
+// per-era budget (graceCeiling) must still force the grace window shut —
+// before the cap, such a stream (chaos churn produces exactly it) deferred
+// relabelling forever.
+func TestGraceCeilingCapsExtension(t *testing.T) {
+	s := New(1, fakeDetector{})
+	s.JoinPlane([]sim.NodeID{1})
+	c := simtest.NewCtx(1)
+	for i := sim.NodeID(0); i < 4; i++ {
+		sub(t, s, c, 10+i)
+	}
+	// Open an adoption-style grace window on the hosted database.
+	s.mu.Lock()
+	db := s.topics[tp]
+	db.grace = rebuildGrace
+	db.graceCeil = graceCeiling
+	s.mu.Unlock()
+
+	graceAt := func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.topics[tp].grace
+	}
+	// Each tick a new survivor re-reports with a fresh, untaken label —
+	// the exact stream that used to re-arm the grace indefinitely.
+	closed := -1
+	for tick := 0; tick < graceCeiling+2*rebuildGrace; tick++ {
+		s.OnMessage(c, sim.Message{To: 1, From: 100 + sim.NodeID(tick), Topic: tp, Body: proto.Reregister{
+			V:     100 + sim.NodeID(tick),
+			Label: label.FromIndex(uint64(10 + tick)),
+		}})
+		s.OnTimeout(c)
+		c.Take()
+		if graceAt() == 0 {
+			closed = tick
+			break
+		}
+	}
+	if closed < 0 {
+		t.Fatalf("grace window never closed under a sustained Reregister stream (%d ticks)", graceCeiling+2*rebuildGrace)
+	}
+	// The stream must genuinely extend the window (the re-arm exists) …
+	if closed < rebuildGrace {
+		t.Errorf("grace closed after %d ticks — the Reregister stream never extended it (rebuildGrace=%d)", closed, rebuildGrace)
+	}
+	// … but the budget must bound the total extension.
+	if closed >= graceCeiling+rebuildGrace {
+		t.Errorf("grace stayed open %d ticks — past the per-era budget %d", closed, graceCeiling)
+	}
+}
+
+// TestWarmAdoptionUsesShortGrace: a warm adoption seeds the database from
+// the replica and opens only the short straggler grace with a reduced
+// budget — not the full rebuild window.
+func TestWarmAdoptionUsesShortGrace(t *testing.T) {
+	det := fakeDetector{}
+	ids := []sim.NodeID{1, 2}
+	s := New(2, det)
+	s.JoinPlane(ids)
+	s.SetReplicationFactor(1)
+	c := simtest.NewCtx(2)
+
+	// Install a warm replica as the owner's stream would.
+	s.OnMessage(c, sim.Message{To: 2, From: 1, Topic: tp, Body: proto.ReplicaDelta{
+		Epoch: 0,
+		Put: []proto.ReplicaEntry{
+			{L: label.FromIndex(0), V: 10},
+			{L: label.FromIndex(1), V: 11},
+			{L: label.FromIndex(2), V: 12},
+		},
+	}})
+
+	// Gossip tells supervisor 2 the topic exists (in the running system the
+	// plane heartbeat does this every gossip period).
+	s.OnMessage(c, sim.Message{To: 2, From: 1, Body: proto.PlaneGossip{
+		Entries: []proto.TopicEpoch{{Topic: tp, Epoch: 0}},
+	}})
+
+	// The owner dies; the plane detects it and supervisor 2 adopts.
+	det[1] = true
+	for i := 0; i < 4 && !s.Hosts(tp); i++ {
+		s.OnTimeout(c)
+	}
+	if !s.Hosts(tp) {
+		t.Fatal("successor never adopted the topic")
+	}
+	if got := s.N(tp); got != 3 {
+		t.Fatalf("adopted database has %d entries, want 3 (warm seed)", got)
+	}
+	s.mu.Lock()
+	grace, ceil := s.topics[tp].grace, s.topics[tp].graceCeil
+	s.mu.Unlock()
+	if grace > warmGrace {
+		t.Errorf("warm adoption opened grace %d, want ≤ %d", grace, warmGrace)
+	}
+	if ceil > rebuildGrace {
+		t.Errorf("warm adoption budget %d, want ≤ %d", ceil, rebuildGrace)
+	}
+	// The announcement burst must address exactly the recorded subscribers.
+	want := map[sim.NodeID]bool{10: true, 11: true, 12: true}
+	for _, m := range c.Take() {
+		if oa, ok := m.Body.(proto.OwnerAnnounce); ok {
+			if oa.Owner != 2 {
+				t.Errorf("announce names owner %d, want 2", oa.Owner)
+			}
+			delete(want, m.To)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("recorded subscribers never announced to: %v", want)
+	}
+}

@@ -47,6 +47,13 @@ type Supervisor struct {
 	// classic single-supervisor deployment, which owns every topic and
 	// pays zero plane overhead). See plane.go.
 	plane *plane
+
+	// repFactor is how many hashdht successors each owned topic's
+	// database is replicated to (0 disables replication); replicas holds
+	// the warm copies this supervisor keeps for topics it stands
+	// successor for. See replica.go.
+	repFactor int
+	replicas  map[sim.Topic]*replicaDB
 }
 
 // topicDB is the database for one topic plus the round-robin cursor.
@@ -99,9 +106,25 @@ type topicDB struct {
 	// compaction rule would overwrite them — preserving the live overlay
 	// instead of rebuilding the ring from scratch.
 	grace int
+	// graceCeil is what remains of the era's total rebuild-grace budget
+	// (graceCeiling at adoption, counting down with grace): in-grace
+	// Reregisters may re-arm grace, but only up to this remainder, so a
+	// sustained Reregister stream cannot defer relabelling forever.
+	graceCeil int
 	// dirty records that the database may violate validity (Section 3.1)
 	// and CheckLabels has repair work to do.
 	dirty bool
+
+	// track gates replication capture: put/del maintain repHash (the
+	// XOR-fold digest the anti-entropy probes ship) and buffer the
+	// mutation in pending for the next delta flush. repOverflow marks a
+	// dropped buffer (a full sync repairs instead); syncRound numbers
+	// full-sync rounds. See replica.go.
+	track       bool
+	repHash     [16]byte
+	pending     []repOp
+	repOverflow bool
+	syncRound   uint64
 }
 
 type entry struct {
@@ -120,7 +143,8 @@ func newTopicDB() *topicDB {
 // db and idx (it is a representable corrupted state) but never indexed by
 // id.
 func (db *topicDB) put(l label.Label, v sim.NodeID) {
-	if old, ok := db.db[l]; ok {
+	old, hadOld := db.db[l]
+	if hadOld {
 		if old == v {
 			return
 		}
@@ -129,6 +153,9 @@ func (db *topicDB) put(l label.Label, v sim.NodeID) {
 	db.db[l] = v
 	db.idx.insert(l, v)
 	db.mapID(v, l)
+	if db.track {
+		db.repNotePut(l, v, old, hadOld)
+	}
 }
 
 // del removes l across all three mirrors.
@@ -140,6 +167,9 @@ func (db *topicDB) del(l label.Label) {
 	delete(db.db, l)
 	db.idx.remove(l)
 	db.unmapID(v, l)
+	if db.track {
+		db.repNoteDel(l, v)
+	}
 }
 
 // labelLess is the "lowest label" order labelOf has always used.
@@ -219,6 +249,7 @@ func (s *Supervisor) topic(t sim.Topic) *topicDB {
 	db, ok := s.topics[t]
 	if !ok {
 		db = newTopicDB()
+		db.track = s.plane != nil && s.repFactor > 0
 		s.topics[t] = db
 	}
 	return db
@@ -246,6 +277,9 @@ func (s *Supervisor) timeoutTopic(ctx sim.Context, t sim.Topic) {
 	db := s.topic(t)
 	if db.grace > 0 {
 		db.grace--
+		if db.graceCeil > 0 {
+			db.graceCeil--
+		}
 	}
 	db.checkLabels()
 	n := uint64(len(db.db))
@@ -320,10 +354,29 @@ func (s *Supervisor) OnMessage(ctx sim.Context, m sim.Message) {
 			return
 		}
 		s.getConfiguration(ctx, m.Topic, v)
+	case proto.SetData:
+		// A subscriber configuration addressed to a supervisor: some
+		// database records this supervisor as a topic member. Only an
+		// arbitrarily corrupted directory (e.g. a scrambled replica adopted
+		// warm) produces such a tuple, and nothing else removes it — the
+		// failure detector never suspects a live supervisor, so the
+		// round-robin refresh would re-send it forever. Mirror the departed
+		// subscriber's repair: answer with Unsubscribe until the database
+		// forgets us. The all-⊥ permission frame that answer triggers has a
+		// ⊥ label, so the exchange terminates.
+		if !b.Label.IsBottom() && m.From != sim.None {
+			ctx.Send(m.From, m.Topic, proto.Unsubscribe{V: s.self})
+		}
 	case proto.Reregister:
 		s.reregister(ctx, m.Topic, b)
 	case proto.PlaneGossip:
 		s.absorbGossip(b)
+	case proto.ReplicaDelta:
+		s.onReplicaDelta(m.Topic, b)
+	case proto.ReplicaDigest:
+		s.onReplicaDigest(ctx, m.Topic, m.From, b)
+	case proto.ReplicaSync:
+		s.onReplicaSync(m.Topic, b)
 	}
 }
 

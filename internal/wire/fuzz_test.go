@@ -71,7 +71,7 @@ func (t *tape) publication() proto.Publication {
 
 // genBody draws one message body of the selected registered type.
 func genBody(sel uint8, tp *tape) any {
-	switch sel % 24 {
+	switch sel % 27 {
 	case 0:
 		return proto.Subscribe{V: tp.node()}
 	case 1:
@@ -137,10 +137,31 @@ func genBody(sel uint8, tp *tape) any {
 		return proto.Reregister{V: tp.node(), Label: tp.label(), Epoch: tp.u64()}
 	case 22:
 		return proto.OwnerAnnounce{Owner: tp.node(), Epoch: tp.u64()}
-	default:
+	case 23:
 		var m proto.PlaneGossip
 		for i := int(tp.u8() % 4); i > 0; i-- {
 			m.Entries = append(m.Entries, proto.TopicEpoch{Topic: sim.Topic(uint32(tp.u64())), Epoch: tp.u64()})
+		}
+		return m
+	case 24:
+		m := proto.ReplicaDelta{Epoch: tp.u64()}
+		for i := int(tp.u8() % 4); i > 0; i-- {
+			m.Put = append(m.Put, proto.ReplicaEntry{L: tp.label(), V: tp.node()})
+		}
+		for i := int(tp.u8() % 4); i > 0; i-- {
+			m.Del = append(m.Del, tp.label())
+		}
+		return m
+	case 25:
+		m := proto.ReplicaDigest{Probe: tp.u8()%2 == 1, Epoch: tp.u64(), Count: tp.u64()}
+		for i := range m.Hash {
+			m.Hash[i] = tp.u8()
+		}
+		return m
+	default:
+		m := proto.ReplicaSync{Epoch: tp.u64(), Round: tp.u64(), Seq: tp.u64(), Chunks: tp.u64()}
+		for i := int(tp.u8() % 4); i > 0; i-- {
+			m.Entries = append(m.Entries, proto.ReplicaEntry{L: tp.label(), V: tp.node()})
 		}
 		return m
 	}
@@ -193,6 +214,9 @@ func FuzzWireAdversarial(f *testing.F) {
 		proto.Reregister{V: 5, Label: label.MustParse("01"), Epoch: 3},
 		proto.OwnerAnnounce{Owner: 2, Epoch: 4},
 		proto.PlaneGossip{Entries: []proto.TopicEpoch{{Topic: 2, Epoch: 9}}},
+		proto.ReplicaDelta{Epoch: 4, Put: []proto.ReplicaEntry{{L: label.MustParse("01"), V: 6}}, Del: []label.Label{label.MustParse("1")}},
+		proto.ReplicaDigest{Probe: true, Epoch: 2, Count: 5, Hash: [16]byte{0xAB, 1}},
+		proto.ReplicaSync{Epoch: 3, Round: 1, Seq: 0, Chunks: 2, Entries: []proto.ReplicaEntry{{L: label.MustParse("001"), V: 8}}},
 	} {
 		b, err := Marshal(sim.Message{To: 2, From: 3, Topic: 1, Body: body})
 		if err != nil {

@@ -47,6 +47,11 @@ const (
 	tagReregister    = 20
 	tagOwnerAnnounce = 21
 	tagPlaneGossip   = 22
+	// Directory replication (warm-replica supervisor failover): delta
+	// stream, anti-entropy digests and bounded-chunk full sync.
+	tagReplicaDelta  = 23
+	tagReplicaDigest = 24
+	tagReplicaSync   = 25
 	// Transport control (package nettransport): connection handshake.
 	tagHello   = 32
 	tagWelcome = 33
@@ -301,6 +306,78 @@ var registry = map[uint64]entry{
 				entries = append(entries, proto.TopicEpoch{Topic: sim.Topic(d.svarint()), Epoch: d.uvarint()})
 			}
 			return proto.PlaneGossip{Entries: entries}
+		}},
+	tagReplicaDelta: {"proto.ReplicaDelta", proto.ReplicaDelta{},
+		func(e *enc, b any) {
+			m := b.(proto.ReplicaDelta)
+			e.uvarint(m.Epoch)
+			e.uvarint(uint64(len(m.Put)))
+			for _, re := range m.Put {
+				e.label(re.L)
+				e.node(re.V)
+			}
+			e.uvarint(uint64(len(m.Del)))
+			for _, l := range m.Del {
+				e.label(l)
+			}
+		},
+		func(d *dec) any {
+			m := proto.ReplicaDelta{Epoch: d.uvarint()}
+			n := d.sliceLen(3) // label ≥ 2 bytes + node ≥ 1
+			if n > 0 {
+				m.Put = make([]proto.ReplicaEntry, 0, n)
+			}
+			for i := 0; i < n && d.err == nil; i++ {
+				m.Put = append(m.Put, proto.ReplicaEntry{L: d.labelv(), V: d.node()})
+			}
+			n = d.sliceLen(2) // label ≥ 2 bytes
+			if n > 0 && d.err == nil {
+				m.Del = make([]label.Label, 0, n)
+			}
+			for i := 0; i < n && d.err == nil; i++ {
+				m.Del = append(m.Del, d.labelv())
+			}
+			return m
+		}},
+	tagReplicaDigest: {"proto.ReplicaDigest", proto.ReplicaDigest{},
+		func(e *enc, b any) {
+			m := b.(proto.ReplicaDigest)
+			e.boolean(m.Probe)
+			e.uvarint(m.Epoch)
+			e.uvarint(m.Count)
+			e.raw(m.Hash[:]...)
+		},
+		func(d *dec) any {
+			m := proto.ReplicaDigest{Probe: d.boolean(), Epoch: d.uvarint(), Count: d.uvarint()}
+			d.bytes(m.Hash[:])
+			return m
+		}},
+	tagReplicaSync: {"proto.ReplicaSync", proto.ReplicaSync{},
+		func(e *enc, b any) {
+			m := b.(proto.ReplicaSync)
+			e.uvarint(m.Epoch)
+			e.uvarint(m.Round)
+			e.uvarint(m.Seq)
+			e.uvarint(m.Chunks)
+			e.uvarint(uint64(len(m.Entries)))
+			for _, re := range m.Entries {
+				e.label(re.L)
+				e.node(re.V)
+			}
+		},
+		func(d *dec) any {
+			m := proto.ReplicaSync{
+				Epoch: d.uvarint(), Round: d.uvarint(),
+				Seq: d.uvarint(), Chunks: d.uvarint(),
+			}
+			n := d.sliceLen(3) // label ≥ 2 bytes + node ≥ 1
+			if n > 0 {
+				m.Entries = make([]proto.ReplicaEntry, 0, n)
+			}
+			for i := 0; i < n && d.err == nil; i++ {
+				m.Entries = append(m.Entries, proto.ReplicaEntry{L: d.labelv(), V: d.node()})
+			}
+			return m
 		}},
 	tagHello: {"wire.Hello", Hello{},
 		func(e *enc, b any) {

@@ -52,6 +52,16 @@ var sampleBodies = []any{
 	proto.PlaneGossip{Entries: []proto.TopicEpoch{{Topic: 1, Epoch: 2}, {Topic: 1 << 30, Epoch: 0}}},
 	proto.PlaneGossip{},
 	proto.SetData{Pred: tup("01", 4), Label: lbl("11"), Succ: tup("1", 6), Epoch: 9},
+	proto.ReplicaDelta{Epoch: 3, Put: []proto.ReplicaEntry{
+		{L: lbl("01"), V: 7},
+		{L: lbl("011"), V: 1<<40 + 9},
+	}, Del: []label.Label{lbl("0"), lbl("1011")}},
+	proto.ReplicaDelta{Epoch: 1 << 50},
+	proto.ReplicaDigest{Probe: true, Epoch: 5, Count: 1 << 20, Hash: [16]byte{1, 2, 3, 255}},
+	proto.ReplicaSync{Epoch: 6, Round: 2, Seq: 1, Chunks: 3, Entries: []proto.ReplicaEntry{
+		{L: lbl("0001"), V: 12},
+	}},
+	proto.ReplicaSync{Epoch: 7, Round: 1, Seq: 0, Chunks: 1},
 	core.JoinTopic{},
 	core.LeaveTopic{},
 	core.PublishCmd{Payload: "payload with\x00bytes"},
@@ -435,7 +445,10 @@ func TestCanShare(t *testing.T) {
 		{core.PublishCmd{Payload: "x"}, true},
 		{core.JoinTopic{}, true},
 		{Hello{}, true},
+		{proto.ReplicaDigest{}, true},
 		{proto.PublishBatch{}, false},
+		{proto.ReplicaDelta{}, false},
+		{proto.ReplicaSync{}, false},
 		{proto.CheckTrie{}, false},
 		{proto.Token{}, false},
 		{Batch{}, false},

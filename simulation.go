@@ -67,6 +67,12 @@ type SimOptions struct {
 	// RestartSupervisor), and subscriber IDs start after the supervisor
 	// block.
 	Supervisors int
+	// ReplicationFactor is how many hashdht successors each topic owner
+	// streams its directory to (default 0: failover rebuilds from the
+	// subscribers). With a factor ≥ 1 supervisor failover adopts the
+	// successor's warm replica; anti-entropy keeps replicas convergent
+	// from arbitrary corruption. Only meaningful with Supervisors > 1.
+	ReplicationFactor int
 	// DisableFlooding / DisableAntiEntropy / DisableActionIV are the
 	// ablation switches described in DESIGN.md.
 	DisableFlooding    bool
@@ -123,15 +129,15 @@ func NewSimulation(opts SimOptions) *Simulation {
 	switch opts.Runtime {
 	case RuntimeConcurrent:
 		crt := concurrent.NewRuntime(concurrent.Options{Interval: ivl, Seed: opts.Seed})
-		return &Simulation{live: cluster.NewLiveN(crt, clientOpts, supers), lrt: crt, crt: crt, ivl: ivl}
+		return &Simulation{live: cluster.NewLiveRF(crt, clientOpts, supers, opts.ReplicationFactor), lrt: crt, crt: crt, ivl: ivl}
 	case RuntimeNet:
 		nt, err := nettransport.NewLoopback(nettransport.Options{Interval: ivl, Seed: opts.Seed})
 		if err != nil {
 			panic(fmt.Sprintf("sspubsub: loopback transport: %v", err))
 		}
-		return &Simulation{live: cluster.NewLiveN(nt, clientOpts, supers), lrt: nt, ivl: ivl}
+		return &Simulation{live: cluster.NewLiveRF(nt, clientOpts, supers, opts.ReplicationFactor), lrt: nt, ivl: ivl}
 	case RuntimeSim, "":
-		return &Simulation{c: cluster.New(cluster.Options{Seed: opts.Seed, ClientOpts: clientOpts, Supervisors: supers})}
+		return &Simulation{c: cluster.New(cluster.Options{Seed: opts.Seed, ClientOpts: clientOpts, Supervisors: supers, ReplicationFactor: opts.ReplicationFactor})}
 	default:
 		panic(fmt.Sprintf("sspubsub: unknown runtime %q", opts.Runtime))
 	}
@@ -302,6 +308,27 @@ func (s *Simulation) Explain(t Topic) string {
 		return out
 	}
 	return s.c.Explain(t)
+}
+
+// ReplicasConverged reports whether every expected warm replica of t
+// matches the owner's directory digest (trivially true when
+// SimOptions.ReplicationFactor is 0).
+func (s *Simulation) ReplicasConverged(t Topic) bool {
+	if s.lrt != nil {
+		return s.quiescedCheck(func() bool { return s.live.ReplicasConverged(t) })
+	}
+	return s.c.ReplicasConverged(t)
+}
+
+// ExplainReplication describes the first replica-convergence violation
+// for t, or returns "" when all replicas are warm.
+func (s *Simulation) ExplainReplication(t Topic) string {
+	if s.lrt != nil {
+		out := "system did not quiesce"
+		s.lrt.Quiesce(100*s.ivl, func() { out = s.live.ExplainReplication(t) })
+		return out
+	}
+	return s.c.ExplainReplication(t)
 }
 
 // TriesEqual reports whether all members hold identical publication sets.

@@ -56,6 +56,13 @@ type Options struct {
 	// and each successor rebuilds its topic databases from the live
 	// subscribers (see CrashSupervisor / RestartSupervisor).
 	Supervisors int
+	// ReplicationFactor is how many hashdht successors each topic owner
+	// streams its directory to (default 0). With a factor ≥ 1 a crashed
+	// supervisor's topics fail over from the successor's warm replica —
+	// the self-stabilizing anti-entropy keeps replicas convergent — and
+	// the subscriber-driven Reregister rebuild becomes the fallback for
+	// stale or absent replicas. Only meaningful with Supervisors > 1.
+	ReplicationFactor int
 	// Transport overrides the execution substrate the nodes run on. When
 	// nil, a concurrent goroutine runtime (internal/runtime/concurrent)
 	// with Interval and Seed is used. The System takes ownership and
@@ -134,6 +141,9 @@ func NewSystem(opts Options) *System {
 			sup := supervisor.New(id, tr)
 			if opts.Supervisors > 1 {
 				sup.JoinPlane(supIDs)
+				if opts.ReplicationFactor > 0 {
+					sup.SetReplicationFactor(opts.ReplicationFactor)
+				}
 			}
 			tr.AddNode(id, sup)
 			sups[id] = sup
