@@ -8,6 +8,8 @@ package main
 //
 //	srsim chaos -scenario=partition-heal -runtime=net
 //	srsim chaos -scenario=random -count=200 -seed=1
+//	srsim chaos -scenario=random-ordering -count=60 -seed=1
+//	srsim chaos -scenario=message-reorder -mode=fifo
 //	srsim chaos -scenario=random -seed=1337 -shrink
 //	srsim chaos -list
 
@@ -20,11 +22,13 @@ import (
 
 	"sspubsub/internal/chaos"
 	"sspubsub/internal/metrics"
+	"sspubsub/internal/ordering"
 )
 
 func runChaos(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
-	scenario := fs.String("scenario", "random", "scenario name, or 'random' for seed-generated scenarios")
+	scenario := fs.String("scenario", "random", "scenario name, 'random' for seed-generated scenarios, or 'random-ordering' for seed-generated ordered-delivery scenarios")
+	mode := fs.String("mode", "besteffort", "delivery mode: besteffort | fifo | causal (a scenario's own mode wins when set)")
 	runtime := fs.String("runtime", "sim", "execution substrate: sim | concurrent | net")
 	n := fs.Int("n", 12, "initial member count")
 	supervisors := fs.Int("supervisors", 1, "supervisor-plane size (a scenario's own supervisor count wins when set)")
@@ -64,16 +68,21 @@ func runChaos(args []string) {
 	if err != nil {
 		fail("%v", err)
 	}
+	dm, err := ordering.ParseMode(*mode)
+	if err != nil {
+		fail("%v", err)
+	}
 	random := *scenario == "random"
+	randomOrdering := *scenario == "random-ordering"
 	var named chaos.Scenario
-	if !random {
+	if !random && !randomOrdering {
 		var ok bool
 		if named, ok = chaos.Lookup(*scenario); !ok {
-			fail("unknown scenario %q (use -list; 'random' generates from -seed)", *scenario)
+			fail("unknown scenario %q (use -list; 'random' and 'random-ordering' generate from -seed)", *scenario)
 		}
 	}
-	if *shrink && (!random || sub != chaos.SubstrateSim) {
-		fail("-shrink requires -scenario=random and -runtime=sim (shrinking replays candidate action lists, which is only exact on the deterministic substrate)")
+	if *shrink && (!(random || randomOrdering) || sub != chaos.SubstrateSim) {
+		fail("-shrink requires -scenario=random or -scenario=random-ordering and -runtime=sim (shrinking replays candidate action lists, which is only exact on the deterministic substrate)")
 	}
 
 	var agg metrics.Convergence
@@ -83,6 +92,8 @@ func runChaos(args []string) {
 		sc := named
 		if random {
 			sc = chaos.Generate(runSeed)
+		} else if randomOrdering {
+			sc = chaos.GenerateOrdering(runSeed)
 		}
 		cfg := chaos.Config{
 			Substrate:         sub,
@@ -92,6 +103,7 @@ func runChaos(args []string) {
 			Seed:              runSeed,
 			Interval:          *interval,
 			ConvergeRounds:    *rounds,
+			DeliveryMode:      dm,
 		}
 		if *verbose {
 			cfg.Log = func(format string, args ...any) {
@@ -108,6 +120,9 @@ func runChaos(args []string) {
 		// The replay command must carry every flag that shaped the run, or
 		// "exact replay" silently runs a different experiment.
 		replay := fmt.Sprintf("srsim chaos -scenario=%s -runtime=%s -n=%d -seed=%d", *scenario, sub, *n, runSeed)
+		if dm != ordering.BestEffort {
+			replay += fmt.Sprintf(" -mode=%s", dm)
+		}
 		if *supervisors != 1 {
 			replay += fmt.Sprintf(" -supervisors=%d", *supervisors)
 		}
@@ -122,10 +137,10 @@ func runChaos(args []string) {
 		}
 		fmt.Printf("  replay: %s\n", replay)
 		recordFailure(*failuresOut, res)
-		if *shrink && random {
+		if *shrink && (random || randomOrdering) {
 			fmt.Printf("  shrinking %d actions…\n", len(res.Actions))
 			minimal := chaos.Shrink(res.Actions, func(actions []Action) bool {
-				r := chaos.Run(chaos.Scenario{Name: sc.Name, Actions: actions}, cfg)
+				r := chaos.Run(chaos.Scenario{Name: sc.Name, DeliveryMode: sc.DeliveryMode, Actions: actions}, cfg)
 				return !r.Converged
 			})
 			fmt.Printf("  minimal failing action list (%d actions):\n", len(minimal))

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"sspubsub/internal/metrics"
+	"sspubsub/internal/ordering"
 	"sspubsub/internal/scale"
 )
 
@@ -29,7 +30,13 @@ func runScale(args []string) {
 	crash := fs.Float64("crash", 0.01, "fraction of subscribers crashed for the stabilization probe")
 	maxEvents := fs.Int("maxevents", 0, "scheduler event-queue ceiling (0 = unbounded; sheds load past it)")
 	bench := fs.Bool("bench", false, "emit go-bench result lines (pipe into cmd/benchjson)")
+	mode := fs.String("mode", "besteffort", "delivery mode: besteffort | fifo | causal (ordered modes time fan-out on actual deliveries)")
 	fs.Parse(args)
+
+	dm, err := ordering.ParseMode(*mode)
+	if err != nil {
+		fail("scale: %v", err)
+	}
 
 	var ns []int
 	for _, part := range strings.Split(*nsFlag, ",") {
@@ -62,6 +69,7 @@ func runScale(args []string) {
 			MaxRounds:       *maxRounds,
 			CrashFrac:       *crash,
 			MaxQueuedEvents: *maxEvents,
+			DeliveryMode:    dm,
 		})
 		results = append(results, res)
 		if !res.Converged {
@@ -120,11 +128,17 @@ func runScale(args []string) {
 // (name, iterations, then value-unit pairs — the even-field format
 // cmd/benchjson parses).
 func printBenchLines(r scale.Result) {
-	fmt.Printf("BenchmarkScaleJoin/n=%d 1 %.2f p50-rounds %.2f p95-rounds %.2f max-rounds %.0f joins/s %.3f wall-sec\n",
-		r.N, r.JoinRounds.P50, r.JoinRounds.P95, r.JoinRounds.Max, r.JoinsPerSec, r.JoinWallSec)
-	fmt.Printf("BenchmarkScaleFanout/n=%d 1 %.2f p50-rounds %.2f p95-rounds %.2f max-rounds\n",
-		r.N, r.FanoutRounds.P50, r.FanoutRounds.P95, r.FanoutRounds.Max)
-	fmt.Printf("BenchmarkScaleStabilize/n=%d 1 %d stabilize-rounds\n", r.N, r.StabilizeRounds)
-	fmt.Printf("BenchmarkScaleMemory/n=%d 1 %d db-bytes %d trie-bytes %d queue-bytes\n",
-		r.N, r.SupDBBytes, r.SubTrieBytes, r.QueueBytes)
+	// Ordered sweeps get their own series names so a FIFO or causal run
+	// never collides with the best-effort baseline in benchjson.
+	suffix := ""
+	if r.Mode != "" && r.Mode != "besteffort" {
+		suffix = "/mode=" + r.Mode
+	}
+	fmt.Printf("BenchmarkScaleJoin/n=%d%s 1 %.2f p50-rounds %.2f p95-rounds %.2f max-rounds %.0f joins/s %.3f wall-sec\n",
+		r.N, suffix, r.JoinRounds.P50, r.JoinRounds.P95, r.JoinRounds.Max, r.JoinsPerSec, r.JoinWallSec)
+	fmt.Printf("BenchmarkScaleFanout/n=%d%s 1 %.2f p50-rounds %.2f p95-rounds %.2f max-rounds\n",
+		r.N, suffix, r.FanoutRounds.P50, r.FanoutRounds.P95, r.FanoutRounds.Max)
+	fmt.Printf("BenchmarkScaleStabilize/n=%d%s 1 %d stabilize-rounds\n", r.N, suffix, r.StabilizeRounds)
+	fmt.Printf("BenchmarkScaleMemory/n=%d%s 1 %d db-bytes %d trie-bytes %d queue-bytes\n",
+		r.N, suffix, r.SupDBBytes, r.SubTrieBytes, r.QueueBytes)
 }

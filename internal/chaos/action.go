@@ -79,6 +79,13 @@ const (
 	// poisoned digest/era. Anti-entropy must detect and repair it. A safe
 	// no-op when ReplicationFactor is 0 or the plane has one supervisor.
 	CorruptReplica
+	// CorruptOrdering scrambles every subscriber's ordered-delivery state
+	// (FIFO cursors, causal coverage positions, pending buffers) and the
+	// publishers' sequence counters. The ordering layer must re-converge
+	// to clean in-order delivery in a fresh monotonicity epoch. A safe
+	// no-op in best-effort mode, so random scenarios stay valid on every
+	// configuration.
+	CorruptOrdering
 
 	kindCount // sentinel
 )
@@ -106,6 +113,7 @@ var kindNames = [...]string{
 	RestartSupervisors: "restart-sups",
 	CorruptDirectory:   "corrupt-directory",
 	CorruptReplica:     "corrupt-replica",
+	CorruptOrdering:    "corrupt-ordering",
 }
 
 // String names the kind.
@@ -135,7 +143,7 @@ func (a Action) String() string {
 		return fmt.Sprintf("%s(k=%d)", a.Kind, a.K)
 	case Loss, Duplicate, Reorder, WireGarbage:
 		return fmt.Sprintf("%s(%.2f)", a.Kind, a.Rate)
-	case Heal, CorruptStates, CorruptDB, CorruptToken, RestartSupervisors, CorruptDirectory, CorruptReplica:
+	case Heal, CorruptStates, CorruptDB, CorruptToken, RestartSupervisors, CorruptDirectory, CorruptReplica, CorruptOrdering:
 		return a.Kind.String()
 	default:
 		return fmt.Sprintf("%s(%d)", a.Kind, a.Count)

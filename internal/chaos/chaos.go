@@ -9,6 +9,7 @@ import (
 	"sspubsub/internal/cluster"
 	"sspubsub/internal/core"
 	"sspubsub/internal/metrics"
+	"sspubsub/internal/ordering"
 	"sspubsub/internal/runtime/concurrent"
 	"sspubsub/internal/runtime/nettransport"
 	"sspubsub/internal/sim"
@@ -79,6 +80,20 @@ type Config struct {
 	// faults cease; the delivery-completeness probe requires all of them
 	// at every member (default 3; negative disables).
 	DeliveryWave int
+	// DeliveryMode selects the per-topic delivery mode every client runs
+	// with (best-effort, FIFO, causal). An ordered mode records delivery
+	// traces, arms the delivery-ordering probe, and issues the delivery
+	// wave from a single publisher so cross-node order agreement is
+	// checkable. A scenario's own DeliveryMode wins when set.
+	DeliveryMode ordering.Mode
+	// ForceOrderingProbe records traces and evaluates the
+	// delivery-ordering probe even in best-effort mode — the probe's
+	// negative control, expected to fail under reordering.
+	ForceOrderingProbe bool
+	// TraceSink, when non-nil, receives a snapshot of every node's
+	// delivery trace after the final probe evaluation (testing hook;
+	// needs an ordered mode or ForceOrderingProbe to have any traces).
+	TraceSink func(map[sim.NodeID][]TraceEntry)
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -122,6 +137,9 @@ type Result struct {
 	Substrate Substrate
 	Seed      int64
 	N         int
+	// Mode is the delivery mode the run used ("besteffort", "fifo",
+	// "causal").
+	Mode string
 
 	// Setup is false when the unmeasured prologue never converged (an
 	// engine failure, not a protocol one).
@@ -153,8 +171,12 @@ func (r Result) String() string {
 	} else if !r.Converged {
 		status = "FAILED: " + r.Violation
 	}
+	sub := string(r.Substrate)
+	if r.Mode != "" && r.Mode != "besteffort" {
+		sub += "/" + r.Mode
+	}
 	return fmt.Sprintf("[%s] %s seed=%d n=%d faults=%d: %s",
-		r.Substrate, r.Scenario, r.Seed, r.N, r.FaultActions, status)
+		sub, r.Scenario, r.Seed, r.N, r.FaultActions, status)
 }
 
 // liveSubstrate is the surface the engine needs from a live transport
@@ -274,8 +296,12 @@ type env struct {
 	rng *rand.Rand
 
 	watch metrics.Stopwatch
-	wave  []string // post-fault publication payloads (delivery probe)
-	pubs  int      // mid-scenario publication counter
+	wave  []wavePub // post-fault publications (delivery probes)
+	pubs  int       // mid-scenario publication counter
+
+	// rec collects per-node delivery traces when the run is ordered (or
+	// the ordering probe is forced); nil otherwise.
+	rec *traceRec
 
 	// askedToLeave records every member a LeaveBurst targeted. The leave
 	// control message travels like any other (non-FIFO, delayed), so at
@@ -289,20 +315,25 @@ func newEnv(cfg Config) (*env, error) {
 	e := &env{cfg: cfg, topic: cfg.Topic, rng: rand.New(rand.NewSource(cfg.Seed)),
 		askedToLeave: make(map[sim.NodeID]bool)}
 	e.driver.cfg = cfg
+	co := core.Options{DeliveryMode: cfg.DeliveryMode}
+	if cfg.DeliveryMode != ordering.BestEffort || cfg.ForceOrderingProbe {
+		e.rec = newTraceRec(cfg.Topic)
+		co.OnDeliverTrace = e.rec.record
+	}
 	switch cfg.Substrate {
 	case SubstrateSim:
-		c := cluster.New(cluster.Options{Seed: cfg.Seed, Supervisors: cfg.Supervisors,
-			ReplicationFactor: cfg.ReplicationFactor})
+		c := cluster.New(cluster.Options{Seed: cfg.Seed, ClientOpts: co,
+			Supervisors: cfg.Supervisors, ReplicationFactor: cfg.ReplicationFactor})
 		e.l, e.sched = c.Live, c.Sched
 	case SubstrateConcurrent:
 		rt := concurrent.NewRuntime(concurrent.Options{Interval: cfg.Interval, Seed: cfg.Seed})
-		e.l, e.lrt = cluster.NewLiveRF(rt, core.Options{}, cfg.Supervisors, cfg.ReplicationFactor), rt
+		e.l, e.lrt = cluster.NewLiveRF(rt, co, cfg.Supervisors, cfg.ReplicationFactor), rt
 	case SubstrateNet:
 		nt, err := nettransport.NewLoopback(nettransport.Options{Interval: cfg.Interval, Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("chaos: loopback transport: %w", err)
 		}
-		e.l, e.lrt, e.nt = cluster.NewLiveRF(nt, core.Options{}, cfg.Supervisors, cfg.ReplicationFactor), nt, nt
+		e.l, e.lrt, e.nt = cluster.NewLiveRF(nt, co, cfg.Supervisors, cfg.ReplicationFactor), nt, nt
 	default:
 		return nil, fmt.Errorf("chaos: unknown substrate %q", cfg.Substrate)
 	}
@@ -513,6 +544,19 @@ func (e *env) apply(a Action) {
 			id := targets[e.rng.Intn(len(targets))]
 			e.freeze(func() { e.l.Sups[id].CorruptReplica(e.topic, e.rng) })
 		}
+
+	case CorruptOrdering:
+		// Scrambling cursor positions legitimately re-delivers or skips
+		// sequence numbers while the layer re-stabilizes, so monotonicity
+		// restarts in a fresh trace epoch (bumped under the same freeze,
+		// before any post-corruption delivery can be recorded). A no-op in
+		// best-effort mode — the engines hold no ordering state.
+		e.freeze(func() {
+			e.l.CorruptOrderingState(e.topic, e.rng)
+			if e.rec != nil {
+				e.rec.bumpEpoch()
+			}
+		})
 	}
 }
 
@@ -529,6 +573,9 @@ func Run(sc Scenario, cfg Config) Result {
 	if sc.ReplicationFactor > 0 {
 		cfg.ReplicationFactor = sc.ReplicationFactor
 	}
+	if sc.DeliveryMode != ordering.BestEffort {
+		cfg.DeliveryMode = sc.DeliveryMode
+	}
 	if sc.Token {
 		return runToken(sc, cfg)
 	}
@@ -537,6 +584,7 @@ func Run(sc Scenario, cfg Config) Result {
 		Substrate: cfg.Substrate,
 		Seed:      cfg.Seed,
 		N:         cfg.N,
+		Mode:      cfg.DeliveryMode.String(),
 		Rounds:    -1,
 		Actions:   sc.Actions,
 	}
@@ -585,17 +633,35 @@ func Run(sc Scenario, cfg Config) Result {
 				staying = append(staying, id)
 			}
 		}
-		if len(staying) > 0 {
+		if len(staying) > 0 && e.rec != nil {
+			// Ordered (or probe-forced) runs issue the whole wave from a
+			// single publisher: every pair of subscribers must then agree
+			// on the relative delivery order of the wave publications,
+			// which is exactly what the delivery-ordering probe asserts.
+			// The publish commands travel as delayed self-sends, so the
+			// payload indices need not match the actual publish order —
+			// only cross-node agreement is promised.
+			p := staying[e.rng.Intn(len(staying))]
 			for i := 0; i < cfg.DeliveryWave; i++ {
 				payload := fmt.Sprintf("wave-%d", i)
-				e.wave = append(e.wave, payload)
-				e.l.Publish(staying[e.rng.Intn(len(staying))], e.topic, payload)
+				e.wave = append(e.wave, wavePub{Payload: payload, Origin: p})
+				e.l.Publish(p, e.topic, payload)
+			}
+		} else if len(staying) > 0 {
+			for i := 0; i < cfg.DeliveryWave; i++ {
+				payload := fmt.Sprintf("wave-%d", i)
+				pub := staying[e.rng.Intn(len(staying))]
+				e.wave = append(e.wave, wavePub{Payload: payload, Origin: pub})
+				e.l.Publish(pub, e.topic, payload)
 			}
 		}
 	}
 
 	e.driver.finish(&res, &e.watch, cfg.ConvergeRounds, e.violation)
 	res.Delivered = e.delivered()
+	if cfg.TraceSink != nil && e.rec != nil {
+		e.freeze(func() { cfg.TraceSink(e.rec.clone()) })
+	}
 	cfg.logf("chaos: %s", res)
 	return res
 }

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 
 	"sspubsub/internal/proto"
 	"sspubsub/internal/sim"
@@ -16,6 +17,7 @@ var ProbeNames = []string{
 	"overlay-legitimacy",
 	"trie-consistency",
 	"delivery-completeness",
+	"delivery-ordering",
 }
 
 // violation evaluates every invariant probe against the current (frozen)
@@ -47,6 +49,9 @@ func (e *env) violation() string {
 	}
 	if v := e.deliveryViolation(); v != "" {
 		return "delivery-completeness: " + v
+	}
+	if v := e.orderingViolation(); v != "" {
+		return "delivery-ordering: " + v
 	}
 	return ""
 }
@@ -178,6 +183,114 @@ func (e *env) deliveryViolation() string {
 	})
 }
 
+// orderingViolation evaluates the delivery-ordering probe over the
+// recorded per-node delivery traces ("" when the run records none). Three
+// invariants, each restricted to unflagged deliveries — entries the ordered
+// layer marked Recovered (anti-entropy repair) or Forced
+// (self-stabilization release) are exempt by contract:
+//
+//  1. Per-publisher monotonicity: within one corruption epoch, a node's
+//     unflagged sequenced deliveries from any single publisher carry
+//     strictly increasing sequence numbers (which also rules out
+//     duplicate delivery).
+//  2. Causal coverage: when a delivery carries a causal barrier, every
+//     barrier entry (origin o, seq s) must be preceded in that node's own
+//     trace by a delivery from o with sequence ≥ s. Coverage spans
+//     epochs — a delivery that happened never un-happens.
+//  3. Wave order agreement: every pair of nodes agrees on the relative
+//     delivery order of the single-publisher wave publications, and no
+//     node delivers one twice. This is the only clause with teeth in
+//     best-effort mode (sequence numbers are all zero there), which is
+//     how the probe demonstrably fails when forced onto best-effort
+//     traces.
+func (e *env) orderingViolation() string {
+	if e.rec == nil {
+		return ""
+	}
+	e.rec.mu.Lock()
+	defer e.rec.mu.Unlock()
+	ids := make([]sim.NodeID, 0, len(e.rec.byNode))
+	for id := range e.rec.byNode {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	waveIdx := make(map[wavePub]int, len(e.wave))
+	for i, w := range e.wave {
+		waveIdx[w] = i
+	}
+	waveOrders := make(map[sim.NodeID][]int, len(ids))
+
+	type stream struct {
+		epoch  int
+		origin sim.NodeID
+	}
+	for _, id := range ids {
+		last := make(map[stream]uint64)
+		maxSeen := make(map[sim.NodeID]uint64)
+		for _, en := range e.rec.byNode[id] {
+			flagged := en.Recovered || en.Forced
+			if !flagged && len(en.Barrier) > 0 {
+				for _, b := range en.Barrier {
+					if maxSeen[b.Origin] < b.Seq {
+						return fmt.Sprintf(
+							"node %d delivered %q before its causal predecessor (origin %d seq %d)",
+							id, en.Payload, b.Origin, b.Seq)
+					}
+				}
+			}
+			if maxSeen[en.Origin] < en.Seq {
+				maxSeen[en.Origin] = en.Seq
+			}
+			if flagged {
+				continue
+			}
+			if en.Seq > 0 {
+				k := stream{epoch: en.Epoch, origin: en.Origin}
+				if prev, ok := last[k]; ok && en.Seq <= prev {
+					return fmt.Sprintf(
+						"node %d delivered seq %d from publisher %d after seq %d (epoch %d)",
+						id, en.Seq, en.Origin, prev, en.Epoch)
+				}
+				last[k] = en.Seq
+			}
+			if idx, ok := waveIdx[wavePub{Payload: en.Payload, Origin: en.Origin}]; ok {
+				for _, seen := range waveOrders[id] {
+					if seen == idx {
+						return fmt.Sprintf("node %d delivered wave publication %q twice", id, en.Payload)
+					}
+				}
+				waveOrders[id] = append(waveOrders[id], idx)
+			}
+		}
+	}
+
+	// Pairwise agreement on the common subsequence of wave deliveries.
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := waveOrders[ids[i]], waveOrders[ids[j]]
+			pos := make(map[int]int, len(b))
+			for p, idx := range b {
+				pos[idx] = p
+			}
+			lastPos := -1
+			for _, idx := range a {
+				p, ok := pos[idx]
+				if !ok {
+					continue
+				}
+				if p < lastPos {
+					return fmt.Sprintf(
+						"nodes %d and %d disagree on the delivery order of wave publication %q",
+						ids[i], ids[j], e.wave[idx].Payload)
+				}
+				lastPos = p
+			}
+		}
+	}
+	return ""
+}
+
 // trieAgreementViolation requires hash-identical tries across ids
 // (shared by the database and token stacks).
 func trieAgreementViolation(ids []sim.NodeID, hash func(sim.NodeID) [16]byte) string {
@@ -193,20 +306,30 @@ func trieAgreementViolation(ids []sim.NodeID, hash func(sim.NodeID) [16]byte) st
 	return ""
 }
 
-// waveViolation requires every node to know every wave payload (shared by
-// the database and token stacks).
-func waveViolation(ids []sim.NodeID, wave []string, pubs func(sim.NodeID) []proto.Publication) string {
+// wavePub identifies one delivery-wave publication: the payload together
+// with the member that published it. Keying the probes on the pair — not
+// the payload alone — prevents a publication from a wrong origin (a
+// duplicated or fabricated copy under a different key) from counting as
+// the wave's.
+type wavePub struct {
+	Payload string
+	Origin  sim.NodeID
+}
+
+// waveViolation requires every node to know every wave publication from
+// its actual publisher (shared by the database and token stacks).
+func waveViolation(ids []sim.NodeID, wave []wavePub, pubs func(sim.NodeID) []proto.Publication) string {
 	if len(wave) == 0 {
 		return ""
 	}
 	for _, id := range ids {
-		known := make(map[string]bool)
+		known := make(map[wavePub]bool)
 		for _, p := range pubs(id) {
-			known[p.Payload] = true
+			known[wavePub{Payload: p.Payload, Origin: p.Origin}] = true
 		}
 		for _, w := range wave {
 			if !known[w] {
-				return fmt.Sprintf("node %d is missing wave publication %q", id, w)
+				return fmt.Sprintf("node %d is missing wave publication %q from %d", id, w.Payload, w.Origin)
 			}
 		}
 	}

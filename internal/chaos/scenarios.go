@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"sspubsub/internal/ordering"
 )
 
 // Scenario is a named, declarative chaos script.
@@ -22,6 +24,10 @@ type Scenario struct {
 	// (the deterministic variant of the paper's conclusion) instead of the
 	// database stack.
 	Token bool
+	// DeliveryMode pins the per-topic delivery mode when non-zero
+	// (overriding the configured one): ordered scenarios run every client
+	// in FIFO or causal mode and arm the delivery-ordering probe.
+	DeliveryMode ordering.Mode
 	// Actions is the fault script, applied in order.
 	Actions []Action
 }
@@ -245,6 +251,54 @@ var Registry = []Scenario{
 		},
 	},
 	{
+		Name:         "fifo-reorder-storm",
+		Note:         "FIFO mode under heavy reordering: per-publisher delivery order must survive non-FIFO channels",
+		DeliveryMode: ordering.FIFO,
+		Actions: []Action{
+			{Kind: Reorder, Rate: 0.5},
+			{Kind: Publish, Count: 3},
+			{Kind: Settle, Rounds: 30},
+			{Kind: Heal},
+		},
+	},
+	{
+		Name:         "causal-dup-loss",
+		Note:         "causal mode under duplication and loss: barriers must hold causes-before-effects without double delivery",
+		DeliveryMode: ordering.Causal,
+		Actions: []Action{
+			{Kind: Duplicate, Rate: 0.3},
+			{Kind: Loss, Rate: 0.15},
+			{Kind: Publish, Count: 3},
+			{Kind: Settle, Rounds: 30},
+			{Kind: Heal},
+		},
+	},
+	{
+		Name:         "ordering-corruption",
+		Note:         "FIFO cursors and publisher sequence counters scrambled twice; the ordered layer must self-stabilize",
+		DeliveryMode: ordering.FIFO,
+		Actions: []Action{
+			{Kind: CorruptOrdering},
+			{Kind: Publish, Count: 3},
+			{Kind: Settle, Rounds: 10},
+			{Kind: CorruptOrdering},
+			{Kind: Publish, Count: 3},
+			{Kind: Settle, Rounds: 10},
+		},
+	},
+	{
+		Name:         "causal-barrier-corruption",
+		Note:         "causal coverage positions and pending buffers scrambled mid-reorder; covered-barrier delivery must re-converge",
+		DeliveryMode: ordering.Causal,
+		Actions: []Action{
+			{Kind: Reorder, Rate: 0.3},
+			{Kind: CorruptOrdering},
+			{Kind: Publish, Count: 3},
+			{Kind: Settle, Rounds: 30},
+			{Kind: Heal},
+		},
+	},
+	{
 		Name:  "token-corruption",
 		Note:  "token-passing supervisor variant: O(1) supervisor state and member states scrambled",
 		N:     8,
@@ -329,7 +383,7 @@ func Generate(seed int64) Scenario {
 // supervisor), while `-supervisors=4` soaks compose them with every other
 // fault class.
 func randomAction(rng *rand.Rand) Action {
-	switch rng.Intn(18) {
+	switch rng.Intn(19) {
 	case 0:
 		return Action{Kind: CrashBurst, Count: 1 + rng.Intn(3)}
 	case 1:
@@ -364,7 +418,71 @@ func randomAction(rng *rand.Rand) Action {
 		return Action{Kind: CorruptDirectory}
 	case 16:
 		return Action{Kind: CorruptReplica}
+	case 17:
+		return Action{Kind: CorruptOrdering}
 	default:
 		return Action{Kind: Settle, Rounds: 3 + rng.Intn(10)}
+	}
+}
+
+// GenerateOrdering builds a random ordered-delivery scenario from a seed:
+// like Generate, but the draw is weighted toward the channel faults the
+// ordering layer exists to absorb (reordering and duplication above all,
+// plus loss and ordering-state corruption), and the scenario pins a
+// delivery mode — FIFO for even seeds, causal for odd ones — so soaks
+// cover both machines. Channel faults always get time to bite and are
+// usually healed; the engine force-heals at the end, so every generated
+// scenario is convergable in principle and any failure is a finding.
+func GenerateOrdering(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	mode := ordering.FIFO
+	if seed%2 != 0 {
+		mode = ordering.Causal
+	}
+	n := 3 + rng.Intn(5)
+	var actions []Action
+	for i := 0; i < n; i++ {
+		var a Action
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			a = Action{Kind: Reorder, Rate: 0.3 + 0.4*rng.Float64()}
+		case 3, 4:
+			a = Action{Kind: Duplicate, Rate: 0.2 + 0.3*rng.Float64()}
+		case 5:
+			a = Action{Kind: Loss, Rate: 0.1 + 0.15*rng.Float64()}
+		case 6:
+			a = Action{Kind: CorruptOrdering}
+		case 7:
+			a = Action{Kind: CrashBurst, Count: 1 + rng.Intn(2)}
+		case 8:
+			a = Action{Kind: JoinBurst, Count: 1 + rng.Intn(2)}
+		default:
+			a = Action{Kind: Publish, Count: 1 + rng.Intn(3)}
+		}
+		actions = append(actions, a)
+		switch a.Kind {
+		case Reorder, Duplicate, Loss:
+			// Publish while the channel fault is live — ordered delivery
+			// under a clean network proves nothing — then settle, and
+			// usually heal before the next fault composes on top.
+			actions = append(actions, Action{Kind: Publish, Count: 1 + rng.Intn(3)})
+			actions = append(actions, Action{Kind: Settle, Rounds: 8 + rng.Intn(16)})
+			if rng.Intn(3) > 0 {
+				actions = append(actions, Action{Kind: Heal})
+			}
+		case CrashBurst:
+			actions = append(actions, Action{Kind: Settle, Rounds: 4 + rng.Intn(8)})
+			actions = append(actions, Action{Kind: RestartAll})
+		default:
+			if rng.Intn(2) == 0 {
+				actions = append(actions, Action{Kind: Settle, Rounds: 2 + rng.Intn(8)})
+			}
+		}
+	}
+	return Scenario{
+		Name:         fmt.Sprintf("random-ordering-%d", seed),
+		Note:         "generated ordered-delivery scenario (reproducible from the seed)",
+		DeliveryMode: mode,
+		Actions:      actions,
 	}
 }

@@ -29,7 +29,7 @@ type tokenEnv struct {
 	ids   []sim.NodeID
 
 	rng  *rand.Rand
-	wave []string
+	wave []wavePub
 }
 
 func newTokenEnv(cfg Config) (*tokenEnv, error) {
@@ -197,8 +197,9 @@ func runToken(sc Scenario, cfg Config) Result {
 	watch.Fault(e.now())
 	for i := 0; i < cfg.DeliveryWave; i++ {
 		payload := fmt.Sprintf("wave-%d", i)
-		e.wave = append(e.wave, payload)
-		e.send(e.ids[e.rng.Intn(len(e.ids))], core.PublishCmd{Payload: payload})
+		id := e.ids[e.rng.Intn(len(e.ids))]
+		e.wave = append(e.wave, wavePub{Payload: payload, Origin: id})
+		e.send(id, core.PublishCmd{Payload: payload})
 	}
 
 	e.driver.finish(&res, &watch, cfg.ConvergeRounds, e.violation)

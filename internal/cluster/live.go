@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"sspubsub/internal/core"
 	"sspubsub/internal/hashdht"
+	"sspubsub/internal/ordering"
 	"sspubsub/internal/sim"
 	"sspubsub/internal/supervisor"
 )
@@ -108,6 +110,9 @@ func NewLiveRF(tr sim.Transport, clientOpts core.Options, supervisors, repFactor
 			if repFactor > 0 {
 				sup.SetReplicationFactor(repFactor)
 			}
+		}
+		if clientOpts.DeliveryMode != ordering.BestEffort {
+			sup.SetDefaultMode(clientOpts.DeliveryMode)
 		}
 		tr.AddNode(id, sup)
 		l.Sups[id] = sup
@@ -259,6 +264,7 @@ func (l *Live) ExplainReplication(t sim.Topic) string {
 	if !ok {
 		return fmt.Sprintf("owner %d does not host topic %d", owner, t)
 	}
+	mode := l.Sups[owner].ModeFor(t)
 	for _, id := range l.ExpectedReplicas(t) {
 		if l.downedSups[id] {
 			continue
@@ -275,6 +281,9 @@ func (l *Live) ExplainReplication(t sim.Topic) string {
 		}
 		if rHash != hash {
 			return fmt.Sprintf("replica %d digest mismatch against owner %d", id, owner)
+		}
+		if rMode := l.Sups[id].ModeFor(t); rMode != mode {
+			return fmt.Sprintf("replica %d records delivery mode %v, owner records %v", id, rMode, mode)
 		}
 	}
 	return ""
@@ -391,6 +400,22 @@ func (l *Live) SettledMembers(t sim.Topic) []sim.NodeID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// CorruptOrderingState scrambles the ordering state (sequence cursors,
+// duplicate bitmaps, causal pending sets, publisher counters) of every live
+// member of t — the chaos `corrupt-ordering` fault. Clients are visited in
+// ID order so the scramble is deterministic given rng. A safe no-op on
+// best-effort topics, which hold no ordering state.
+func (l *Live) CorruptOrderingState(t sim.Topic, rng *rand.Rand) {
+	ids := make([]sim.NodeID, 0, len(l.Clients))
+	for id := range l.Clients {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		l.Clients[id].CorruptOrdering(t, rng)
+	}
 }
 
 // Converged reports whether topic t is in a legitimate state (see

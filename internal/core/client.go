@@ -1,10 +1,12 @@
 package core
 
 import (
+	"math/rand"
 	"sort"
 	"sync"
 
 	"sspubsub/internal/label"
+	"sspubsub/internal/ordering"
 	"sspubsub/internal/proto"
 	"sspubsub/internal/pubsub"
 	"sspubsub/internal/sim"
@@ -31,6 +33,16 @@ type Options struct {
 	// topic the client subscribes to. It runs inside the protocol handler:
 	// it must not call back into the Client.
 	OnDeliver func(sim.Topic, proto.Publication)
+
+	// DeliveryMode selects the per-topic delivery discipline (best-effort,
+	// FIFO per publisher, or causal — see internal/ordering). It applies to
+	// every topic this client joins.
+	DeliveryMode ordering.Mode
+
+	// OnDeliverTrace, if non-nil, receives every delivery with its ordering
+	// provenance. Options are shared across a deployment's clients, so the
+	// delivering node is passed explicitly. Same constraints as OnDeliver.
+	OnDeliverTrace func(node sim.NodeID, t sim.Topic, p proto.Publication, m ordering.Meta)
 
 	// SupervisorFor, if non-nil, routes each topic to its responsible
 	// supervisor (the multi-supervisor extension of Section 1.3); the
@@ -107,10 +119,17 @@ func (c *Client) ensure(t sim.Topic) *Instance {
 		DisableFlooding:    c.opts.DisableFlooding,
 		DisableAntiEntropy: c.opts.DisableAntiEntropy,
 		HistoryCap:         c.opts.HistoryCap,
+		Mode:               c.opts.DeliveryMode,
 	}
 	if c.opts.OnDeliver != nil {
 		topic := t
 		cfg.OnDeliver = func(p proto.Publication) { c.opts.OnDeliver(topic, p) }
+	}
+	if c.opts.OnDeliverTrace != nil {
+		topic := t
+		cfg.OnDeliverMeta = func(p proto.Publication, m ordering.Meta) {
+			c.opts.OnDeliverTrace(c.id, topic, p, m)
+		}
 	}
 	in := &Instance{Sub: sub, Eng: pubsub.NewEngine(cfg)}
 	c.inst[t] = in
@@ -337,6 +356,17 @@ func (c *Client) Degree(t sim.Topic) int {
 		return 0
 	}
 	return in.Sub.Degree()
+}
+
+// CorruptOrdering scrambles the client's ordering state for topic t — the
+// corrupt-ordering chaos fault. No-op on best-effort topics or without an
+// instance.
+func (c *Client) CorruptOrdering(t sim.Topic, rng *rand.Rand) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if in, ok := c.inst[t]; ok {
+		in.Eng.CorruptOrdering(rng)
+	}
 }
 
 // Instance exposes the raw per-topic instance for deterministic tests; it

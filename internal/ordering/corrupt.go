@@ -1,0 +1,66 @@
+package ordering
+
+import (
+	"math/rand"
+	"sort"
+
+	"sspubsub/internal/sim"
+)
+
+// Corrupt scrambles the buffer's ordering state in place — the
+// corrupt-ordering chaos fault. The scrambles it performs model real
+// failure classes the machinery must converge from:
+//
+//   - cursors scrambled downward (amnesia): the next publication from that
+//     origin looks far ahead → gap-declared-loss advance resyncs upward,
+//     or within-window gaps resolve via ForceAfter forced deliveries.
+//   - FIFO cursors may additionally scramble upward (a wrapped or
+//     fabricated counter): subsequent real sequences look ancient and the
+//     ResyncAfter run resyncs the cursor downward. Causal cursors scramble
+//     DOWN only — an upward scramble would manufacture false barrier
+//     coverage, which no amount of later traffic can distinguish from a
+//     genuine past delivery, so the coverage probe would (correctly) flag
+//     machinery that allowed it.
+//   - bitmaps scrambled arbitrarily: worst case is spurious duplicate
+//     suppression of Window stragglers — bounded, and only of already
+//     flagged deliveries.
+//   - pending entries dropped (never mutated: a held publication either
+//     survives intact or disappears; its cursor never advanced, so a
+//     dropped entry is indistinguishable from transport loss and the gap
+//     machinery recovers it).
+func (b *Buffer) Corrupt(rng *rand.Rand) {
+	origins := make([]sim.NodeID, 0, len(b.curs))
+	for id := range b.curs {
+		origins = append(origins, id)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, id := range origins {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		c := b.curs[id]
+		switch rng.Intn(3) {
+		case 0: // scramble the cursor position
+			if b.mode == Causal || rng.Intn(2) == 0 {
+				// Downward (both modes): lose progress.
+				c.next = 1 + uint64(rng.Int63n(int64(c.next)))
+			} else {
+				// Upward (FIFO only): fabricate progress.
+				c.next += uint64(1 + rng.Intn(4*Window))
+			}
+		case 1: // scramble the duplicate-suppression bitmap
+			c.recent = rng.Uint64()
+		case 2: // full amnesia for this publisher
+			delete(b.curs, id)
+		}
+	}
+	if len(b.pending) > 0 && rng.Intn(2) == 0 {
+		kept := b.pending[:0]
+		for _, e := range b.pending {
+			if rng.Intn(2) == 0 {
+				kept = append(kept, e)
+			}
+		}
+		b.pending = kept
+	}
+}

@@ -181,6 +181,41 @@ type PublishNew struct {
 	Pub Publication
 }
 
+// ---- ordered delivery (per-topic FIFO / causal modes) ----
+//
+// Best-effort topics flood PublishNew. Ordered topics flood the same
+// payload wrapped with bounded ordering metadata: a per-publisher sequence
+// number (FIFO), plus a capped causal-barrier summary (causal). Storage
+// and forwarding are unchanged — only the subscriber-side delivery
+// callback is reordered, by internal/ordering.
+
+// PublishSeq floods a fresh publication on a FIFO-mode topic: Pub plus the
+// publisher's per-topic sequence number (starting at 1).
+type PublishSeq struct {
+	Pub Publication
+	Seq uint64
+}
+
+// BarrierEntry is one element of a bounded causal-barrier summary: the
+// publisher had delivered publications from Origin up to sequence Seq when
+// it published.
+type BarrierEntry struct {
+	Origin sim.NodeID
+	Seq    uint64
+}
+
+// PublishCausal floods a fresh publication on a causal-mode topic: Pub,
+// the publisher's sequence number, and a barrier of at most
+// ordering.BarrierCap entries summarizing the publication's causal
+// predecessors. Receivers hold the publication until their own delivery
+// frontier covers the barrier (or the bounded force-delivery timeout
+// fires).
+type PublishCausal struct {
+	Pub     Publication
+	Seq     uint64
+	Barrier []BarrierEntry
+}
+
 // ---- supervisor plane (crash-tolerant sharded supervision) ----
 //
 // The paper assumes one reliable supervisor. With topics sharded over
@@ -259,6 +294,9 @@ type ReplicaDelta struct {
 	Epoch uint64
 	Put   []ReplicaEntry
 	Del   []label.Label
+	// Mode is the topic's delivery mode (an ordering.Mode value), carried
+	// so replicas adopt it along with the directory.
+	Mode uint8
 }
 
 // ReplicaDigest is the anti-entropy exchange. With Probe set it is the
@@ -273,6 +311,8 @@ type ReplicaDigest struct {
 	Epoch uint64
 	Count uint64
 	Hash  [16]byte
+	// Mode is the topic's delivery mode (an ordering.Mode value).
+	Mode uint8
 }
 
 // ReplicaSync is one bounded chunk of a full directory sync: chunk Seq of
@@ -287,6 +327,8 @@ type ReplicaSync struct {
 	Seq     uint64
 	Chunks  uint64
 	Entries []ReplicaEntry
+	// Mode is the topic's delivery mode (an ordering.Mode value).
+	Mode uint8
 }
 
 // ---- deterministic token-passing variant (paper's conclusion) ----

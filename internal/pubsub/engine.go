@@ -7,9 +7,17 @@
 // that all subscribers eventually store all publications (Theorem 17);
 // a flooding layer (PublishNew) over ring and shortcut edges delivers
 // fresh publications in O(log n) hops (Section 4.3).
+//
+// On topics with an ordered delivery mode (internal/ordering), storage and
+// flooding are unchanged — publications flood as PublishSeq/PublishCausal
+// carrying bounded ordering metadata, and only the delivery callback is
+// reordered through a per-topic ordering.Buffer.
 package pubsub
 
 import (
+	"math/rand"
+
+	"sspubsub/internal/ordering"
 	"sspubsub/internal/proto"
 	"sspubsub/internal/sim"
 	"sspubsub/internal/trie"
@@ -31,7 +39,16 @@ type Config struct {
 	// becomes locally known (once per time it becomes known: with a
 	// HistoryCap an evicted publication can be relearned through
 	// anti-entropy and delivered again — at-least-once in bounded mode).
+	// On ordered topics, deliveries pass through the reorder buffer first.
 	OnDeliver func(proto.Publication)
+	// OnDeliverMeta, if non-nil, is invoked after OnDeliver with the
+	// delivery's ordering provenance (a zero Meta on best-effort topics).
+	OnDeliverMeta func(proto.Publication, ordering.Meta)
+
+	// Mode is the topic's delivery mode. BestEffort leaves the delivery
+	// path exactly as the paper specifies; FIFO/Causal interpose a bounded
+	// self-stabilizing reorder buffer (internal/ordering).
+	Mode ordering.Mode
 
 	// HistoryCap bounds the number of publications retained in the trie;
 	// when exceeded, the publications with the smallest keys are evicted.
@@ -53,6 +70,11 @@ type Config struct {
 type Engine struct {
 	cfg Config
 	t   *trie.Trie
+
+	// Ordered-mode state (nil / zero on best-effort topics).
+	ord     *ordering.Buffer
+	nextSeq uint64
+	ticks   uint64
 }
 
 // NewEngine creates an engine with an empty trie.
@@ -60,7 +82,11 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.KeyLen == 0 {
 		cfg.KeyLen = 64
 	}
-	return &Engine{cfg: cfg, t: trie.New(cfg.KeyLen)}
+	e := &Engine{cfg: cfg, t: trie.New(cfg.KeyLen)}
+	if cfg.Mode != ordering.BestEffort {
+		e.ord = ordering.New(cfg.Mode, cfg.Self, e.emit)
+	}
+	return e
 }
 
 // Trie exposes the underlying Patricia trie (read-only use).
@@ -69,32 +95,63 @@ func (e *Engine) Trie() *trie.Trie { return e.t }
 // Publications returns all locally known publications in key order.
 func (e *Engine) Publications() []proto.Publication { return e.t.All() }
 
+// emit hands one delivery to the application callbacks.
+func (e *Engine) emit(p proto.Publication, m ordering.Meta) {
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(p)
+	}
+	if e.cfg.OnDeliverMeta != nil {
+		e.cfg.OnDeliverMeta(p, m)
+	}
+}
+
 // Publish creates, stores and floods a new publication authored by the
 // host ("whenever a subscriber u generates a new publication p, u inserts
-// p into u.T and broadcasts p over the ring").
+// p into u.T and broadcasts p over the ring"). On ordered topics the flood
+// body additionally carries the publisher's sequence number (and, in
+// causal mode, the bounded causal barrier).
 func (e *Engine) Publish(ctx sim.Context, payload string) proto.Publication {
 	p := trie.NewPublication(e.cfg.KeyLen, e.cfg.Self, payload)
-	e.insert(p)
+	if e.ord == nil {
+		e.insert(p)
+		if !e.cfg.DisableFlooding {
+			// Box the body once: every flood target receives the same value,
+			// so the per-edge interface conversion would be pure allocation.
+			var body any = proto.PublishNew{Pub: p}
+			for _, id := range e.cfg.FloodTargets() {
+				ctx.Send(id, e.cfg.Topic, body)
+			}
+		}
+		return p
+	}
+	e.nextSeq++
+	seq := e.nextSeq
+	barrier := e.ord.Barrier() // nil unless causal
+	var body any
+	if e.cfg.Mode == ordering.Causal {
+		body = proto.PublishCausal{Pub: p, Seq: seq, Barrier: barrier}
+	} else {
+		body = proto.PublishSeq{Pub: p, Seq: seq}
+	}
 	if !e.cfg.DisableFlooding {
-		// Box the body once: every flood target receives the same value,
-		// so the per-edge interface conversion would be pure allocation.
-		var body any = proto.PublishNew{Pub: p}
 		for _, id := range e.cfg.FloodTargets() {
 			ctx.Send(id, e.cfg.Topic, body)
 		}
 	}
+	if e.insertStore(p) {
+		e.ord.Arrive(p, seq, barrier)
+	}
 	return p
 }
 
-func (e *Engine) insert(p proto.Publication) bool {
+// insertStore inserts p into the trie (with HistoryCap eviction) without
+// delivering it. It reports whether p was new.
+func (e *Engine) insertStore(p proto.Publication) bool {
 	if p.Key.Len != e.t.KeyLen() {
 		return false // corrupted message with a foreign key width
 	}
 	if !e.t.Insert(p) {
 		return false
-	}
-	if e.cfg.OnDeliver != nil {
-		e.cfg.OnDeliver(p)
 	}
 	for e.cfg.HistoryCap > 0 && e.t.Len() > e.cfg.HistoryCap {
 		e.t.DeleteMin()
@@ -102,9 +159,49 @@ func (e *Engine) insert(p proto.Publication) bool {
 	return true
 }
 
+// insert stores p and delivers it along the unsequenced path: directly on
+// best-effort topics, flagged Recovered through the buffer on ordered
+// topics (anti-entropy carries no ordering metadata).
+func (e *Engine) insert(p proto.Publication) bool {
+	if !e.insertStore(p) {
+		return false
+	}
+	if e.ord != nil {
+		e.ord.Recovered(p)
+	} else {
+		e.emit(p, ordering.Meta{})
+	}
+	return true
+}
+
+// CorruptOrdering scrambles the engine's ordering state in place — the
+// corrupt-ordering chaos fault. No-op on best-effort topics, which hold no
+// ordering state.
+func (e *Engine) CorruptOrdering(rng *rand.Rand) {
+	if e.ord == nil {
+		return
+	}
+	e.ord.Corrupt(rng)
+	if rng.Intn(2) == 0 {
+		// Scramble the publisher counter too. Downward makes receivers see
+		// "ancient" sequences (their ResyncAfter run resyncs them);
+		// upward makes them declare a gap lost and jump.
+		if rng.Intn(2) == 0 && e.nextSeq > 0 {
+			e.nextSeq = uint64(rng.Int63n(int64(e.nextSeq + 1)))
+		} else {
+			e.nextSeq += uint64(rng.Intn(4 * ordering.Window))
+		}
+	}
+}
+
 // OnTimeout is the PublishTimeout action (Algorithm 5 lines 1–4): send our
-// root summary to one random direct ring neighbour.
+// root summary to one random direct ring neighbour. On ordered topics it
+// also drives the reorder buffer's clock (age-out of held publications).
 func (e *Engine) OnTimeout(ctx sim.Context) {
+	if e.ord != nil {
+		e.ticks++
+		e.ord.Tick(e.ticks)
+	}
 	if e.cfg.DisableAntiEntropy {
 		return
 	}
@@ -145,10 +242,37 @@ func (e *Engine) OnMessage(ctx sim.Context, m sim.Message) bool {
 				}
 			}
 		}
+	case proto.PublishSeq:
+		e.onSequenced(ctx, m, b.Pub, b.Seq, nil)
+	case proto.PublishCausal:
+		e.onSequenced(ctx, m, b.Pub, b.Seq, b.Barrier)
 	default:
 		return false
 	}
 	return true
+}
+
+// onSequenced handles a flooded ordered publication: store, deliver
+// through the reorder buffer, forward. A sequenced frame reaching a
+// best-effort engine (mode drift between deployments, or a topic whose
+// mode the supervisor has not yet replicated here) degrades gracefully to
+// best-effort delivery — the metadata is ignored, never an error.
+func (e *Engine) onSequenced(ctx sim.Context, m sim.Message, p proto.Publication, seq uint64, barrier []proto.BarrierEntry) {
+	if !e.insertStore(p) {
+		return
+	}
+	if e.ord != nil {
+		e.ord.Arrive(p, seq, barrier)
+	} else {
+		e.emit(p, ordering.Meta{})
+	}
+	if !e.cfg.DisableFlooding {
+		for _, id := range e.cfg.FloodTargets() {
+			if id != m.From {
+				ctx.Send(id, e.cfg.Topic, m.Body)
+			}
+		}
+	}
 }
 
 // checkTrie implements the three cases of the CheckTrie action

@@ -6,6 +6,8 @@ import (
 
 	"sspubsub/internal/core"
 	"sspubsub/internal/metrics"
+	"sspubsub/internal/ordering"
+	"sspubsub/internal/proto"
 	"sspubsub/internal/sim"
 	"sspubsub/internal/supervisor"
 )
@@ -46,6 +48,12 @@ type Config struct {
 	// CrashFrac is the fraction of subscribers crashed for the
 	// stabilization probe. Default 0.01 (min 1 subscriber).
 	CrashFrac float64
+	// DeliveryMode runs every subscriber (and the supervisor's topic
+	// directory) in the given delivery mode. Ordered modes time the
+	// fan-out probe on actual application deliveries — which the ordering
+	// layer may buffer — rather than on trie arrival, so the sweep
+	// measures the ordering overhead end to end.
+	DeliveryMode ordering.Mode
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +94,10 @@ type Harness struct {
 	Sup     *supervisor.Supervisor
 	Pools   []*Pool
 	subBase sim.NodeID
+
+	// delivered counts application-level deliveries per subscriber (only
+	// maintained when Cfg.DeliveryMode is an ordered mode).
+	delivered []int
 }
 
 // New builds the system: one supervisor, ceil(N/PoolSize) pool nodes, N
@@ -103,7 +115,16 @@ func New(cfg Config) *Harness {
 	numPools := (cfg.N + cfg.PoolSize - 1) / cfg.PoolSize
 	subBase := SupervisorID + 1 + sim.NodeID(numPools)
 	h := &Harness{Cfg: cfg, Sched: sched, Sup: sup, subBase: subBase}
-	opts := core.Options{HistoryCap: cfg.HistoryCap}
+	opts := core.Options{HistoryCap: cfg.HistoryCap, DeliveryMode: cfg.DeliveryMode}
+	if cfg.DeliveryMode != ordering.BestEffort {
+		sup.SetDefaultMode(cfg.DeliveryMode)
+		h.delivered = make([]int, cfg.N)
+		opts.OnDeliverTrace = func(node sim.NodeID, t sim.Topic, p proto.Publication, m ordering.Meta) {
+			if i := int(node - subBase); t == cfg.Topic && i >= 0 && i < cfg.N {
+				h.delivered[i]++
+			}
+		}
+	}
 	for j := 0; j < numPools; j++ {
 		base := subBase + sim.NodeID(j*cfg.PoolSize)
 		k := cfg.PoolSize
@@ -189,6 +210,34 @@ func (h *Harness) AwaitPublication(want int) (rounds []int, ok bool) {
 	return rounds, len(pending) == 0
 }
 
+// AwaitDelivered advances rounds until every live subscriber has observed
+// at least `want` application-level deliveries (ordered modes only; the
+// counters are maintained by the OnDeliverTrace hook). Unlike
+// AwaitPublication this sees the ordering layer's buffering: a reordered
+// publication counts only once the delivery callback actually fired.
+func (h *Harness) AwaitDelivered(want int) (rounds []int, ok bool) {
+	rounds = make([]int, h.Cfg.N)
+	pending := make([]int, 0, h.Cfg.N)
+	for i := 0; i < h.Cfg.N; i++ {
+		if h.delivered[i] < want {
+			pending = append(pending, i)
+		}
+	}
+	for r := 1; r <= h.Cfg.MaxRounds && len(pending) > 0; r++ {
+		h.Sched.RunRounds(1)
+		next := pending[:0]
+		for _, i := range pending {
+			if h.delivered[i] >= want {
+				rounds[i] = r
+			} else {
+				next = append(next, i)
+			}
+		}
+		pending = next
+	}
+	return rounds, len(pending) == 0
+}
+
 // Publish makes subscriber i author a publication.
 func (h *Harness) Publish(i int, payload string) {
 	id := h.ID(i)
@@ -233,6 +282,9 @@ func (h *Harness) AwaitDBSize(want int) (rounds int, ok bool) {
 // ingests.
 type Result struct {
 	N int
+	// Mode is the delivery mode the sweep point ran with ("besteffort",
+	// "fifo", "causal").
+	Mode string
 	// Join: mass arrival of all N subscribers at t=0.
 	JoinRounds  metrics.Summary // rounds until a subscriber held its label
 	JoinWallSec float64         // wall-clock for the whole join phase
@@ -258,7 +310,7 @@ type Result struct {
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	h := New(cfg)
-	res := Result{N: cfg.N, Converged: true}
+	res := Result{N: cfg.N, Mode: cfg.DeliveryMode.String(), Converged: true}
 
 	start := time.Now()
 	h.JoinAll()
@@ -273,9 +325,15 @@ func Run(cfg Config) Result {
 	h.Sched.RunRounds(cfg.SettleRounds)
 
 	h.Publish(0, fmt.Sprintf("pub-n%d", cfg.N))
-	fanRounds, ok := h.AwaitPublication(1)
+	var fanRounds []int
+	var ok2 bool
+	if cfg.DeliveryMode != ordering.BestEffort {
+		fanRounds, ok2 = h.AwaitDelivered(1)
+	} else {
+		fanRounds, ok2 = h.AwaitPublication(1)
+	}
 	res.FanoutRounds = metrics.Summarize(metrics.Ints(fanRounds))
-	res.Converged = res.Converged && ok
+	res.Converged = res.Converged && ok2
 
 	res.SupDBBytes = h.Sup.MemoryBytes(cfg.Topic)
 	if in, found := h.Client(0).Instance(cfg.Topic); found {

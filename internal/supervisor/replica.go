@@ -45,6 +45,7 @@ import (
 
 	"sspubsub/internal/hashdht"
 	"sspubsub/internal/label"
+	"sspubsub/internal/ordering"
 	"sspubsub/internal/proto"
 	"sspubsub/internal/sim"
 )
@@ -155,6 +156,9 @@ func (db *topicDB) pend(op repOp) {
 type replicaDB struct {
 	epoch uint64
 	db    map[label.Label]sim.NodeID
+	// mode is the topic's replicated delivery mode (directory metadata; a
+	// warm adoption carries it into the new era alongside the labels).
+	mode ordering.Mode
 	// hash is the incrementally maintained digest of db; verified is the
 	// plane tick of the last recompute-from-content self-check.
 	hash     [16]byte
@@ -263,7 +267,7 @@ func (s *Supervisor) replicaTimeout(ctx sim.Context) {
 				s.sendFullSync(ctx, t, db, to)
 			}
 		case len(db.pending) > 0:
-			d := proto.ReplicaDelta{Epoch: db.epoch}
+			d := proto.ReplicaDelta{Epoch: db.epoch, Mode: uint8(db.mode)}
 			for _, op := range db.pending {
 				if op.del {
 					d.Del = append(d.Del, op.l)
@@ -280,6 +284,7 @@ func (s *Supervisor) replicaTimeout(ctx sim.Context) {
 			dig := proto.ReplicaDigest{
 				Probe: true, Epoch: db.epoch,
 				Count: uint64(len(db.db)), Hash: db.repHash,
+				Mode: uint8(db.mode),
 			}
 			for _, to := range succs {
 				ctx.Send(to, t, dig)
@@ -336,6 +341,7 @@ func (s *Supervisor) sendFullSync(ctx sim.Context, t sim.Topic, db *topicDB, to 
 		ctx.Send(to, t, proto.ReplicaSync{
 			Epoch: db.epoch, Round: db.syncRound,
 			Seq: seq, Chunks: total, Entries: entries[lo:hi],
+			Mode: uint8(db.mode),
 		})
 	}
 }
@@ -355,6 +361,7 @@ func (s *Supervisor) onReplicaDelta(t sim.Topic, b proto.ReplicaDelta) {
 		return
 	}
 	rep.epoch = b.Epoch
+	rep.mode = ordering.Mode(b.Mode)
 	for _, e := range b.Put {
 		rep.apply(e.L, e.V)
 	}
@@ -373,6 +380,9 @@ func (s *Supervisor) onReplicaDigest(ctx sim.Context, t sim.Topic, from sim.Node
 	}
 	if b.Probe {
 		rep := s.replica(t)
+		// The mode is a single directory-level scalar, so the probe itself
+		// repairs it directly — no sync round needed for a mode divergence.
+		rep.mode = ordering.Mode(b.Mode)
 		if s.plane.tick-rep.verified >= replicaVerifyEvery {
 			// Self-check: recompute from content so corruption that kept
 			// the stored digest coherent is still caught within a bounded
@@ -441,6 +451,7 @@ func (s *Supervisor) onReplicaSync(t sim.Topic, b proto.ReplicaSync) {
 	rep.db = fresh
 	rep.hash = h
 	rep.epoch = st.epoch
+	rep.mode = ordering.Mode(b.Mode)
 	rep.stage = nil
 	rep.fresh = s.plane.tick
 	rep.verified = s.plane.tick

@@ -78,7 +78,7 @@ func (a *Arena) grabMsgs(n int) []sim.Message {
 	}
 	l := len(a.msgs)
 	a.msgs = a.msgs[:l+n]
-	return a.msgs[l:l:l+n]
+	return a.msgs[l : l : l+n]
 }
 
 // grabPubs is grabMsgs for publication slices, minus the frame-boundary
@@ -97,7 +97,7 @@ func (a *Arena) grabPubs(n int) []proto.Publication {
 	}
 	l := len(a.pubs)
 	a.pubs = a.pubs[:l+n]
-	return a.pubs[l:l:l+n]
+	return a.pubs[l : l : l+n]
 }
 
 // endFrame rewinds the per-frame scaffold only.

@@ -71,7 +71,7 @@ func (t *tape) publication() proto.Publication {
 
 // genBody draws one message body of the selected registered type.
 func genBody(sel uint8, tp *tape) any {
-	switch sel % 27 {
+	switch sel % 29 {
 	case 0:
 		return proto.Subscribe{V: tp.node()}
 	case 1:
@@ -144,7 +144,7 @@ func genBody(sel uint8, tp *tape) any {
 		}
 		return m
 	case 24:
-		m := proto.ReplicaDelta{Epoch: tp.u64()}
+		m := proto.ReplicaDelta{Epoch: tp.u64(), Mode: tp.u8()}
 		for i := int(tp.u8() % 4); i > 0; i-- {
 			m.Put = append(m.Put, proto.ReplicaEntry{L: tp.label(), V: tp.node()})
 		}
@@ -153,15 +153,23 @@ func genBody(sel uint8, tp *tape) any {
 		}
 		return m
 	case 25:
-		m := proto.ReplicaDigest{Probe: tp.u8()%2 == 1, Epoch: tp.u64(), Count: tp.u64()}
+		m := proto.ReplicaDigest{Probe: tp.u8()%2 == 1, Epoch: tp.u64(), Count: tp.u64(), Mode: tp.u8()}
 		for i := range m.Hash {
 			m.Hash[i] = tp.u8()
 		}
 		return m
-	default:
-		m := proto.ReplicaSync{Epoch: tp.u64(), Round: tp.u64(), Seq: tp.u64(), Chunks: tp.u64()}
+	case 26:
+		m := proto.ReplicaSync{Epoch: tp.u64(), Round: tp.u64(), Seq: tp.u64(), Chunks: tp.u64(), Mode: tp.u8()}
 		for i := int(tp.u8() % 4); i > 0; i-- {
 			m.Entries = append(m.Entries, proto.ReplicaEntry{L: tp.label(), V: tp.node()})
+		}
+		return m
+	case 27:
+		return proto.PublishSeq{Pub: tp.publication(), Seq: tp.u64()}
+	default:
+		m := proto.PublishCausal{Pub: tp.publication(), Seq: tp.u64()}
+		for i := int(tp.u8() % 4); i > 0; i-- {
+			m.Barrier = append(m.Barrier, proto.BarrierEntry{Origin: tp.node(), Seq: tp.u64()})
 		}
 		return m
 	}
@@ -217,6 +225,9 @@ func FuzzWireAdversarial(f *testing.F) {
 		proto.ReplicaDelta{Epoch: 4, Put: []proto.ReplicaEntry{{L: label.MustParse("01"), V: 6}}, Del: []label.Label{label.MustParse("1")}},
 		proto.ReplicaDigest{Probe: true, Epoch: 2, Count: 5, Hash: [16]byte{0xAB, 1}},
 		proto.ReplicaSync{Epoch: 3, Round: 1, Seq: 0, Chunks: 2, Entries: []proto.ReplicaEntry{{L: label.MustParse("001"), V: 8}}},
+		proto.PublishSeq{Pub: proto.Publication{Key: proto.Key{Bits: 5, Len: 8}, Origin: 1, Payload: "s"}, Seq: 7},
+		proto.PublishCausal{Pub: proto.Publication{Key: proto.Key{Bits: 6, Len: 8}, Origin: 2, Payload: "c"}, Seq: 3,
+			Barrier: []proto.BarrierEntry{{Origin: 1, Seq: 2}, {Origin: 4, Seq: 9}}},
 	} {
 		b, err := Marshal(sim.Message{To: 2, From: 3, Topic: 1, Body: body})
 		if err != nil {

@@ -52,6 +52,10 @@ const (
 	tagReplicaDelta  = 23
 	tagReplicaDigest = 24
 	tagReplicaSync   = 25
+	// Ordered delivery (per-topic FIFO / causal modes): sequenced and
+	// causal-barrier publication frames.
+	tagPublishSeq    = 26
+	tagPublishCausal = 27
 	// Transport control (package nettransport): connection handshake.
 	tagHello   = 32
 	tagWelcome = 33
@@ -209,6 +213,37 @@ var registry = map[uint64]entry{
 	tagPublishNew: {"proto.PublishNew", proto.PublishNew{},
 		func(e *enc, b any) { e.publication(b.(proto.PublishNew).Pub) },
 		func(d *dec) any { return proto.PublishNew{Pub: d.publication()} }},
+	tagPublishSeq: {"proto.PublishSeq", proto.PublishSeq{},
+		func(e *enc, b any) {
+			m := b.(proto.PublishSeq)
+			e.publication(m.Pub)
+			e.uvarint(m.Seq)
+		},
+		func(d *dec) any {
+			return proto.PublishSeq{Pub: d.publication(), Seq: d.uvarint()}
+		}},
+	tagPublishCausal: {"proto.PublishCausal", proto.PublishCausal{},
+		func(e *enc, b any) {
+			m := b.(proto.PublishCausal)
+			e.publication(m.Pub)
+			e.uvarint(m.Seq)
+			e.uvarint(uint64(len(m.Barrier)))
+			for _, be := range m.Barrier {
+				e.node(be.Origin)
+				e.uvarint(be.Seq)
+			}
+		},
+		func(d *dec) any {
+			m := proto.PublishCausal{Pub: d.publication(), Seq: d.uvarint()}
+			n := d.sliceLen(2) // origin ≥ 1 byte + seq ≥ 1 byte
+			if n > 0 {
+				m.Barrier = make([]proto.BarrierEntry, 0, n)
+			}
+			for i := 0; i < n && d.err == nil; i++ {
+				m.Barrier = append(m.Barrier, proto.BarrierEntry{Origin: d.node(), Seq: d.uvarint()})
+			}
+			return m
+		}},
 	tagToken: {"proto.Token", proto.Token{},
 		func(e *enc, b any) {
 			m := b.(proto.Token)
@@ -320,6 +355,7 @@ var registry = map[uint64]entry{
 			for _, l := range m.Del {
 				e.label(l)
 			}
+			e.u8(m.Mode)
 		},
 		func(d *dec) any {
 			m := proto.ReplicaDelta{Epoch: d.uvarint()}
@@ -337,6 +373,7 @@ var registry = map[uint64]entry{
 			for i := 0; i < n && d.err == nil; i++ {
 				m.Del = append(m.Del, d.labelv())
 			}
+			m.Mode = d.u8()
 			return m
 		}},
 	tagReplicaDigest: {"proto.ReplicaDigest", proto.ReplicaDigest{},
@@ -346,10 +383,12 @@ var registry = map[uint64]entry{
 			e.uvarint(m.Epoch)
 			e.uvarint(m.Count)
 			e.raw(m.Hash[:]...)
+			e.u8(m.Mode)
 		},
 		func(d *dec) any {
 			m := proto.ReplicaDigest{Probe: d.boolean(), Epoch: d.uvarint(), Count: d.uvarint()}
 			d.bytes(m.Hash[:])
+			m.Mode = d.u8()
 			return m
 		}},
 	tagReplicaSync: {"proto.ReplicaSync", proto.ReplicaSync{},
@@ -364,6 +403,7 @@ var registry = map[uint64]entry{
 				e.label(re.L)
 				e.node(re.V)
 			}
+			e.u8(m.Mode)
 		},
 		func(d *dec) any {
 			m := proto.ReplicaSync{
@@ -377,6 +417,7 @@ var registry = map[uint64]entry{
 			for i := 0; i < n && d.err == nil; i++ {
 				m.Entries = append(m.Entries, proto.ReplicaEntry{L: d.labelv(), V: d.node()})
 			}
+			m.Mode = d.u8()
 			return m
 		}},
 	tagHello: {"wire.Hello", Hello{},

@@ -62,6 +62,14 @@ var sampleBodies = []any{
 		{L: lbl("0001"), V: 12},
 	}},
 	proto.ReplicaSync{Epoch: 7, Round: 1, Seq: 0, Chunks: 1},
+	proto.ReplicaDelta{Epoch: 4, Mode: 1},
+	proto.ReplicaDigest{Epoch: 2, Count: 3, Mode: 2},
+	proto.ReplicaSync{Epoch: 8, Round: 1, Seq: 0, Chunks: 1, Mode: 2},
+	proto.PublishSeq{Pub: proto.Publication{Key: proto.Key{Bits: 17, Len: 16}, Origin: 3, Payload: "seq-pub"}, Seq: 1 << 33},
+	proto.PublishSeq{Pub: proto.Publication{Key: proto.Key{Bits: 1, Len: 1}, Origin: 4, Payload: ""}, Seq: 1},
+	proto.PublishCausal{Pub: proto.Publication{Key: proto.Key{Bits: 5, Len: 8}, Origin: 6, Payload: "causal"}, Seq: 9,
+		Barrier: []proto.BarrierEntry{{Origin: 1, Seq: 8}, {Origin: 1<<40 + 2, Seq: 1 << 50}}},
+	proto.PublishCausal{Pub: proto.Publication{Key: proto.Key{Bits: 2, Len: 2}, Origin: 7, Payload: "lone"}, Seq: 1},
 	core.JoinTopic{},
 	core.LeaveTopic{},
 	core.PublishCmd{Payload: "payload with\x00bytes"},

@@ -6,6 +6,8 @@ import (
 
 	"sspubsub/internal/cluster"
 	"sspubsub/internal/core"
+	"sspubsub/internal/ordering"
+	"sspubsub/internal/proto"
 	"sspubsub/internal/runtime/concurrent"
 	"sspubsub/internal/runtime/nettransport"
 	"sspubsub/internal/sim"
@@ -81,6 +83,18 @@ type SimOptions struct {
 	// HistoryCap bounds each subscriber's retained publications per topic
 	// (0 = unlimited; see Options.HistoryCap on the live System).
 	HistoryCap int
+	// DeliveryMode selects the delivery ordering discipline every
+	// subscriber applies and the supervisors record as the directory
+	// default (ModeBestEffort, ModeFIFO or ModeCausal). Works on every
+	// substrate; on RuntimeSim ordered runs replay bit-exactly from Seed.
+	DeliveryMode DeliveryMode
+	// OnDeliver, if non-nil, observes every publication delivery as
+	// (subscriber, topic, payload), after the DeliveryMode discipline has
+	// released it — with ModeFIFO each publisher's payloads arrive at every
+	// subscriber in publish order. It runs inside the protocol handlers (on
+	// node goroutines under the live substrates, so it must be safe for
+	// concurrent use) and must not call back into the Simulation.
+	OnDeliver func(node NodeID, t Topic, payload string)
 }
 
 // NodeID identifies a simulated subscriber node.
@@ -117,6 +131,12 @@ func NewSimulation(opts SimOptions) *Simulation {
 		DisableAntiEntropy: opts.DisableAntiEntropy,
 		DisableActionIV:    opts.DisableActionIV,
 		HistoryCap:         opts.HistoryCap,
+		DeliveryMode:       opts.DeliveryMode,
+	}
+	if f := opts.OnDeliver; f != nil {
+		clientOpts.OnDeliverTrace = func(node sim.NodeID, t sim.Topic, p proto.Publication, _ ordering.Meta) {
+			f(node, t, p.Payload)
+		}
 	}
 	ivl := opts.Interval
 	if ivl == 0 {

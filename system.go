@@ -11,10 +11,33 @@ import (
 	"sspubsub/internal/cluster"
 	"sspubsub/internal/core"
 	"sspubsub/internal/hashdht"
+	"sspubsub/internal/ordering"
 	"sspubsub/internal/proto"
 	"sspubsub/internal/runtime/concurrent"
 	"sspubsub/internal/sim"
 	"sspubsub/internal/supervisor"
+)
+
+// DeliveryMode selects the delivery discipline clients apply to
+// publications before handing them to the application (the Mode constants
+// below). The zero value is best-effort — the paper's semantics.
+type DeliveryMode = ordering.Mode
+
+// Delivery modes. ModeBestEffort (the default) delivers each publication
+// exactly once per subscriber with no ordering promise. ModeFIFO delivers
+// each publisher's publications in publish order, absorbing transport
+// reordering in a bounded window; a gap that outlives the window is
+// declared lost and the cursor advances, so corrupted or wrapped sequence
+// state always converges. ModeCausal additionally holds a publication
+// until the bounded causal-barrier summary it carries — the publisher's
+// recently-observed publishers — is satisfied, with a hard cap on tracked
+// publishers and deterministic eviction. Both ordered modes keep O(1)
+// bounded state per subscriber and degrade to declared loss, never
+// deadlock (see the README's "Delivery modes" section).
+const (
+	ModeBestEffort = ordering.BestEffort
+	ModeFIFO       = ordering.FIFO
+	ModeCausal     = ordering.Causal
 )
 
 // Options configure a live System.
@@ -48,6 +71,11 @@ type Options struct {
 	// DisableFlooding turns off PublishNew (deliveries then come only
 	// through anti-entropy).
 	DisableFlooding bool
+	// DeliveryMode selects the delivery ordering discipline every client
+	// applies (default ModeBestEffort). The supervisors record it as the
+	// directory default for new topics, so warm replicas and failed-over
+	// owners agree on the deployment's mode.
+	DeliveryMode DeliveryMode
 	// Supervisors is the number of supervisor nodes (default 1). With more
 	// than one, topics are spread over the supervisors by consistent
 	// hashing — the scalability extension of Section 1.3 — and the
@@ -144,6 +172,9 @@ func NewSystem(opts Options) *System {
 				if opts.ReplicationFactor > 0 {
 					sup.SetReplicationFactor(opts.ReplicationFactor)
 				}
+			}
+			if opts.DeliveryMode != ModeBestEffort {
+				sup.SetDefaultMode(opts.DeliveryMode)
 			}
 			tr.AddNode(id, sup)
 			sups[id] = sup
@@ -342,6 +373,7 @@ func (s *System) NewClient(name string) (*Client, error) {
 		KeyLen:          s.opts.KeyLen,
 		OnDeliver:       c.deliver,
 		DisableFlooding: s.opts.DisableFlooding,
+		DeliveryMode:    s.opts.DeliveryMode,
 		SupervisorFor:   s.supervisorOf,
 		Supervisors:     s.supIDs,
 		HistoryCap:      s.opts.HistoryCap,

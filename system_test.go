@@ -105,6 +105,37 @@ func TestSystemPublishRequiresSubscription(t *testing.T) {
 	}
 }
 
+// TestSystemFIFODelivery: a live System configured with ModeFIFO presents
+// one publisher's payloads on every subscription channel in publish order.
+func TestSystemFIFODelivery(t *testing.T) {
+	sys := NewSystem(Options{Interval: 2 * time.Millisecond, Seed: 42, DeliveryMode: ModeFIFO})
+	t.Cleanup(sys.Close)
+	alice := sys.MustClient("alice")
+	bob := sys.MustClient("bob")
+	alice.Subscribe("feed")
+	sub := bob.Subscribe("feed")
+	if !sys.WaitStable("feed", 2, 5*time.Second) {
+		t.Fatalf("overlay never stabilized: %s", sys.explain("feed"))
+	}
+	want := []string{"first", "second", "third"}
+	for _, payload := range want {
+		if err := alice.Publish("feed", payload); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(4 * time.Millisecond) // order the publish-command self-sends
+	}
+	for _, payload := range want {
+		select {
+		case p := <-sub.Events():
+			if p.Payload != payload {
+				t.Fatalf("bob received %q, want %q", p.Payload, payload)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("bob never received %q", payload)
+		}
+	}
+}
+
 func TestSystemDuplicateClientName(t *testing.T) {
 	sys := newTestSystem(t)
 	sys.MustClient("dup")
