@@ -29,7 +29,18 @@ func runFailover(args []string) {
 	cull := fs.Int("cull", 0, "supervisor cull budget per timeout (0 = auto, n/64)")
 	maxRounds := fs.Int("maxrounds", 0, "max rounds per convergence wait (0 = default)")
 	bench := fs.Bool("bench", false, "emit go-bench result lines (pipe into cmd/benchjson)")
+	workers := fs.Int("workers", scale.DefaultWorkers(), "lane workers for the parallel engine (results are identical for every value); 0 = legacy serial scheduler")
+	lanes := fs.Int("lanes", 0, "parallel engine lane count (part of the schedule identity; 0 = default 16)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the whole sweep to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 	fs.Parse(args)
+
+	if *workers < 0 {
+		fail("failover: -workers must be >= 0, got %d", *workers)
+	}
+	stopCPU := startCPUProfile(*cpuprofile)
+	defer stopCPU()
+	defer writeMemProfile(*memprofile)
 
 	var ns []int
 	for _, part := range strings.Split(*nsFlag, ",") {
@@ -64,14 +75,23 @@ func runFailover(args []string) {
 			ReplicationFactor: *rf,
 			CullPerTimeout:    *cull,
 			MaxRounds:         *maxRounds,
+			Workers:           *workers,
+			Lanes:             *lanes,
 		})
 		results = append(results, res)
 		if !res.Converged {
 			fmt.Printf("# n=%d: DID NOT CONVERGE — curve below excludes it\n", n)
 		}
 		if *bench {
-			fmt.Printf("BenchmarkFailoverConvergence/rf=%d/n=%d 1 %d failover-rounds %d relabelled %d setup-rounds\n",
-				res.RepFactor, res.N, res.FailoverRounds, res.Relabelled, res.SetupRounds)
+			// Parallel-engine runs get a /p= suffix: a different engine is a
+			// different schedule, so it must not land in the legacy gated
+			// series.
+			suffix := ""
+			if *workers > 0 {
+				suffix = fmt.Sprintf("/p=%d", *workers)
+			}
+			fmt.Printf("BenchmarkFailoverConvergence/rf=%d/n=%d%s 1 %d failover-rounds %d relabelled %d setup-rounds\n",
+				res.RepFactor, res.N, suffix, res.FailoverRounds, res.Relabelled, res.SetupRounds)
 		}
 	}
 

@@ -14,7 +14,14 @@
 //
 //	srsim scale -ns 1000,10000,100000       # sweep, table + exponent fits
 //	srsim scale -ns 1000000 -bench          # emit benchjson-ready series
+//	srsim scale -ns 100000 -workers 8       # lane-sharded parallel engine (bit-identical for any -workers)
+//	srsim scale -ns 10000 -workers 0        # legacy serial scheduler
 //	srsim failover -ns 1000,10000 -rf 2     # supervisor failover-to-convergence sweep
+//
+// Scale and failover sweeps default to the parallel deterministic engine
+// (internal/psim) with one worker per CPU; results are bit-identical for
+// every -workers value, so parallelism never costs reproducibility.
+// -cpuprofile/-memprofile write pprof profiles of a sweep.
 //
 // With -runtime=sim (the default) the run is a deterministic
 // discrete-event simulation and every corruption scenario is available.

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startCPUProfile begins writing a CPU profile to path and returns the
+// stop function. An unwritable path or a profiling failure is a usage
+// error (exit 2): a sweep that silently measured without the profile the
+// operator asked for would waste the whole run.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("-cpuprofile: %v", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		fail("-cpuprofile: %v", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+	}
+}
+
+// writeMemProfile writes an allocs-space heap profile to path (after a GC,
+// so the numbers reflect live retention, not garbage). Exit 2 on failure,
+// as with startCPUProfile.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("-memprofile: %v", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		fail("-memprofile: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("-memprofile: %v", err)
+	}
+}

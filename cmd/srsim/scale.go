@@ -19,6 +19,13 @@ import (
 // straight into cmd/benchjson:
 //
 //	srsim scale -ns 1000,10000,100000 -bench | go run ./cmd/benchjson
+//
+// The sweep runs on the lane-sharded parallel engine by default (-workers
+// = GOMAXPROCS); any -workers >= 1 produces bit-identical results, and
+// -workers=0 selects the legacy serial scheduler (a different, equally
+// deterministic, schedule). -digest prints a canonical per-point DIGEST
+// line — CI diffs those lines across worker counts to enforce the
+// P-independence invariant.
 func runScale(args []string) {
 	fs := flag.NewFlagSet("scale", flag.ExitOnError)
 	nsFlag := fs.String("ns", "1000,10000,100000", "comma-separated subscriber counts to sweep")
@@ -31,7 +38,19 @@ func runScale(args []string) {
 	maxEvents := fs.Int("maxevents", 0, "scheduler event-queue ceiling (0 = unbounded; sheds load past it)")
 	bench := fs.Bool("bench", false, "emit go-bench result lines (pipe into cmd/benchjson)")
 	mode := fs.String("mode", "besteffort", "delivery mode: besteffort | fifo | causal (ordered modes time fan-out on actual deliveries)")
+	workers := fs.Int("workers", scale.DefaultWorkers(), "lane workers for the parallel engine (results are identical for every value); 0 = legacy serial scheduler")
+	lanes := fs.Int("lanes", 0, "parallel engine lane count (part of the schedule identity; 0 = default 16)")
+	digest := fs.Bool("digest", false, "print a DIGEST line per point (canonical schedule-determined fields, for divergence diffing)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the whole sweep to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 	fs.Parse(args)
+
+	if *workers < 0 {
+		fail("scale: -workers must be >= 0, got %d", *workers)
+	}
+	stopCPU := startCPUProfile(*cpuprofile)
+	defer stopCPU()
+	defer writeMemProfile(*memprofile)
 
 	dm, err := ordering.ParseMode(*mode)
 	if err != nil {
@@ -70,6 +89,8 @@ func runScale(args []string) {
 			CrashFrac:       *crash,
 			MaxQueuedEvents: *maxEvents,
 			DeliveryMode:    dm,
+			Workers:         *workers,
+			Lanes:           *lanes,
 		})
 		results = append(results, res)
 		if !res.Converged {
@@ -77,6 +98,9 @@ func runScale(args []string) {
 		}
 		if res.OverflowDropped > 0 {
 			fmt.Printf("# n=%d: event ceiling shed %d messages — latencies are load-shed, not protocol, numbers\n", n, res.OverflowDropped)
+		}
+		if *digest {
+			fmt.Printf("DIGEST %s\n", res.Digest())
 		}
 		if *bench {
 			printBenchLines(res)
@@ -128,11 +152,15 @@ func runScale(args []string) {
 // (name, iterations, then value-unit pairs — the even-field format
 // cmd/benchjson parses).
 func printBenchLines(r scale.Result) {
-	// Ordered sweeps get their own series names so a FIFO or causal run
-	// never collides with the best-effort baseline in benchjson.
+	// Ordered sweeps and parallel-engine runs get their own series names
+	// so they never collide with the legacy best-effort/serial baselines
+	// in benchjson (a new series is informational, not a regression).
 	suffix := ""
 	if r.Mode != "" && r.Mode != "besteffort" {
 		suffix = "/mode=" + r.Mode
+	}
+	if r.Workers > 0 {
+		suffix += fmt.Sprintf("/p=%d", r.Workers)
 	}
 	fmt.Printf("BenchmarkScaleJoin/n=%d%s 1 %.2f p50-rounds %.2f p95-rounds %.2f max-rounds %.0f joins/s %.3f wall-sec\n",
 		r.N, suffix, r.JoinRounds.P50, r.JoinRounds.P95, r.JoinRounds.Max, r.JoinsPerSec, r.JoinWallSec)
@@ -141,4 +169,10 @@ func printBenchLines(r scale.Result) {
 	fmt.Printf("BenchmarkScaleStabilize/n=%d%s 1 %d stabilize-rounds\n", r.N, suffix, r.StabilizeRounds)
 	fmt.Printf("BenchmarkScaleMemory/n=%d%s 1 %d db-bytes %d trie-bytes %d queue-bytes\n",
 		r.N, suffix, r.SupDBBytes, r.SubTrieBytes, r.QueueBytes)
+	// Wall-clock per phase: the series the parallel-speedup claims are
+	// measured on (P on the x-axis, one line per n).
+	if r.Workers > 0 {
+		fmt.Printf("BenchmarkScaleWallClock/n=%d/p=%d 1 %.0f joins/s %.3f join-sec %.3f fanout-sec %.3f stabilize-sec\n",
+			r.N, r.Workers, r.JoinsPerSec, r.JoinWallSec, r.FanoutWallSec, r.StabilizeWallSec)
+	}
 }

@@ -112,7 +112,19 @@
 // Options.HistoryCap (and SimOptions.HistoryCap) bound each subscriber's
 // retained publication history — at these populations an unbounded
 // history is the difference between a flat and a linearly growing
-// per-node footprint. See the README's Scale section for measured curves.
+// per-node footprint.
+//
+// The sweeps run on internal/psim, a conservative parallel discrete-event
+// engine: nodes are sharded across lanes by a deterministic NodeID hash,
+// lanes execute concurrently inside lookahead windows of width MinDelay
+// (a message sent at t cannot deliver before t+MinDelay, so intra-window
+// events never causally interact), and cross-lane sends merge at window
+// barriers in a fixed (deliverTime, srcLane, seq) order. Results are
+// bit-identical for every -workers value — parallelism buys wall-clock,
+// never reproducibility — which CI enforces by diffing full result
+// digests between serial and 4-worker runs. -workers=0 selects the
+// legacy serial scheduler. See the README's Scale section for measured
+// curves and the speedup table.
 //
 // # Supervisor plane
 //

@@ -1,0 +1,285 @@
+package psim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sspubsub/internal/sim"
+)
+
+// chatter is a test handler: every timeout it sends fanout messages to
+// pseudo-random peers (drawn from its lane stream), and it records every
+// delivery it observes in its own trace. All state is lane-confined.
+type chatter struct {
+	id     sim.NodeID
+	peers  []sim.NodeID
+	fanout int
+	recv   []string
+	ticks  int
+}
+
+type ping struct{ Hop int }
+
+func (c *chatter) OnTimeout(ctx sim.Context) {
+	c.ticks++
+	for i := 0; i < c.fanout; i++ {
+		to := c.peers[ctx.Rand().Intn(len(c.peers))]
+		ctx.Send(to, 1, ping{Hop: 0})
+	}
+}
+
+func (c *chatter) OnMessage(ctx sim.Context, m sim.Message) {
+	p := m.Body.(ping)
+	c.recv = append(c.recv, fmt.Sprintf("%d@%.6f#%d", m.From, ctx.Now(), p.Hop))
+	if p.Hop < 2 {
+		// Bounce onward: keeps cross-lane traffic flowing mid-window.
+		to := c.peers[ctx.Rand().Intn(len(c.peers))]
+		ctx.Send(to, 1, ping{Hop: p.Hop + 1})
+	}
+}
+
+// buildMesh registers n chatters on a fresh engine and returns them.
+func buildMesh(opts Options, n, fanout int) (*Engine, []*chatter) {
+	e := New(opts)
+	peers := make([]sim.NodeID, n)
+	for i := range peers {
+		peers[i] = sim.NodeID(i + 1)
+	}
+	cs := make([]*chatter, n)
+	for i := range cs {
+		cs[i] = &chatter{id: peers[i], peers: peers, fanout: fanout}
+		e.AddNode(peers[i], cs[i])
+	}
+	return e, cs
+}
+
+// snapshot captures everything the determinism contract promises is
+// worker-independent.
+func snapshot(e *Engine, cs []*chatter) string {
+	s := fmt.Sprintf("now=%.6f delivered=%d dropped=%d inflight=%d queuelen=%d hw=%d types=%v\n",
+		e.Now(), e.Delivered(), e.Dropped(), e.InFlight(), e.QueueLen(),
+		e.QueueHighWaterBytes(), e.TypeNames())
+	for _, c := range cs {
+		s += fmt.Sprintf("node %d ticks=%d sent=%d recv=%d trace=%v\n",
+			c.id, c.ticks, e.SentBy(c.id), e.ReceivedBy(c.id), c.recv)
+	}
+	return s
+}
+
+// TestWorkerIndependence is the core contract: the full delivery trace —
+// senders, times, payloads, per-node ordering — is bit-identical for every
+// worker count.
+func TestWorkerIndependence(t *testing.T) {
+	const n, fanout, rounds = 100, 3, 20
+	var want string
+	for _, workers := range []int{1, 2, 4, 8} {
+		e, cs := buildMesh(Options{Seed: 7, Lanes: 8, Workers: workers}, n, fanout)
+		e.RunRounds(rounds)
+		got := snapshot(e, cs)
+		e.Close()
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d diverged from workers=1:\n--- got ---\n%.2000s\n--- want ---\n%.2000s", workers, got, want)
+		}
+	}
+	if want == "" {
+		t.Fatal("no baseline")
+	}
+}
+
+// TestLaneCountChangesSchedule documents that Lanes IS part of the
+// schedule identity (unlike Workers).
+func TestLaneCountChangesSchedule(t *testing.T) {
+	e8, cs8 := buildMesh(Options{Seed: 7, Lanes: 8, Workers: 1}, 64, 2)
+	e8.RunRounds(10)
+	e4, cs4 := buildMesh(Options{Seed: 7, Lanes: 4, Workers: 1}, 64, 2)
+	e4.RunRounds(10)
+	if snapshot(e8, cs8) == snapshot(e4, cs4) {
+		t.Fatal("different lane counts produced identical traces — suspicious (schedule should differ)")
+	}
+}
+
+type sink struct{ got []sim.Message }
+
+func (s *sink) OnTimeout(sim.Context)                  {}
+func (s *sink) OnMessage(_ sim.Context, m sim.Message) { s.got = append(s.got, m) }
+
+// TestListenerRouting checks the pool-listener seam: listeners execute on
+// their owner's handler, owner crash silences them, and re-registration
+// elsewhere keeps stale in-flight traffic dropped.
+func TestListenerRouting(t *testing.T) {
+	e := New(Options{Seed: 1, Lanes: 4, Workers: 1})
+	owner := &sink{}
+	e.AddNode(10, owner)
+	e.AddListener(1000, 10)
+	e.Send(sim.Message{To: 1000, From: 99, Topic: 1, Body: ping{}})
+	e.RunRounds(2)
+	if len(owner.got) != 1 || owner.got[0].To != 1000 {
+		t.Fatalf("owner saw %v, want one message addressed to listener 1000", owner.got)
+	}
+	if e.Handler(1000) == nil {
+		t.Fatal("Handler(listener) should resolve to the owner's handler")
+	}
+	e.Crash(10)
+	e.Send(sim.Message{To: 1000, From: 99, Topic: 1, Body: ping{}})
+	before := e.Dropped()
+	e.RunRounds(2)
+	if len(owner.got) != 1 {
+		t.Fatalf("crashed owner still received: %v", owner.got)
+	}
+	if e.Dropped() <= before {
+		t.Fatal("delivery to orphaned listener should count as dropped")
+	}
+}
+
+// TestDetectorGrace pins the barrier-time suspicion semantics.
+func TestDetectorGrace(t *testing.T) {
+	e := New(Options{Seed: 1, Lanes: 2, Workers: 1, DetectorGrace: 2})
+	e.AddNode(5, &sink{})
+	e.RunRounds(1)
+	e.Crash(5)
+	if !e.Crashed(5) {
+		t.Fatal("Crashed(5) = false after Crash")
+	}
+	if e.Suspects(5) {
+		t.Fatal("suspected immediately — grace ignored")
+	}
+	e.RunRounds(1)
+	if e.Suspects(5) {
+		t.Fatal("suspected after 1 round with grace 2")
+	}
+	e.RunRounds(2)
+	if !e.Suspects(5) {
+		t.Fatal("not suspected after grace expired")
+	}
+	if e.Suspects(6) {
+		t.Fatal("suspects a node that never existed")
+	}
+}
+
+// TestOverflowCeilingDeterministic: the per-lane ceiling sheds the same
+// messages at every worker count, and shedding is visible in accounting.
+func TestOverflowCeilingDeterministic(t *testing.T) {
+	run := func(workers int) (string, int64) {
+		e, cs := buildMesh(Options{Seed: 3, Lanes: 4, Workers: workers, MaxQueuedEvents: 64}, 48, 6)
+		e.RunRounds(12)
+		s := snapshot(e, cs)
+		ov := e.OverflowDropped()
+		e.Close()
+		return s, ov
+	}
+	s1, ov1 := run(1)
+	s4, ov4 := run(4)
+	if ov1 == 0 {
+		t.Fatal("ceiling never tripped — test not exercising overflow")
+	}
+	if ov1 != ov4 || s1 != s4 {
+		t.Fatalf("overflow shedding diverged across workers: ov1=%d ov4=%d", ov1, ov4)
+	}
+}
+
+// TestLaneFaultDeterministic: randomized per-lane fault filters replay
+// identically at every worker count.
+func TestLaneFaultDeterministic(t *testing.T) {
+	factory := func(lane int, rng *rand.Rand) sim.FaultFunc {
+		return func(m sim.Message) sim.FaultAction {
+			switch x := rng.Float64(); {
+			case x < 0.2:
+				return sim.FaultDrop
+			case x < 0.3:
+				return sim.FaultDup
+			case x < 0.4:
+				return sim.FaultDelay
+			}
+			return sim.FaultDeliver
+		}
+	}
+	run := func(workers int) string {
+		e, cs := buildMesh(Options{Seed: 11, Lanes: 8, Workers: workers}, 64, 3)
+		e.SetLaneFault(factory)
+		e.RunRounds(15)
+		s := snapshot(e, cs)
+		e.Close()
+		return s
+	}
+	if s1, s8 := run(1), run(8); s1 != s8 {
+		t.Fatal("lane-fault schedule diverged between workers=1 and workers=8")
+	}
+}
+
+// TestHighWater: the barrier high-water mark is positive, deterministic,
+// and at least the final queue length.
+func TestHighWater(t *testing.T) {
+	e, _ := buildMesh(Options{Seed: 5, Lanes: 4, Workers: 1}, 32, 4)
+	e.RunRounds(10)
+	hw := e.QueueHighWaterBytes()
+	if hw == 0 {
+		t.Fatal("high water stayed 0 over a traffic-heavy run")
+	}
+	if perEvent := hw / uint64(e.highWater); hw < uint64(e.QueueLen())*perEvent {
+		t.Fatalf("high water %d below current queue footprint (%d events)", hw, e.QueueLen())
+	}
+}
+
+// TestRunRoundsUntil covers the poll loop incl. the already-true case.
+func TestRunRoundsUntil(t *testing.T) {
+	e, cs := buildMesh(Options{Seed: 2, Lanes: 2, Workers: 1}, 8, 1)
+	if r, ok := e.RunRoundsUntil(10, func() bool { return true }); r != 0 || !ok {
+		t.Fatalf("already-true pred: got (%d,%v), want (0,true)", r, ok)
+	}
+	r, ok := e.RunRoundsUntil(50, func() bool { return cs[0].ticks >= 3 })
+	if !ok || r < 3 {
+		t.Fatalf("pred never held or held early: (%d,%v)", r, ok)
+	}
+	if _, ok := e.RunRoundsUntil(1, func() bool { return false }); ok {
+		t.Fatal("impossible pred reported ok")
+	}
+}
+
+// TestExternalSendAndInjectAt: driver injections are deterministic and
+// InjectAt clamps to the present.
+func TestExternalSendAndInjectAt(t *testing.T) {
+	run := func(workers int) []sim.Message {
+		e := New(Options{Seed: 9, Lanes: 4, Workers: workers})
+		s := &sink{}
+		e.AddNode(3, s)
+		e.RunRounds(1)
+		e.Send(sim.Message{To: 3, From: 77, Topic: 1, Body: ping{Hop: 1}})
+		e.InjectAt(0 /* in the past */, sim.Message{To: 3, From: 78, Topic: 1, Body: ping{Hop: 2}})
+		e.RunRounds(2)
+		e.Close()
+		return s.got
+	}
+	g1, g4 := run(1), run(4)
+	if len(g1) != 2 {
+		t.Fatalf("expected both injections delivered, got %v", g1)
+	}
+	if !reflect.DeepEqual(g1, g4) {
+		t.Fatalf("external sends diverged: %v vs %v", g1, g4)
+	}
+}
+
+// TestBarrierGuard: calling a barrier operation from inside a handler
+// panics rather than corrupting the run.
+func TestBarrierGuard(t *testing.T) {
+	e := New(Options{Seed: 1, Lanes: 2, Workers: 1})
+	tripped := make(chan any, 1)
+	e.AddNode(4, handlerFunc(func(ctx sim.Context) {
+		defer func() { tripped <- recover() }()
+		e.AddNode(5, &sink{})
+	}))
+	e.RunRounds(1)
+	if r := <-tripped; r == nil {
+		t.Fatal("AddNode from inside a handler did not panic")
+	}
+}
+
+type handlerFunc func(sim.Context)
+
+func (f handlerFunc) OnTimeout(ctx sim.Context)          { f(ctx) }
+func (f handlerFunc) OnMessage(sim.Context, sim.Message) {}

@@ -1,0 +1,63 @@
+package scale
+
+import (
+	"runtime"
+
+	"sspubsub/internal/psim"
+	"sspubsub/internal/sim"
+)
+
+// Sim is the deterministic-simulation seam the scale harness drives:
+// everything it needs from an event engine, satisfied by both the serial
+// sim.Scheduler and the lane-sharded parallel psim.Engine. The harness
+// code is engine-oblivious; Config.Workers picks the implementation.
+type Sim interface {
+	Substrate // sim.Transport + AddListener
+
+	// Crashed reports whether the node has crashed.
+	Crashed(id sim.NodeID) bool
+	// RunRounds advances virtual time by k timeout intervals.
+	RunRounds(k int)
+	// RunRoundsUntil advances round by round until pred holds or maxRounds
+	// elapsed.
+	RunRoundsUntil(maxRounds int, pred func() bool) (rounds int, ok bool)
+	// Now returns the current virtual time in timeout intervals.
+	Now() float64
+	// QueueHighWaterBytes returns the event queue's high-water footprint.
+	QueueHighWaterBytes() uint64
+	// OverflowDropped returns how many messages a MaxQueuedEvents ceiling
+	// shed.
+	OverflowDropped() int64
+	// SetFault installs (or clears) a transport-layer fault filter.
+	SetFault(f sim.FaultFunc)
+}
+
+var (
+	_ Sim = (*sim.Scheduler)(nil)
+	_ Sim = (*psim.Engine)(nil)
+)
+
+// DefaultWorkers is the -workers default: one lane worker per available
+// CPU (the parallel engine clamps it to its lane count).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// newSim builds the configured engine. workers <= 0 selects the legacy
+// serial sim.Scheduler — a different (equally deterministic) schedule that
+// every pre-existing seed-pinned artifact was recorded on. workers >= 1
+// selects the lane-sharded parallel engine, whose results are bit-identical
+// for every workers value (including 1: inline execution, no goroutines);
+// see psim's package docs for the determinism contract.
+func newSim(seed int64, workers, lanes, maxQueuedEvents int) Sim {
+	if workers <= 0 {
+		return sim.NewScheduler(sim.SchedulerOptions{
+			Seed:            seed,
+			MaxQueuedEvents: maxQueuedEvents,
+		})
+	}
+	return psim.New(psim.Options{
+		Seed:            seed,
+		Workers:         workers,
+		Lanes:           lanes,
+		MaxQueuedEvents: maxQueuedEvents,
+	})
+}

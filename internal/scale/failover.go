@@ -39,6 +39,12 @@ type FailoverConfig struct {
 	// SettleRounds run after join convergence before the crash so the
 	// replica stream and anti-entropy reach steady state (default 64).
 	SettleRounds int
+	// Workers selects the engine, as on Config: 0 = legacy serial
+	// scheduler, >= 1 = parallel engine with that many workers.
+	Workers int
+	// Lanes is the parallel engine's shard count (0 = default). Ignored
+	// when Workers == 0.
+	Lanes int
 }
 
 func (c FailoverConfig) withDefaults() FailoverConfig {
@@ -91,7 +97,7 @@ type FailoverResult struct {
 // a driver-side view ring (mirroring cluster.NewLiveRF's client options).
 type failoverHarness struct {
 	cfg     FailoverConfig
-	sched   *sim.Scheduler
+	sched   Sim
 	sups    map[sim.NodeID]*supervisor.Supervisor
 	supIDs  []sim.NodeID
 	ring    *hashdht.Ring
@@ -100,7 +106,7 @@ type failoverHarness struct {
 }
 
 func newFailoverHarness(cfg FailoverConfig) *failoverHarness {
-	sched := sim.NewScheduler(sim.SchedulerOptions{Seed: cfg.Seed})
+	sched := newSim(cfg.Seed, cfg.Workers, cfg.Lanes, 0)
 	ids := make([]sim.NodeID, cfg.Supervisors)
 	for i := range ids {
 		ids[i] = SupervisorID + sim.NodeID(i)
@@ -186,6 +192,7 @@ func (h *failoverHarness) replicasWarm() bool {
 func RunFailover(cfg FailoverConfig) FailoverResult {
 	cfg = cfg.withDefaults()
 	h := newFailoverHarness(cfg)
+	defer h.sched.Close()
 	t := cfg.Topic
 	res := FailoverResult{N: cfg.N, RepFactor: cfg.ReplicationFactor}
 

@@ -54,6 +54,15 @@ type Config struct {
 	// layer may buffer — rather than on trie arrival, so the sweep
 	// measures the ordering overhead end to end.
 	DeliveryMode ordering.Mode
+	// Workers selects the engine. 0 (the default) keeps the legacy serial
+	// sim.Scheduler; >= 1 runs the lane-sharded parallel psim.Engine with
+	// that many worker goroutines. The two engines execute different
+	// (each deterministic) schedules; within the parallel engine, every
+	// Workers value — including 1 — produces bit-identical results.
+	Workers int
+	// Lanes is the parallel engine's shard count (part of its schedule
+	// identity). 0 = psim's default (16). Ignored when Workers == 0.
+	Lanes int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,7 +99,7 @@ const SupervisorID sim.NodeID = 1
 // only their scheduling is shared (see Pool).
 type Harness struct {
 	Cfg     Config
-	Sched   *sim.Scheduler
+	Sched   Sim
 	Sup     *supervisor.Supervisor
 	Pools   []*Pool
 	subBase sim.NodeID
@@ -104,10 +113,7 @@ type Harness struct {
 // virtual subscribers (IDs contiguous from the first ID after the pools).
 func New(cfg Config) *Harness {
 	cfg = cfg.withDefaults()
-	sched := sim.NewScheduler(sim.SchedulerOptions{
-		Seed:            cfg.Seed,
-		MaxQueuedEvents: cfg.MaxQueuedEvents,
-	})
+	sched := newSim(cfg.Seed, cfg.Workers, cfg.Lanes, cfg.MaxQueuedEvents)
 	sup := supervisor.New(SupervisorID, sched)
 	sup.CullPerTimeout = cfg.CullPerTimeout
 	sched.AddNode(SupervisorID, sup)
@@ -285,23 +291,48 @@ type Result struct {
 	// Mode is the delivery mode the sweep point ran with ("besteffort",
 	// "fifo", "causal").
 	Mode string
+	// Workers is the engine configuration the point ran on: 0 = legacy
+	// serial scheduler, >= 1 = parallel engine with that many workers.
+	// Physical parallelism only — never part of Digest.
+	Workers int
 	// Join: mass arrival of all N subscribers at t=0.
 	JoinRounds  metrics.Summary // rounds until a subscriber held its label
 	JoinWallSec float64         // wall-clock for the whole join phase
 	JoinsPerSec float64
 	// Fan-out: one publication reaching every live subscriber.
-	FanoutRounds metrics.Summary
+	FanoutRounds  metrics.Summary
+	FanoutWallSec float64
 	// Stabilization: crash burst of CrashFrac·N, rounds until the
 	// supervisor database is exact again.
-	Crashed         int
-	StabilizeRounds int
+	Crashed          int
+	StabilizeRounds  int
+	StabilizeWallSec float64
 	// Memory, measured not estimated.
 	SupDBBytes      uint64 // supervisor database for the topic
 	SubTrieBytes    uint64 // one subscriber's publication trie
-	QueueBytes      uint64 // scheduler event-queue footprint (high water)
+	QueueBytes      uint64 // event-queue high-water footprint
 	OverflowDropped int64  // non-zero means MaxQueuedEvents distorted the run
+	// DBHash is the content hash of the supervisor's topic directory at
+	// the end of the run (epoch:hash:count) — the cheap whole-system
+	// fingerprint the P-independence gates diff.
+	DBHash string
 	// Converged reports every phase finished inside MaxRounds.
 	Converged bool
+}
+
+// Digest renders every schedule-determined field in one canonical line:
+// two runs of the same engine schedule must produce equal digests no
+// matter how many workers executed them. Wall-clock fields and Workers —
+// the things parallelism IS allowed to change — are excluded.
+func (r Result) Digest() string {
+	sum := func(s metrics.Summary) string {
+		return fmt.Sprintf("{n=%d min=%g max=%g mean=%g p50=%g p95=%g p99=%g}",
+			s.Count, s.Min, s.Max, s.Mean, s.P50, s.P95, s.P99)
+	}
+	return fmt.Sprintf("n=%d mode=%s join=%s fanout=%s crashed=%d stabilize=%d supdb=%d subtrie=%d queue=%d overflow=%d dbhash=%s converged=%v",
+		r.N, r.Mode, sum(r.JoinRounds), sum(r.FanoutRounds), r.Crashed,
+		r.StabilizeRounds, r.SupDBBytes, r.SubTrieBytes, r.QueueBytes,
+		r.OverflowDropped, r.DBHash, r.Converged)
 }
 
 // Run executes the full scenario at one N: join everyone, wait for
@@ -310,7 +341,8 @@ type Result struct {
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	h := New(cfg)
-	res := Result{N: cfg.N, Mode: cfg.DeliveryMode.String(), Converged: true}
+	defer h.Sched.Close()
+	res := Result{N: cfg.N, Mode: cfg.DeliveryMode.String(), Workers: cfg.Workers, Converged: true}
 
 	start := time.Now()
 	h.JoinAll()
@@ -324,6 +356,7 @@ func Run(cfg Config) Result {
 
 	h.Sched.RunRounds(cfg.SettleRounds)
 
+	start = time.Now()
 	h.Publish(0, fmt.Sprintf("pub-n%d", cfg.N))
 	var fanRounds []int
 	var ok2 bool
@@ -332,6 +365,7 @@ func Run(cfg Config) Result {
 	} else {
 		fanRounds, ok2 = h.AwaitPublication(1)
 	}
+	res.FanoutWallSec = time.Since(start).Seconds()
 	res.FanoutRounds = metrics.Summarize(metrics.Ints(fanRounds))
 	res.Converged = res.Converged && ok2
 
@@ -339,13 +373,18 @@ func Run(cfg Config) Result {
 	if in, found := h.Client(0).Instance(cfg.Topic); found {
 		res.SubTrieBytes = in.Eng.Trie().MemoryBytes()
 	}
-	res.QueueBytes = h.Sched.QueueMemoryBytes()
 
+	start = time.Now()
 	res.Crashed = h.CrashFraction()
 	rounds, ok := h.AwaitDBSize(cfg.N - res.Crashed)
+	res.StabilizeWallSec = time.Since(start).Seconds()
 	res.StabilizeRounds = rounds
 	res.Converged = res.Converged && ok
 
+	res.QueueBytes = h.Sched.QueueHighWaterBytes()
 	res.OverflowDropped = h.Sched.OverflowDropped()
+	if epoch, hash, count, found := h.Sup.DirectoryDigest(cfg.Topic); found {
+		res.DBHash = fmt.Sprintf("%d:%x:%d", epoch, hash, count)
+	}
 	return res
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package scale
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where a full 10^4-subscriber P-independence sweep would take minutes —
+// the property tests shrink N (the property is size-independent; CI's
+// scale-smoke job covers the full size without the detector).
+const raceEnabled = true

@@ -48,7 +48,8 @@ type Scheduler struct {
 	nodes   map[NodeID]*schedNode
 	crashed map[NodeID]float64 // node → crash time
 
-	inFlight int // message events currently queued
+	inFlight  int // message events currently queued
+	highWater int // max queued-event count ever observed
 
 	// fault, when non-nil, filters every Send (after accounting): drops,
 	// duplicates or delays messages to model adversarial channels. The
@@ -262,6 +263,9 @@ func (s *Scheduler) push(e event) {
 	e.seq = s.seq
 	s.seq++
 	s.events.pushEvent(e)
+	if len(s.events) > s.highWater {
+		s.highWater = len(s.events)
+	}
 }
 
 // SetFault installs (or clears, with nil) the transport-layer fault filter.
@@ -417,6 +421,15 @@ func (s *Scheduler) OverflowDropped() int64 { return s.overflow }
 // with handler state, so attributing them here would double-count.
 func (s *Scheduler) QueueMemoryBytes() uint64 {
 	return uint64(cap(s.events)) * uint64(unsafe.Sizeof(event{}))
+}
+
+// QueueHighWaterBytes returns the queue's high-water footprint: the
+// maximum queued-event count ever observed (tracked on every push) at the
+// static event size. Unlike QueueMemoryBytes it is exact and deterministic
+// — it cannot under-report a spike that drained before sampling, nor
+// over-report slack capacity the growth policy happened to allocate.
+func (s *Scheduler) QueueHighWaterBytes() uint64 {
+	return uint64(s.highWater) * uint64(unsafe.Sizeof(event{}))
 }
 
 // Delivered returns the total number of delivered messages.
