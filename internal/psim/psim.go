@@ -52,6 +52,19 @@ type Options struct {
 	// split evenly across lanes and enforced at the sending lane, so
 	// shedding decisions are lane-local and Workers-independent. Timeout
 	// events are never shed. 0 means unbounded.
+	//
+	// The per-lane ceiling is an approximation of a global cap, not an
+	// exact one: a cross-lane send is checked against the SENDING lane's
+	// heap even though the event will occupy the destination lane's heap,
+	// and events merged from outboxes at the window barrier are never
+	// re-checked. A hot destination lane fed by many remote senders can
+	// therefore keep growing past its even share (by up to one window's
+	// cross-lane traffic per barrier, with no cumulative bound), while a
+	// busy sender sheds messages bound for idle lanes. The total across
+	// lanes can thus exceed MaxQueuedEvents when traffic is skewed.
+	// This looseness is deliberate — exact global accounting
+	// would require cross-lane coordination mid-window, breaking the
+	// lane-local determinism that makes shedding Workers-independent.
 	MaxQueuedEvents int
 }
 
@@ -427,6 +440,9 @@ func (e *Engine) Send(m sim.Message) {
 		if n, ok := e.nodes[m.From]; ok {
 			e.lanes[n.lane].dropped++
 		} else {
+			// External path: like externalSend, only legal at a barrier —
+			// mid-window it would race with lane 0's worker over counters.
+			e.assertBarrier("Send with unregistered From")
 			e.lanes[0].dropped++
 		}
 		return
@@ -459,6 +475,9 @@ func (l *lane) send(m sim.Message) {
 		// Draw the delay even when the ceiling sheds the copy, so enabling
 		// MaxQueuedEvents never perturbs the surviving messages' sequence.
 		delay := l.e.opts.MinDelay + l.rng.Float64()*(l.e.opts.MaxDelay-l.e.opts.MinDelay)
+		// The ceiling is checked against the SENDING lane's heap even for
+		// cross-lane events — a deliberate approximation; see the
+		// Options.MaxQueuedEvents doc for the skew it admits.
 		if l.e.laneCeil > 0 && len(l.heap) >= l.e.laneCeil {
 			l.dropped++
 			l.overflow++
@@ -664,10 +683,20 @@ func (e *Engine) swapOutboxes() {
 // t <= target, window by window.
 func (e *Engine) RunUntil(target float64) {
 	e.assertBarrier("RunUntil")
+	if e.closed {
+		panic("psim: RunUntil on a closed engine")
+	}
 	W := e.opts.MinDelay
 	for {
-		// Earliest pending event across all lanes (outboxes are empty at a
-		// barrier, so heaps are the complete picture).
+		// Merge the cross-lane events the previous window buffered BEFORE
+		// choosing the next window: an inbox event can be older than every
+		// heap min, and both window selection and loop termination must see
+		// it. (After this phase outboxes and inboxes are empty, so heaps
+		// are the complete picture.)
+		e.running.Store(true)
+		e.runPhase(func(l *lane) { l.ingest() })
+		e.running.Store(false)
+		// Earliest pending event across all lanes.
 		min := math.Inf(1)
 		for _, l := range e.lanes {
 			if len(l.heap) > 0 && l.heap[0].t < min {
@@ -690,8 +719,6 @@ func (e *Engine) RunUntil(target float64) {
 		if e.now < wstart {
 			e.now = wstart
 		}
-		e.running.Store(true)
-		e.runPhase(func(l *lane) { l.ingest() })
 		total := 0
 		for _, l := range e.lanes {
 			total += len(l.heap)
@@ -699,13 +726,11 @@ func (e *Engine) RunUntil(target float64) {
 		if total > e.highWater {
 			e.highWater = total
 		}
+		e.running.Store(true)
 		e.runPhase(func(l *lane) { l.runWindow(wend, target) })
 		e.running.Store(false)
 		e.swapOutboxes()
 	}
-	// Drain any cross-lane events the final window produced into the heaps
-	// so the barrier invariant (outboxes empty) holds for accessors.
-	e.runPhase(func(l *lane) { l.ingest() })
 	if e.now < target {
 		e.now = target
 	}

@@ -226,6 +226,106 @@ func TestHighWater(t *testing.T) {
 	}
 }
 
+// TestRunUntilExecutesEverythingDue pins RunUntil's contract: after
+// RunUntil(target), no queued event anywhere — lane heaps or cross-lane
+// inboxes — may still carry t <= target. The regression this guards:
+// window selection used to scan only lane heaps while the previous
+// window's cross-lane events were still in inboxes, so a pending inbox
+// event older than every heap min could be skipped past (executing in a
+// too-late window, or not at all when every heap min exceeded target).
+func TestRunUntilExecutesEverythingDue(t *testing.T) {
+	e, _ := buildMesh(Options{Seed: 13, Lanes: 8, Workers: 1}, 64, 3)
+	for i := 0; i < 60; i++ {
+		// Fractional, window-misaligned increments land targets mid-window,
+		// the regime where heap-only scanning went wrong.
+		target := e.Now() + 0.173
+		e.RunUntil(target)
+		for _, l := range e.lanes {
+			if len(l.heap) > 0 && l.heap[0].t <= target {
+				t.Fatalf("step %d: lane %d still holds event at t=%.6f <= target %.6f after RunUntil",
+					i, l.idx, l.heap[0].t, target)
+			}
+			for src, buf := range l.inbox {
+				if len(buf) != 0 {
+					t.Fatalf("step %d: lane %d inbox[%d] not drained at barrier (%d events)",
+						i, l.idx, src, len(buf))
+				}
+			}
+		}
+	}
+}
+
+// TestCrossLaneEventNotStranded is the surgical reproduction of the
+// window-selection bug: a cross-lane delivery parked in an inbox, older
+// than every heap min, must still execute by RunUntil(target) when its
+// delivery time is <= target. Before the fix, the min scan saw only
+// heaps (all of whose mins exceeded target), so RunUntil returned with
+// the due delivery still queued.
+func TestCrossLaneEventNotStranded(t *testing.T) {
+	e := New(Options{Seed: 21, Lanes: 4, Workers: 1, MinDelay: 0.05, MaxDelay: 0.06})
+	// Pick sender a with an early timeout phase and receiver b on a
+	// different lane whose first timeout lands well after the target, so
+	// after a's window the only due event is the delivery sitting in b's
+	// lane inbox.
+	var a, b sim.NodeID
+	for id := sim.NodeID(1); id <= 200 && (a == sim.None || b == sim.None); id++ {
+		switch {
+		case a == sim.None && e.phaseOf(id) < 0.3:
+			a = id
+		case a != sim.None && b == sim.None && e.laneOf(id) != e.laneOf(a) && e.phaseOf(id) > e.phaseOf(a)+0.3:
+			b = id
+		}
+	}
+	if a == sim.None || b == sim.None {
+		t.Fatal("no suitable (sender, receiver) pair among ids 1..200 for this seed")
+	}
+	sent := false
+	e.AddNode(a, handlerFunc(func(ctx sim.Context) {
+		if !sent {
+			sent = true
+			ctx.Send(b, 1, ping{})
+		}
+	}))
+	rcv := &sink{}
+	e.AddNode(b, rcv)
+	// Past the delivery (due <= phase(a)+MaxDelay) yet before b's first
+	// timeout, so b's lane heap min exceeds the target.
+	target := e.phaseOf(a) + 0.08
+	e.RunUntil(target)
+	if len(rcv.got) != 1 {
+		t.Fatalf("delivery due at t <= %.4f not executed by RunUntil(%.4f): got %d deliveries",
+			e.phaseOf(a)+0.06, target, len(rcv.got))
+	}
+}
+
+// TestClosedEngineRunPanics: running a closed engine must fail loudly
+// with a clear error instead of blocking on (or sending to) a dead
+// worker pool.
+func TestClosedEngineRunPanics(t *testing.T) {
+	e, _ := buildMesh(Options{Seed: 1, Lanes: 4, Workers: 2}, 8, 1)
+	e.RunRounds(1)
+	e.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("RunRounds on a closed engine did not panic")
+		}
+		if s, _ := r.(string); s == "" || !containsClosed(s) {
+			t.Fatalf("panic %v does not name the closed engine", r)
+		}
+	}()
+	e.RunRounds(1)
+}
+
+func containsClosed(s string) bool {
+	for i := 0; i+6 <= len(s); i++ {
+		if s[i:i+6] == "closed" {
+			return true
+		}
+	}
+	return false
+}
+
 // TestRunRoundsUntil covers the poll loop incl. the already-true case.
 func TestRunRoundsUntil(t *testing.T) {
 	e, cs := buildMesh(Options{Seed: 2, Lanes: 2, Workers: 1}, 8, 1)
@@ -276,6 +376,28 @@ func TestBarrierGuard(t *testing.T) {
 	e.RunRounds(1)
 	if r := <-tripped; r == nil {
 		t.Fatal("AddNode from inside a handler did not panic")
+	}
+}
+
+// TestBarrierGuardNoneSend: a mid-window Send with To == ⊥ and an
+// unregistered From must trip the barrier guard like every other
+// external-path misuse, not silently race on lane 0's counters.
+func TestBarrierGuardNoneSend(t *testing.T) {
+	e := New(Options{Seed: 1, Lanes: 2, Workers: 1})
+	tripped := make(chan any, 1)
+	e.AddNode(4, handlerFunc(func(ctx sim.Context) {
+		defer func() { tripped <- recover() }()
+		e.Send(sim.Message{To: sim.None, From: 999})
+	}))
+	e.RunRounds(1)
+	if r := <-tripped; r == nil {
+		t.Fatal("Send(To=⊥, unregistered From) from inside a handler did not panic")
+	}
+	// At a barrier the same send is legal and counts as a drop.
+	before := e.Dropped()
+	e.Send(sim.Message{To: sim.None, From: 999})
+	if e.Dropped() != before+1 {
+		t.Fatal("barrier-time Send to ⊥ with unregistered From not counted as dropped")
 	}
 }
 
